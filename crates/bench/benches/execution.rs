@@ -1,0 +1,53 @@
+//! Criterion micro-benchmarks of end-to-end query execution on the
+//! simulated cluster (real data processing wall time, small instances).
+//! Useful for tracking regressions in the CMF hot paths: the common
+//! mapper's branch evaluation, the shuffle sort and the common reducer's
+//! dispatch loop.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use ysmart_core::{Strategy, YSmart};
+use ysmart_datagen::{ClicksSpec, TpchSpec};
+use ysmart_mapred::ClusterConfig;
+use ysmart_queries::{clicks_workloads, tpch_workloads, Workload};
+
+fn run(w: &Workload, strategy: Strategy) -> f64 {
+    let mut engine = YSmart::new(w.catalog.clone(), ClusterConfig::default());
+    w.load_into(&mut engine).unwrap();
+    engine.execute_sql(&w.sql, strategy).unwrap().total_s()
+}
+
+fn bench_q17(c: &mut Criterion) {
+    let tpch = tpch_workloads(&TpchSpec {
+        scale: 0.2,
+        seed: 7,
+    });
+    let w = tpch.iter().find(|w| w.name == "q17").unwrap();
+    for strategy in [Strategy::Hive, Strategy::YSmart] {
+        c.bench_function(&format!("execute/q17/{strategy}"), |b| {
+            b.iter(|| black_box(run(w, strategy)))
+        });
+    }
+}
+
+fn bench_q_csa(c: &mut Criterion) {
+    let clicks = clicks_workloads(&ClicksSpec {
+        users: 20,
+        clicks_per_user: 20,
+        seed: 7,
+        ..ClicksSpec::default()
+    });
+    let w = clicks.iter().find(|w| w.name == "q-csa").unwrap();
+    for strategy in [Strategy::Hive, Strategy::YSmart] {
+        c.bench_function(&format!("execute/q-csa/{strategy}"), |b| {
+            b.iter(|| black_box(run(w, strategy)))
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_q17, bench_q_csa
+}
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Criterion micro-benchmarks of the translation pipeline itself: parsing,
+//! planning, correlation analysis and job compilation. These measure the
+//! *translator's* speed (wall time of this library), not simulated cluster
+//! time — YSmart's analysis must stay cheap relative to the jobs it saves.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use ysmart_core::Strategy;
+use ysmart_datagen::tpch_catalog;
+use ysmart_plan::{analyze, build_plan};
+use ysmart_queries::workloads::{q17_sql, q21_sql, q_csa_sql};
+use ysmart_sql::parse;
+
+fn catalogs() -> (ysmart_plan::Catalog, ysmart_plan::Catalog) {
+    (tpch_catalog(), ysmart_datagen::clicks_catalog())
+}
+
+fn bench_parse(c: &mut Criterion) {
+    let q21 = q21_sql("SAUDI ARABIA");
+    c.bench_function("parse/q21-full", |b| {
+        b.iter(|| parse(black_box(&q21)).unwrap())
+    });
+    let q_csa = q_csa_sql(1, 2);
+    c.bench_function("parse/q-csa", |b| {
+        b.iter(|| parse(black_box(&q_csa)).unwrap())
+    });
+}
+
+fn bench_plan_and_analyze(c: &mut Criterion) {
+    let (tpch, clicks) = catalogs();
+    let q17 = parse(&q17_sql()).unwrap();
+    c.bench_function("plan/q17", |b| {
+        b.iter(|| build_plan(black_box(&tpch), black_box(&q17)).unwrap())
+    });
+    let q_csa = parse(&q_csa_sql(1, 2)).unwrap();
+    let plan = build_plan(&clicks, &q_csa).unwrap();
+    c.bench_function("correlations/q-csa", |b| {
+        b.iter(|| analyze(black_box(&plan)))
+    });
+}
+
+fn bench_translate(c: &mut Criterion) {
+    let (tpch, _) = catalogs();
+    let q21 = q21_sql("SAUDI ARABIA");
+    for strategy in [Strategy::Hive, Strategy::YSmart] {
+        c.bench_function(&format!("translate/q21/{strategy}"), |b| {
+            b.iter(|| {
+                ysmart_core::translate(black_box(&tpch), black_box(&q21), strategy, "bench")
+                    .unwrap()
+            })
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_parse, bench_plan_and_analyze, bench_translate
+}
+criterion_main!(benches);

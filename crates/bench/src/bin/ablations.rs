@@ -1,0 +1,134 @@
+//! Ablations of the design choices DESIGN.md calls out, measured in
+//! simulated cluster seconds on the Q21 subtree and Q-CSA (the two queries
+//! the paper studies in depth):
+//!
+//! * Rule 1 only vs Rules 1–4 (already Fig. 9's subject; included for
+//!   completeness);
+//! * shared scan on/off with merging otherwise identical;
+//! * map-side combiner on/off;
+//! * reduce-side short-circuiting on/off;
+//! * Pig-style value padding.
+//!
+//! Each configuration is verified against the oracle before its time is
+//! reported.
+
+use std::collections::BTreeMap;
+
+use ysmart_core::{compile, CoreError, TranslateOptions, YSmart};
+use ysmart_datagen::{ClicksSpec, TpchSpec};
+use ysmart_mapred::ClusterConfig;
+use ysmart_plan::analyze;
+use ysmart_queries::{clicks_workloads, oracle_execute, rows_approx_equal, tpch_workloads, Workload};
+use ysmart_rel::Row;
+
+fn run_with_options(
+    w: &Workload,
+    opts: &TranslateOptions,
+    target_gb: f64,
+) -> Result<(usize, f64), CoreError> {
+    let mut engine = YSmart::new(w.catalog.clone(), ClusterConfig::small_local());
+    w.load_into(&mut engine)?;
+    let real = engine.cluster.hdfs.total_bytes().max(1);
+    engine.cluster.config.size_multiplier = (target_gb * 1e9) / real as f64;
+    let plan = engine.plan(&w.sql)?;
+    let report = analyze(&plan);
+    let translation = compile(&plan, &report, opts, &format!("abl-{}", w.name))?;
+    let out = engine.execute_translation(&translation)?;
+    let tables: BTreeMap<String, Vec<Row>> = w
+        .tables
+        .iter()
+        .map(|(n, r)| ((*n).to_string(), r.clone()))
+        .collect();
+    let expected = oracle_execute(&plan, &tables)?.rows;
+    assert!(
+        rows_approx_equal(&out.rows, &expected, w.ordered),
+        "{}: ablation produced wrong results",
+        w.name
+    );
+    Ok((out.jobs, out.total_s()))
+}
+
+fn main() {
+    let base = TranslateOptions {
+        merge_ic_tc: true,
+        merge_jfc: true,
+        shared_scan: true,
+        combiner: true,
+        short_circuit: false,
+        value_pad_bytes: 0,
+    };
+    let cases: Vec<(&str, TranslateOptions)> = vec![
+        ("ysmart (baseline)", base),
+        (
+            "no rule 2-4 (JFC)",
+            TranslateOptions {
+                merge_jfc: false,
+                ..base
+            },
+        ),
+        (
+            "no rule 1 (IC/TC)",
+            TranslateOptions {
+                merge_ic_tc: false,
+                merge_jfc: false,
+                ..base
+            },
+        ),
+        (
+            "no shared scan",
+            TranslateOptions {
+                shared_scan: false,
+                merge_ic_tc: false,
+                merge_jfc: false,
+                ..base
+            },
+        ),
+        (
+            "no combiner",
+            TranslateOptions {
+                combiner: false,
+                ..base
+            },
+        ),
+        (
+            "short-circuit on",
+            TranslateOptions {
+                short_circuit: true,
+                ..base
+            },
+        ),
+        (
+            "pig-style padding",
+            TranslateOptions {
+                value_pad_bytes: 24,
+                ..base
+            },
+        ),
+    ];
+
+    let tpch = tpch_workloads(&TpchSpec {
+        scale: 1.0,
+        seed: 2024,
+    });
+    let clicks = clicks_workloads(&ClicksSpec {
+        users: 120,
+        clicks_per_user: 40,
+        seed: 2024,
+        ..ClicksSpec::default()
+    });
+    let targets: Vec<(&Workload, f64)> = vec![
+        (tpch.iter().find(|w| w.name == "q21-subtree").unwrap(), 10.0),
+        (clicks.iter().find(|w| w.name == "q-csa").unwrap(), 20.0),
+    ];
+
+    println!("=== Ablations (simulated seconds, small local cluster) ===");
+    for (w, gb) in targets {
+        println!("-- {} ({gb} GB) --", w.name);
+        for (label, opts) in &cases {
+            match run_with_options(w, opts, gb) {
+                Ok((jobs, secs)) => println!("  {label:<20} {jobs:>2} jobs {secs:>9.1}s"),
+                Err(e) => println!("  {label:<20} DNF ({e})"),
+            }
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! Fig. 13 — Q18 and Q21 on the Facebook production cluster: average of
+//! three concurrent instances per system over 1 TB (§VII-F).
+//!
+//! Paper shape: average speedups of YSmart over Hive around 298% (Q18) and
+//! 336% (Q21) — *larger* than on isolated clusters, because scheduling
+//! gaps multiply with job count.
+
+use ysmart_bench::{execute_verified, FigRow};
+use ysmart_core::Strategy;
+use ysmart_datagen::TpchSpec;
+use ysmart_mapred::ClusterConfig;
+use ysmart_queries::tpch_workloads;
+
+fn main() {
+    println!("=== Fig. 13: Q18/Q21 on the Facebook production cluster, 1 TB ===");
+    // A larger real instance keeps the simulated key space rich enough for
+    // the production cluster's hundreds of reduce tasks (tiny key spaces
+    // would create artificial reducer skew that true 1 TB data lacks).
+    let tpch = tpch_workloads(&TpchSpec {
+        scale: 8.0,
+        seed: 2024,
+    });
+    for name in ["q18", "q21"] {
+        let w = tpch.iter().find(|w| w.name == name).expect("workload");
+        let mut rows = Vec::new();
+        let mut sums = [(0.0, 0usize), (0.0, 0usize)]; // (ysmart, hive)
+        for instance in 0..3u64 {
+            for (k, (sys, strategy)) in
+                [("YSmart", Strategy::YSmart), ("Hive", Strategy::Hive)]
+                    .into_iter()
+                    .enumerate()
+            {
+                let config = ClusterConfig::facebook(2000 + instance);
+                let label = format!("{sys} {}", instance + 1);
+                let result = execute_verified(w, strategy, &config, 1000.0)
+                    .map(|o| o.total_s())
+                    .map_err(|e| e.to_string());
+                if let Ok(s) = result {
+                    sums[k].0 += s;
+                    sums[k].1 += 1;
+                }
+                rows.push(FigRow { label, result });
+            }
+        }
+        ysmart_bench::print_summary(&format!("{name}:"), &rows);
+        let ys = sums[0].0 / sums[0].1.max(1) as f64;
+        let hive = sums[1].0 / sums[1].1.max(1) as f64;
+        println!(
+            "  {name} averages: YSmart {ys:.0}s, Hive {hive:.0}s — Hive/YSmart = {:.2}x",
+            hive / ys
+        );
+    }
+}

@@ -1,0 +1,48 @@
+//! Fig. 2(b) — the motivating performance gap: Hive vs a hand-coded
+//! MapReduce program on the simple aggregation Q-AGG (comparable times,
+//! thanks to Hive's map-side hash aggregation) and on the click-stream
+//! sessionization query Q-CSA (hand-coded ≈ 3× faster).
+
+use ysmart_bench::{execute_verified, FigRow};
+use ysmart_core::Strategy;
+use ysmart_datagen::ClicksSpec;
+use ysmart_mapred::ClusterConfig;
+use ysmart_queries::clicks_workloads;
+
+fn main() {
+    let workloads = clicks_workloads(&ClicksSpec {
+        users: 120,
+        clicks_per_user: 40,
+        seed: 2024,
+        ..ClicksSpec::default()
+    });
+    let config = ClusterConfig::small_local();
+    let target_gb = 20.0;
+
+    println!("=== Fig. 2(b): Hive vs hand-coded, 20 GB click stream ===");
+    for w in &workloads {
+        println!("-- {} --", w.name);
+        let mut rows = Vec::new();
+        for (label, strategy) in [("Hive", Strategy::Hive), ("hand-coded", Strategy::HandCoded)]
+        {
+            let result = execute_verified(w, strategy, &config, target_gb)
+                .map(|o| o.total_s())
+                .map_err(|e| e.to_string());
+            rows.push(FigRow {
+                label: label.to_string(),
+                result,
+            });
+        }
+        let ratio = match (&rows[0].result, &rows[1].result) {
+            (Ok(h), Ok(c)) => format!("  (Hive / hand-coded = {:.2}x)", h / c),
+            _ => String::new(),
+        };
+        for r in &rows {
+            match &r.result {
+                Ok(s) => println!("  {:<12} {:>8.1}s", r.label, s),
+                Err(e) => println!("  {:<12} DNF ({e})", r.label),
+            }
+        }
+        println!("{ratio}");
+    }
+}

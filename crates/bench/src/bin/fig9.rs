@@ -1,0 +1,55 @@
+//! Fig. 9 — breakdown of job finishing times for the Q21 "Left Outer
+//! Join 1" subtree on the small local cluster with 10 GB TPC-H data
+//! (§VII-C).
+//!
+//! Four configurations, as in the paper:
+//! 1. one-operation-to-one-job (5 jobs),
+//! 2. input + transit correlation only (3 jobs),
+//! 3. all correlations — YSmart (1 job),
+//! 4. hand-coded program (1 job with short-circuiting).
+//!
+//! Paper numbers for orientation: 1140 s / 773 s / 561 s / 479 s.
+
+use ysmart_bench::{execute_verified, print_breakdown, FigRow};
+use ysmart_core::Strategy;
+use ysmart_datagen::TpchSpec;
+use ysmart_mapred::ClusterConfig;
+use ysmart_queries::tpch_workloads;
+
+fn main() {
+    let workloads = tpch_workloads(&TpchSpec {
+        scale: 1.0,
+        seed: 2024,
+    });
+    let w = workloads
+        .iter()
+        .find(|w| w.name == "q21-subtree")
+        .expect("workload");
+    let config = ClusterConfig::small_local();
+    let target_gb = 10.0;
+
+    println!("=== Fig. 9: Q21 subtree, small local cluster, 10 GB TPC-H ===");
+    let cases = [
+        ("1-op-1-job", Strategy::Hive),
+        ("IC+TC only", Strategy::YSmartNoJfc),
+        ("YSmart (all)", Strategy::YSmart),
+        ("hand-coded", Strategy::HandCoded),
+    ];
+    let mut rows = Vec::new();
+    for (label, strategy) in cases {
+        match execute_verified(w, strategy, &config, target_gb) {
+            Ok(out) => {
+                print_breakdown(&format!("{label} ({} jobs)", out.jobs), &out);
+                rows.push(FigRow {
+                    label: label.to_string(),
+                    result: Ok(out.total_s()),
+                });
+            }
+            Err(e) => rows.push(FigRow {
+                label: label.to_string(),
+                result: Err(e.to_string()),
+            }),
+        }
+    }
+    ysmart_bench::print_summary("--- totals ---", &rows);
+}

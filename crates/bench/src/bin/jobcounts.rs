@@ -1,0 +1,39 @@
+//! §VII-A job counts: how many MapReduce jobs each system generates for
+//! each evaluation query — the quantity YSmart minimises.
+//!
+//! Paper values: Q17 Hive 4 / YSmart 2; Q-CSA Hive 6 / YSmart 2; Q21
+//! subtree 5 / 3 (IC+TC only) / 1.
+
+use ysmart_core::{Strategy, YSmart};
+use ysmart_datagen::{ClicksSpec, TpchSpec};
+use ysmart_mapred::ClusterConfig;
+use ysmart_queries::{clicks_workloads, tpch_workloads, Workload};
+
+fn counts(w: &Workload) {
+    print!("{:<12}", w.name);
+    for strategy in Strategy::all() {
+        let mut engine = YSmart::new(w.catalog.clone(), ClusterConfig::default());
+        w.load_into(&mut engine).unwrap();
+        let t = engine.translate(&w.sql, strategy).unwrap();
+        print!(" {:>14}", format!("{strategy}: {}", t.job_count()));
+    }
+    println!();
+}
+
+fn main() {
+    println!("=== Job counts per translation strategy (§VII-A) ===");
+    for w in tpch_workloads(&TpchSpec {
+        scale: 0.05,
+        seed: 1,
+    }) {
+        counts(&w);
+    }
+    for w in clicks_workloads(&ClicksSpec {
+        users: 8,
+        clicks_per_user: 12,
+        seed: 1,
+        ..ClicksSpec::default()
+    }) {
+        counts(&w);
+    }
+}

@@ -1,0 +1,404 @@
+//! The end-to-end YSmart engine.
+//!
+//! [`YSmart`] owns a catalog and a simulated cluster. `execute_sql` runs
+//! the full pipeline — parse → plan → correlation analysis → job merging →
+//! blueprint compilation → MapReduce execution — and returns decoded result
+//! rows together with per-job metrics (the raw material of every figure in
+//! §VII).
+
+use ysmart_mapred::metrics::ChainMetrics;
+use ysmart_mapred::{run_chain, Cluster, ClusterConfig, JobChain};
+use ysmart_plan::{analyze_with_stats, build_batch_plan, build_plan, Catalog, Plan, Statistics};
+use ysmart_rel::codec::{decode_line, encode_line};
+use ysmart_rel::{Row, Schema};
+
+use crate::compile::{compile, compile_batch, BatchTranslation, Translation};
+use crate::error::CoreError;
+use crate::options::Strategy;
+
+/// Everything a query execution produced.
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    /// Decoded result rows (in job-output order; sorted queries are
+    /// globally ordered because sort jobs use a single reducer).
+    pub rows: Vec<Row>,
+    /// The result schema.
+    pub schema: Schema,
+    /// Per-job execution metrics in chain order.
+    pub metrics: ChainMetrics,
+    /// Number of MapReduce jobs executed.
+    pub jobs: usize,
+}
+
+impl QueryOutcome {
+    /// Total simulated execution time in seconds.
+    #[must_use]
+    pub fn total_s(&self) -> f64 {
+        self.metrics.total_s()
+    }
+}
+
+/// Results of a multi-query batch execution.
+#[derive(Debug, Clone)]
+pub struct BatchOutcome {
+    /// Per-member `(rows, schema)`, in input order.
+    pub queries: Vec<(Vec<Row>, Schema)>,
+    /// Metrics of the shared job chain.
+    pub metrics: ChainMetrics,
+    /// Number of jobs the whole batch used.
+    pub jobs: usize,
+}
+
+/// The translator + simulated cluster, bundled.
+#[derive(Debug)]
+pub struct YSmart {
+    catalog: Catalog,
+    /// The simulated cluster (public: benches reconfigure it between runs).
+    pub cluster: Cluster,
+    stats: Statistics,
+    query_seq: usize,
+}
+
+impl YSmart {
+    /// Creates an engine over a catalog and a cluster configuration.
+    #[must_use]
+    pub fn new(catalog: Catalog, config: ClusterConfig) -> Self {
+        YSmart {
+            catalog,
+            cluster: Cluster::new(config),
+            stats: Statistics::new(),
+            query_seq: 0,
+        }
+    }
+
+    /// The engine's catalog.
+    #[must_use]
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Loads rows into HDFS under `data/<name>`. The table must exist in
+    /// the catalog; rows are encoded in the pipe-delimited text format.
+    ///
+    /// # Errors
+    ///
+    /// Unknown table, or rows whose width disagrees with the schema.
+    pub fn load_table(&mut self, name: &str, rows: &[Row]) -> Result<(), CoreError> {
+        let schema = self.catalog.table(name)?.clone();
+        let mut lines = Vec::with_capacity(rows.len());
+        for r in rows {
+            if r.len() != schema.len() {
+                return Err(CoreError::Translate(format!(
+                    "row width {} does not match table `{name}` ({} columns)",
+                    r.len(),
+                    schema.len()
+                )));
+            }
+            lines.push(encode_line(r));
+        }
+        // Table statistics feed the cost-informed PK tie-break and the
+        // reduce-task cardinality caps.
+        let columns: Vec<String> = schema.fields().iter().map(|f| f.name.clone()).collect();
+        self.stats
+            .add_table(name, Statistics::scan_table(&columns, rows));
+        self.cluster.load_table(name, lines);
+        Ok(())
+    }
+
+    /// Loads pre-encoded lines into HDFS under `data/<name>`. When the
+    /// table is in the catalog, statistics are gathered from the decoded
+    /// rows; undecodable lines simply skip statistics (execution will
+    /// surface the error).
+    pub fn load_table_lines(&mut self, name: &str, lines: Vec<String>) {
+        if let Ok(schema) = self.catalog.table(name) {
+            let rows: Option<Vec<ysmart_rel::Row>> = lines
+                .iter()
+                .map(|l| decode_line(l, schema).ok())
+                .collect();
+            if let Some(rows) = rows {
+                let columns: Vec<String> =
+                    schema.fields().iter().map(|f| f.name.clone()).collect();
+                self.stats
+                    .add_table(name, Statistics::scan_table(&columns, &rows));
+            }
+        }
+        self.cluster.load_table(name, lines);
+    }
+
+    /// The statistics gathered from loaded tables.
+    #[must_use]
+    pub fn statistics(&self) -> &Statistics {
+        &self.stats
+    }
+
+    /// Parses and plans a query without executing it.
+    ///
+    /// # Errors
+    ///
+    /// Parse or planning failures.
+    pub fn plan(&self, sql: &str) -> Result<Plan, CoreError> {
+        let query = ysmart_sql::parse(sql)?;
+        Ok(build_plan(&self.catalog, &query)?)
+    }
+
+    /// Translates a query into a job pipeline under `strategy`.
+    ///
+    /// # Errors
+    ///
+    /// Parse, planning or compilation failures.
+    pub fn translate(&mut self, sql: &str, strategy: Strategy) -> Result<Translation, CoreError> {
+        self.query_seq += 1;
+        let tag = format!("q{}-{}", self.query_seq, strategy);
+        let plan = self.plan(sql)?;
+        let report = analyze_with_stats(&plan, Some(&self.stats));
+        compile(&plan, &report, &strategy.options(), &tag)
+    }
+
+    /// Translates and executes a query, returning rows and metrics.
+    ///
+    /// # Errors
+    ///
+    /// Any pipeline failure, including simulated cluster failures (disk
+    /// full, time limit) — check [`CoreError::is_disk_full`] /
+    /// [`CoreError::is_time_limit`] for the paper's DNF cases.
+    pub fn execute_sql(&mut self, sql: &str, strategy: Strategy) -> Result<QueryOutcome, CoreError> {
+        let translation = self.translate(sql, strategy)?;
+        self.execute_translation(&translation)
+    }
+
+    /// Translates and executes several queries as one *batch*: Rule 1
+    /// applies across queries, so members scanning the same tables with the
+    /// same partition keys share jobs and scans (the multi-query sharing
+    /// the paper's related-work section attributes to MRShare, expressed
+    /// with YSmart's own correlation machinery).
+    ///
+    /// # Errors
+    ///
+    /// Any member's parse/planning failure, or cluster execution failures.
+    pub fn execute_batch(
+        &mut self,
+        sqls: &[&str],
+        strategy: Strategy,
+    ) -> Result<BatchOutcome, CoreError> {
+        self.query_seq += 1;
+        let tag = format!("b{}-{}", self.query_seq, strategy);
+        let queries: Vec<ysmart_sql::Query> = sqls
+            .iter()
+            .map(|s| ysmart_sql::parse(s))
+            .collect::<Result<_, _>>()?;
+        let refs: Vec<&ysmart_sql::Query> = queries.iter().collect();
+        let (plan, roots) = build_batch_plan(&self.catalog, &refs)?;
+        let report = analyze_with_stats(&plan, Some(&self.stats));
+        let translation: BatchTranslation =
+            compile_batch(&plan, &roots, &report, &strategy.options(), &tag)?;
+
+        let mut chain = JobChain::new();
+        for bp in &translation.blueprints {
+            chain.push(bp.to_jobspec()?);
+        }
+        let outcome = run_chain(&mut self.cluster, &chain)?;
+        let mut queries_out = Vec::with_capacity(translation.outputs.len());
+        for loc in &translation.outputs {
+            let lines = self.cluster.hdfs.get(&loc.path)?.lines.clone();
+            let mut rows = Vec::new();
+            for line in &lines {
+                let payload = match loc.tag {
+                    None => line.as_str(),
+                    Some(want) => match line.split_once('|') {
+                        Some((tag, rest)) if tag.parse::<i64>() == Ok(want) => rest,
+                        _ => continue,
+                    },
+                };
+                rows.push(decode_line(payload, &loc.schema)?);
+            }
+            queries_out.push((rows, loc.schema.clone()));
+        }
+        Ok(BatchOutcome {
+            queries: queries_out,
+            jobs: outcome.metrics.jobs.len(),
+            metrics: outcome.metrics,
+        })
+    }
+
+    /// Executes an already-compiled translation.
+    ///
+    /// # Errors
+    ///
+    /// Cluster execution failures.
+    pub fn execute_translation(
+        &mut self,
+        translation: &Translation,
+    ) -> Result<QueryOutcome, CoreError> {
+        let mut chain = JobChain::new();
+        for bp in &translation.blueprints {
+            chain.push(bp.to_jobspec()?);
+        }
+        let outcome = run_chain(&mut self.cluster, &chain)?;
+        let lines = self
+            .cluster
+            .hdfs
+            .get(&translation.output_path)?
+            .lines
+            .clone();
+        let mut rows = Vec::with_capacity(lines.len());
+        for line in &lines {
+            rows.push(decode_line(line, &translation.output_schema)?);
+        }
+        Ok(QueryOutcome {
+            rows,
+            schema: translation.output_schema.clone(),
+            jobs: outcome.metrics.jobs.len(),
+            metrics: outcome.metrics,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::options::Strategy;
+    use ysmart_rel::{row, DataType, Value};
+
+    fn engine() -> YSmart {
+        let mut catalog = Catalog::new();
+        catalog.add_table(
+            "clicks",
+            Schema::of(
+                "clicks",
+                &[
+                    ("uid", DataType::Int),
+                    ("page_id", DataType::Int),
+                    ("cid", DataType::Int),
+                    ("ts", DataType::Int),
+                ],
+            ),
+        );
+        let mut e = YSmart::new(catalog, ClusterConfig::default());
+        let mut rows = Vec::new();
+        // 3 users × 20 clicks; categories cycle 0..5.
+        for uid in 0..3i64 {
+            for i in 0..20i64 {
+                rows.push(row![uid, i, i % 5, uid * 1000 + i]);
+            }
+        }
+        e.load_table("clicks", &rows).unwrap();
+        e
+    }
+
+    fn sorted(rows: &[Row]) -> Vec<Row> {
+        let mut v = rows.to_vec();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn simple_aggregation_all_strategies_agree() {
+        let sql = "SELECT cid, count(*) FROM clicks GROUP BY cid";
+        let mut reference: Option<Vec<Row>> = None;
+        for strategy in Strategy::all() {
+            let mut e = engine();
+            let out = e.execute_sql(sql, strategy).unwrap();
+            assert_eq!(out.rows.len(), 5, "{strategy}");
+            match &reference {
+                None => reference = Some(sorted(&out.rows)),
+                Some(r) => assert_eq!(&sorted(&out.rows), r, "{strategy}"),
+            }
+        }
+    }
+
+    #[test]
+    fn selection_projection_map_only() {
+        let mut e = engine();
+        let out = e
+            .execute_sql("SELECT uid, ts FROM clicks WHERE cid = 0", Strategy::YSmart)
+            .unwrap();
+        assert_eq!(out.jobs, 1);
+        assert_eq!(out.rows.len(), 3 * 4); // i % 5 == 0 for 4 of 20 per user
+        assert!(out.metrics.jobs[0].reduce_time_s == 0.0, "map-only");
+    }
+
+    #[test]
+    fn self_join_agg_merges_and_matches_hive() {
+        let sql = "SELECT c1.uid, count(*) FROM clicks AS c1, clicks AS c2 \
+                   WHERE c1.uid = c2.uid AND c1.cid = 1 AND c2.cid = 2 GROUP BY c1.uid";
+        let mut e1 = engine();
+        let ys = e1.execute_sql(sql, Strategy::YSmart).unwrap();
+        let mut e2 = engine();
+        let hive = e2.execute_sql(sql, Strategy::Hive).unwrap();
+        assert_eq!(sorted(&ys.rows), sorted(&hive.rows));
+        assert!(ys.jobs < hive.jobs, "{} vs {}", ys.jobs, hive.jobs);
+        // YSmart reads the clicks table once; Hive reads it twice for the
+        // self-join plus once more for the aggregation input.
+        assert!(ys.metrics.total_hdfs_read() < hive.metrics.total_hdfs_read());
+    }
+
+    #[test]
+    fn order_by_limit_returns_global_order() {
+        let mut e = engine();
+        let out = e
+            .execute_sql(
+                "SELECT uid, ts FROM clicks ORDER BY ts DESC LIMIT 4",
+                Strategy::YSmart,
+            )
+            .unwrap();
+        assert_eq!(out.rows.len(), 4);
+        let ts: Vec<i64> = out
+            .rows
+            .iter()
+            .map(|r| r.get(1).unwrap().as_int().unwrap())
+            .collect();
+        assert_eq!(ts, vec![2019, 2018, 2017, 2016]);
+    }
+
+    #[test]
+    fn distinct_deduplicates() {
+        let mut e = engine();
+        let out = e
+            .execute_sql("SELECT DISTINCT cid FROM clicks", Strategy::YSmart)
+            .unwrap();
+        assert_eq!(out.rows.len(), 5);
+    }
+
+    #[test]
+    fn having_filters() {
+        let mut e = engine();
+        let out = e
+            .execute_sql(
+                "SELECT uid, count(*) AS n FROM clicks GROUP BY uid HAVING n > 100",
+                Strategy::YSmart,
+            )
+            .unwrap();
+        assert!(out.rows.is_empty());
+    }
+
+    #[test]
+    fn row_width_mismatch_rejected() {
+        let mut e = engine();
+        let err = e.load_table("clicks", &[row![1i64]]).unwrap_err();
+        assert!(matches!(err, CoreError::Translate(_)));
+    }
+
+    #[test]
+    fn left_outer_join_with_is_null() {
+        let mut e = engine();
+        // users with cid=1 clicks but no cid=99 clicks: everyone.
+        let sql = "SELECT c1.uid FROM clicks AS c1 LEFT OUTER JOIN \
+                   (SELECT uid, count(*) AS n FROM clicks WHERE cid = 99 GROUP BY uid) AS x \
+                   ON c1.uid = x.uid WHERE x.n IS NULL AND c1.cid = 1";
+        let out = e.execute_sql(sql, Strategy::YSmart).unwrap();
+        assert_eq!(out.rows.len(), 3 * 4);
+        let mut e2 = engine();
+        let hive = e2.execute_sql(sql, Strategy::Hive).unwrap();
+        assert_eq!(sorted(&out.rows), sorted(&hive.rows));
+    }
+
+    #[test]
+    fn global_avg_returns_float() {
+        let mut e = engine();
+        let out = e
+            .execute_sql("SELECT avg(ts) FROM clicks", Strategy::YSmart)
+            .unwrap();
+        assert_eq!(out.rows.len(), 1);
+        assert!(matches!(out.rows[0].get(0).unwrap(), Value::Float(_)));
+    }
+}

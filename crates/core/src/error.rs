@@ -1,0 +1,118 @@
+//! Top-level errors of the translation/execution pipeline.
+
+use std::fmt;
+
+use ysmart_exec::ExecError;
+use ysmart_mapred::MapRedError;
+use ysmart_plan::PlanError;
+use ysmart_rel::RelError;
+use ysmart_sql::ParseError;
+
+/// Any failure between SQL text and result rows.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// SQL syntax error.
+    Parse(ParseError),
+    /// Planning/name-resolution error.
+    Plan(PlanError),
+    /// Blueprint construction or validation error.
+    Exec(ExecError),
+    /// Cluster execution error (disk full, time limit, …).
+    MapRed(MapRedError),
+    /// Result decoding error.
+    Rel(RelError),
+    /// A translation invariant was violated (a bug or unsupported shape).
+    Translate(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Parse(e) => write!(f, "{e}"),
+            CoreError::Plan(e) => write!(f, "planning: {e}"),
+            CoreError::Exec(e) => write!(f, "{e}"),
+            CoreError::MapRed(e) => write!(f, "{e}"),
+            CoreError::Rel(e) => write!(f, "result decoding: {e}"),
+            CoreError::Translate(msg) => write!(f, "translation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Parse(e) => Some(e),
+            CoreError::Plan(e) => Some(e),
+            CoreError::Exec(e) => Some(e),
+            CoreError::MapRed(e) => Some(e),
+            CoreError::Rel(e) => Some(e),
+            CoreError::Translate(_) => None,
+        }
+    }
+}
+
+impl From<ParseError> for CoreError {
+    fn from(e: ParseError) -> Self {
+        CoreError::Parse(e)
+    }
+}
+
+impl From<PlanError> for CoreError {
+    fn from(e: PlanError) -> Self {
+        CoreError::Plan(e)
+    }
+}
+
+impl From<ExecError> for CoreError {
+    fn from(e: ExecError) -> Self {
+        CoreError::Exec(e)
+    }
+}
+
+impl From<MapRedError> for CoreError {
+    fn from(e: MapRedError) -> Self {
+        CoreError::MapRed(e)
+    }
+}
+
+impl From<RelError> for CoreError {
+    fn from(e: RelError) -> Self {
+        CoreError::Rel(e)
+    }
+}
+
+impl CoreError {
+    /// Whether the failure is the simulated cluster running out of local
+    /// disk (the way Pig's Q-CSA run ends, §VII-D).
+    #[must_use]
+    pub fn is_disk_full(&self) -> bool {
+        matches!(self, CoreError::MapRed(MapRedError::DiskFull { .. }))
+    }
+
+    /// Whether the failure is the configured time cap (Fig. 11's one-hour
+    /// cut-off).
+    #[must_use]
+    pub fn is_time_limit(&self) -> bool {
+        matches!(self, CoreError::MapRed(MapRedError::TimeLimitExceeded { .. }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_predicates() {
+        let e: CoreError = MapRedError::DiskFull {
+            node: 0,
+            needed_bytes: 2,
+            capacity_bytes: 1,
+        }
+        .into();
+        assert!(e.is_disk_full());
+        assert!(!e.is_time_limit());
+        let e: CoreError = MapRedError::TimeLimitExceeded { limit_s: 1.0 }.into();
+        assert!(e.is_time_limit());
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

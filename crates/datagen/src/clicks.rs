@@ -1,0 +1,196 @@
+//! Click-stream generator for the Q-CSA workload.
+//!
+//! Q-CSA (Fig. 1 of the paper) asks: *"what is the average number of pages
+//! a user visits between a page in category X and a page in category Y?"*.
+//! For that to have non-trivial answers the stream must contain, per user,
+//! a click in category X followed (after some interior clicks) by a click
+//! in category Y. The generator plants such an X…Y window in a
+//! configurable fraction of user timelines and fills the rest with
+//! Zipf-flavoured category noise.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ysmart_plan::Catalog;
+use ysmart_rel::{DataType, Row, Schema, Value};
+
+/// Generation parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClicksSpec {
+    /// Number of distinct users.
+    pub users: usize,
+    /// Clicks per user (exact).
+    pub clicks_per_user: usize,
+    /// Number of page categories.
+    pub categories: usize,
+    /// The "X" category Q-CSA filters on.
+    pub category_x: i64,
+    /// The "Y" category Q-CSA filters on.
+    pub category_y: i64,
+    /// Fraction of users with a planted X…Y window.
+    pub xy_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ClicksSpec {
+    fn default() -> Self {
+        ClicksSpec {
+            users: 50,
+            clicks_per_user: 40,
+            categories: 10,
+            category_x: 1,
+            category_y: 2,
+            xy_fraction: 0.6,
+            seed: 42,
+        }
+    }
+}
+
+/// The generated click stream.
+#[derive(Debug, Clone)]
+pub struct ClicksGen {
+    /// `clicks(uid, page_id, cid, ts)` rows, grouped by user and ordered by
+    /// timestamp within each user.
+    pub clicks: Vec<Row>,
+}
+
+impl ClicksGen {
+    /// Generates a click stream for a spec.
+    #[must_use]
+    pub fn generate(spec: &ClicksSpec) -> Self {
+        let mut rng = StdRng::seed_from_u64(spec.seed);
+        let mut clicks = Vec::with_capacity(spec.users * spec.clicks_per_user);
+        for uid in 0..spec.users as i64 {
+            let n = spec.clicks_per_user;
+            // Category sequence: noise, with an optional planted X…Y window.
+            let mut cats: Vec<i64> = (0..n)
+                .map(|_| {
+                    // Zipf-flavoured: low category ids are more popular.
+                    let z = rng.gen::<f64>() * rng.gen::<f64>();
+                    ((z * spec.categories as f64) as i64).min(spec.categories as i64 - 1)
+                })
+                .collect();
+            if rng.gen::<f64>() < spec.xy_fraction && n >= 4 {
+                let x_pos = rng.gen_range(0..n / 2);
+                let y_pos = rng.gen_range(x_pos + 2..n);
+                cats[x_pos] = spec.category_x;
+                cats[y_pos] = spec.category_y;
+                // Keep the interior free of X and Y so the planted pair is
+                // the adjacent transition Q-CSA measures.
+                for c in cats.iter_mut().take(y_pos).skip(x_pos + 1) {
+                    if *c == spec.category_x || *c == spec.category_y {
+                        *c = (spec.category_y + 1) % spec.categories as i64;
+                    }
+                }
+            }
+            let mut ts = uid * 1_000_000 + rng.gen_range(0..100);
+            for cat in cats {
+                ts += rng.gen_range(1..120);
+                clicks.push(Row::new(vec![
+                    Value::Int(uid),
+                    Value::Int(rng.gen_range(0..10_000)),
+                    Value::Int(cat),
+                    Value::Int(ts),
+                ]));
+            }
+        }
+        ClicksGen { clicks }
+    }
+}
+
+/// The catalog for the click-stream table.
+#[must_use]
+pub fn clicks_catalog() -> Catalog {
+    let mut c = Catalog::new();
+    c.add_table(
+        "clicks",
+        Schema::of(
+            "clicks",
+            &[
+                ("uid", DataType::Int),
+                ("page_id", DataType::Int),
+                ("cid", DataType::Int),
+                ("ts", DataType::Int),
+            ],
+        ),
+    );
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_by_seed() {
+        let a = ClicksGen::generate(&ClicksSpec::default());
+        let b = ClicksGen::generate(&ClicksSpec::default());
+        assert_eq!(a.clicks, b.clicks);
+    }
+
+    #[test]
+    fn row_counts_and_schema() {
+        let spec = ClicksSpec::default();
+        let g = ClicksGen::generate(&spec);
+        assert_eq!(g.clicks.len(), spec.users * spec.clicks_per_user);
+        let cat = clicks_catalog();
+        let schema = cat.table("clicks").unwrap();
+        assert_eq!(g.clicks[0].len(), schema.len());
+    }
+
+    #[test]
+    fn timestamps_strictly_increase_per_user() {
+        let g = ClicksGen::generate(&ClicksSpec::default());
+        let mut last: Option<(i64, i64)> = None;
+        for r in &g.clicks {
+            let uid = r.get(0).unwrap().as_int().unwrap();
+            let ts = r.get(3).unwrap().as_int().unwrap();
+            if let Some((lu, lt)) = last {
+                if lu == uid {
+                    assert!(ts > lt, "user {uid} ts {ts} after {lt}");
+                }
+            }
+            last = Some((uid, ts));
+        }
+    }
+
+    #[test]
+    fn planted_xy_windows_exist() {
+        let spec = ClicksSpec::default();
+        let g = ClicksGen::generate(&spec);
+        // At least one user has an X click followed by a Y click.
+        let mut users_with_pair = 0;
+        for uid in 0..spec.users as i64 {
+            let user: Vec<&Row> = g
+                .clicks
+                .iter()
+                .filter(|r| r.get(0).unwrap().as_int() == Some(uid))
+                .collect();
+            let first_x = user
+                .iter()
+                .position(|r| r.get(2).unwrap().as_int() == Some(spec.category_x));
+            if let Some(x) = first_x {
+                if user[x..]
+                    .iter()
+                    .any(|r| r.get(2).unwrap().as_int() == Some(spec.category_y))
+                {
+                    users_with_pair += 1;
+                }
+            }
+        }
+        assert!(
+            users_with_pair >= (spec.users as f64 * spec.xy_fraction * 0.5) as usize,
+            "only {users_with_pair} users with X→Y"
+        );
+    }
+
+    #[test]
+    fn categories_in_range() {
+        let spec = ClicksSpec::default();
+        let g = ClicksGen::generate(&spec);
+        for r in &g.clicks {
+            let c = r.get(2).unwrap().as_int().unwrap();
+            assert!((0..spec.categories as i64).contains(&c));
+        }
+    }
+}

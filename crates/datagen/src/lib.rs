@@ -1,0 +1,20 @@
+//! # ysmart-datagen — seeded workload data generators
+//!
+//! Stand-ins for the data sets of the paper's evaluation (§VII-A):
+//!
+//! * [`tpch`] — TPC-H-shaped tables (`lineitem`, `orders`, `part`,
+//!   `supplier`, `customer`, `nation`) with the key distributions,
+//!   join fan-outs and selectivities Q17/Q18/Q21 exercise. The paper ran
+//!   dbgen at 10 GB–1 TB; we generate small real data and let the
+//!   simulator's `size_multiplier` model the volume.
+//! * [`clicks`] — a click-stream table `clicks(uid, page_id, cid, ts)` with
+//!   sessionised per-user timelines and guaranteed category-X→category-Y
+//!   transitions, so the Q-CSA sessionization query has non-trivial output.
+//!
+//! All generators are deterministic in their seed.
+
+pub mod clicks;
+pub mod tpch;
+
+pub use clicks::{clicks_catalog, ClicksGen, ClicksSpec};
+pub use tpch::{tpch_catalog, TpchGen, TpchSpec};

@@ -1,0 +1,351 @@
+//! TPC-H-shaped table generator.
+//!
+//! Row counts scale linearly with [`TpchSpec::scale`]; `scale = 1.0` is a
+//! deliberately small laptop-size instance (≈6 k `lineitem` rows) — the
+//! simulator's `size_multiplier` models the paper's 10 GB/100 GB/1 TB
+//! volumes on top of it. The shapes the workload queries depend on are
+//! preserved:
+//!
+//! * every `lineitem` joins one `orders` row and one `part`/`supplier` row;
+//! * ~49% of orders have `o_orderstatus = 'F'` (TPC-H's value);
+//! * ~50% of lineitems have `l_receiptdate > l_commitdate` (late receipt),
+//!   feeding Q21's late-supplier predicate;
+//! * quantities are uniform 1–50 with occasional low-quantity parts, so
+//!   Q17's `l_quantity < 0.2 * avg(l_quantity)` keeps a small selectivity.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ysmart_plan::Catalog;
+use ysmart_rel::{DataType, Row, Schema, Value};
+
+/// Generation parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TpchSpec {
+    /// Linear scale factor; 1.0 ≈ 1 500 orders / ≈6 000 lineitems.
+    pub scale: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TpchSpec {
+    fn default() -> Self {
+        TpchSpec {
+            scale: 1.0,
+            seed: 42,
+        }
+    }
+}
+
+/// The generated database.
+#[derive(Debug, Clone)]
+pub struct TpchGen {
+    /// `lineitem` rows.
+    pub lineitem: Vec<Row>,
+    /// `orders` rows.
+    pub orders: Vec<Row>,
+    /// `part` rows.
+    pub part: Vec<Row>,
+    /// `supplier` rows.
+    pub supplier: Vec<Row>,
+    /// `customer` rows.
+    pub customer: Vec<Row>,
+    /// `nation` rows.
+    pub nation: Vec<Row>,
+}
+
+/// The 25 TPC-H nations.
+const NATIONS: [&str; 25] = [
+    "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA", "FRANCE", "GERMANY",
+    "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN", "JORDAN", "KENYA", "MOROCCO", "MOZAMBIQUE",
+    "PERU", "CHINA", "ROMANIA", "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM",
+    "UNITED STATES",
+];
+
+impl TpchGen {
+    /// Generates the database for a spec.
+    #[must_use]
+    pub fn generate(spec: &TpchSpec) -> Self {
+        let mut rng = StdRng::seed_from_u64(spec.seed);
+        let n_orders = ((1500.0 * spec.scale) as usize).max(8);
+        let n_parts = ((200.0 * spec.scale) as usize).max(4);
+        let n_suppliers = ((10.0 * spec.scale) as usize).max(4);
+        let n_customers = ((150.0 * spec.scale) as usize).max(4);
+
+        let nation: Vec<Row> = NATIONS
+            .iter()
+            .enumerate()
+            .map(|(i, n)| Row::new(vec![Value::Int(i as i64), Value::Str((*n).to_string())]))
+            .collect();
+
+        let supplier: Vec<Row> = (0..n_suppliers)
+            .map(|i| {
+                Row::new(vec![
+                    Value::Int(i as i64 + 1),
+                    Value::Str(format!("Supplier#{:09}", i + 1)),
+                    Value::Int(rng.gen_range(0..25)),
+                ])
+            })
+            .collect();
+
+        let customer: Vec<Row> = (0..n_customers)
+            .map(|i| {
+                Row::new(vec![
+                    Value::Int(i as i64 + 1),
+                    Value::Str(format!("Customer#{:09}", i + 1)),
+                    Value::Int(rng.gen_range(0..25)),
+                ])
+            })
+            .collect();
+
+        let part: Vec<Row> = (0..n_parts)
+            .map(|i| {
+                Row::new(vec![
+                    Value::Int(i as i64 + 1),
+                    Value::Str(format!("Part {:07}", i + 1)),
+                    Value::Str(format!("Brand#{}{}", rng.gen_range(1..6), rng.gen_range(1..6))),
+                    Value::Str(
+                        ["SM CASE", "MED BOX", "LG DRUM", "JUMBO PKG"][rng.gen_range(0..4)]
+                            .to_string(),
+                    ),
+                    Value::Float(900.0 + (i % 200) as f64),
+                ])
+            })
+            .collect();
+
+        let mut orders = Vec::with_capacity(n_orders);
+        let mut lineitem = Vec::new();
+        for o in 0..n_orders {
+            let okey = o as i64 + 1;
+            let status = if rng.gen::<f64>() < 0.49 { "F" } else { "O" };
+            let orderdate = rng.gen_range(8036..10591); // 1992-01-01..1998-12-31 in days
+            let lines = rng.gen_range(1..=7);
+            let mut total = 0.0;
+            for l in 0..lines {
+                let qty = rng.gen_range(1..=50) as f64;
+                let price = qty * rng.gen_range(900.0..2000.0f64);
+                total += price;
+                let commit = orderdate + rng.gen_range(30..90);
+                // Half the lineitems are received late (Q21's predicate).
+                let receipt = if rng.gen::<f64>() < 0.5 {
+                    commit + rng.gen_range(1..30)
+                } else {
+                    commit - rng.gen_range(0..25)
+                };
+                lineitem.push(Row::new(vec![
+                    Value::Int(okey),
+                    Value::Int(rng.gen_range(1..=n_parts as i64)),
+                    Value::Int(rng.gen_range(1..=n_suppliers as i64)),
+                    Value::Int(l + 1),
+                    Value::Float(qty),
+                    Value::Float((price * 100.0).round() / 100.0),
+                    Value::Float(rng.gen_range(0.0..0.1f64)),
+                    Value::Int(orderdate + rng.gen_range(1..121)),
+                    Value::Int(commit),
+                    Value::Int(receipt),
+                ]));
+            }
+            orders.push(Row::new(vec![
+                Value::Int(okey),
+                Value::Int(rng.gen_range(1..=n_customers as i64)),
+                Value::Str(status.to_string()),
+                Value::Float((total * 100.0).round() / 100.0),
+                Value::Int(orderdate),
+                Value::Str(format!("{}-PRIORITY", rng.gen_range(1..6))),
+            ]));
+        }
+
+        TpchGen {
+            lineitem,
+            orders,
+            part,
+            supplier,
+            customer,
+            nation,
+        }
+    }
+
+    /// Loads every table into a map, keyed by table name.
+    #[must_use]
+    pub fn tables(&self) -> Vec<(&'static str, &[Row])> {
+        vec![
+            ("lineitem", &self.lineitem),
+            ("orders", &self.orders),
+            ("part", &self.part),
+            ("supplier", &self.supplier),
+            ("customer", &self.customer),
+            ("nation", &self.nation),
+        ]
+    }
+}
+
+/// The catalog describing the generated schemas.
+#[must_use]
+pub fn tpch_catalog() -> Catalog {
+    let mut c = Catalog::new();
+    c.add_table(
+        "lineitem",
+        Schema::of(
+            "lineitem",
+            &[
+                ("l_orderkey", DataType::Int),
+                ("l_partkey", DataType::Int),
+                ("l_suppkey", DataType::Int),
+                ("l_linenumber", DataType::Int),
+                ("l_quantity", DataType::Float),
+                ("l_extendedprice", DataType::Float),
+                ("l_discount", DataType::Float),
+                ("l_shipdate", DataType::Int),
+                ("l_commitdate", DataType::Int),
+                ("l_receiptdate", DataType::Int),
+            ],
+        ),
+    );
+    c.add_table(
+        "orders",
+        Schema::of(
+            "orders",
+            &[
+                ("o_orderkey", DataType::Int),
+                ("o_custkey", DataType::Int),
+                ("o_orderstatus", DataType::Str),
+                ("o_totalprice", DataType::Float),
+                ("o_orderdate", DataType::Int),
+                ("o_orderpriority", DataType::Str),
+            ],
+        ),
+    );
+    c.add_table(
+        "part",
+        Schema::of(
+            "part",
+            &[
+                ("p_partkey", DataType::Int),
+                ("p_name", DataType::Str),
+                ("p_brand", DataType::Str),
+                ("p_container", DataType::Str),
+                ("p_retailprice", DataType::Float),
+            ],
+        ),
+    );
+    c.add_table(
+        "supplier",
+        Schema::of(
+            "supplier",
+            &[
+                ("s_suppkey", DataType::Int),
+                ("s_name", DataType::Str),
+                ("s_nationkey", DataType::Int),
+            ],
+        ),
+    );
+    c.add_table(
+        "customer",
+        Schema::of(
+            "customer",
+            &[
+                ("c_custkey", DataType::Int),
+                ("c_name", DataType::Str),
+                ("c_nationkey", DataType::Int),
+            ],
+        ),
+    );
+    c.add_table(
+        "nation",
+        Schema::of(
+            "nation",
+            &[("n_nationkey", DataType::Int), ("n_name", DataType::Str)],
+        ),
+    );
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ysmart_rel::codec::encode_line;
+
+    #[test]
+    fn deterministic_by_seed() {
+        let a = TpchGen::generate(&TpchSpec::default());
+        let b = TpchGen::generate(&TpchSpec::default());
+        assert_eq!(a.lineitem, b.lineitem);
+        let c = TpchGen::generate(&TpchSpec {
+            seed: 7,
+            ..TpchSpec::default()
+        });
+        assert_ne!(a.lineitem, c.lineitem);
+    }
+
+    #[test]
+    fn scale_controls_row_counts() {
+        let small = TpchGen::generate(&TpchSpec {
+            scale: 0.1,
+            seed: 1,
+        });
+        let big = TpchGen::generate(&TpchSpec { scale: 1.0, seed: 1 });
+        assert!(big.orders.len() > 5 * small.orders.len());
+        // ~4 lineitems per order on average.
+        let ratio = big.lineitem.len() as f64 / big.orders.len() as f64;
+        assert!((1.0..=7.0).contains(&ratio));
+    }
+
+    #[test]
+    fn referential_integrity() {
+        let db = TpchGen::generate(&TpchSpec::default());
+        let max_part = db.part.len() as i64;
+        let max_supp = db.supplier.len() as i64;
+        let max_order = db.orders.len() as i64;
+        for l in &db.lineitem {
+            let ok = l.get(0).unwrap().as_int().unwrap();
+            let pk = l.get(1).unwrap().as_int().unwrap();
+            let sk = l.get(2).unwrap().as_int().unwrap();
+            assert!((1..=max_order).contains(&ok));
+            assert!((1..=max_part).contains(&pk));
+            assert!((1..=max_supp).contains(&sk));
+        }
+        for s in &db.supplier {
+            let nk = s.get(2).unwrap().as_int().unwrap();
+            assert!((0..25).contains(&nk));
+        }
+    }
+
+    #[test]
+    fn rows_match_catalog_schemas() {
+        let db = TpchGen::generate(&TpchSpec::default());
+        let cat = tpch_catalog();
+        for (name, rows) in db.tables() {
+            let schema = cat.table(name).unwrap();
+            for r in rows.iter().take(20) {
+                assert_eq!(r.len(), schema.len(), "{name}");
+                // Round-trips through the text codec.
+                let line = encode_line(r);
+                let back = ysmart_rel::codec::decode_line(&line, schema).unwrap();
+                assert_eq!(&back, r, "{name}: {line}");
+            }
+        }
+    }
+
+    #[test]
+    fn order_status_and_late_receipt_fractions() {
+        let db = TpchGen::generate(&TpchSpec {
+            scale: 2.0,
+            seed: 3,
+        });
+        let f = db
+            .orders
+            .iter()
+            .filter(|o| o.get(2).unwrap().as_str() == Some("F"))
+            .count() as f64
+            / db.orders.len() as f64;
+        assert!((0.4..0.6).contains(&f), "orderstatus F fraction {f}");
+        let late = db
+            .lineitem
+            .iter()
+            .filter(|l| {
+                l.get(9).unwrap().as_int().unwrap() > l.get(8).unwrap().as_int().unwrap()
+            })
+            .count() as f64
+            / db.lineitem.len() as f64;
+        assert!((0.35..0.65).contains(&late), "late fraction {late}");
+    }
+}

@@ -1,0 +1,63 @@
+//! Execution-layer errors.
+
+use std::fmt;
+
+use ysmart_mapred::MapRedError;
+use ysmart_rel::RelError;
+
+/// Errors raised while building or executing physical jobs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecError {
+    /// A blueprint was internally inconsistent (bad stream/op references).
+    InvalidBlueprint(String),
+    /// An expression failed during map/reduce evaluation.
+    Rel(RelError),
+    /// The underlying MapReduce engine failed.
+    MapRed(MapRedError),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::InvalidBlueprint(msg) => write!(f, "invalid job blueprint: {msg}"),
+            ExecError::Rel(e) => write!(f, "expression error: {e}"),
+            ExecError::MapRed(e) => write!(f, "mapreduce error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExecError::Rel(e) => Some(e),
+            ExecError::MapRed(e) => Some(e),
+            ExecError::InvalidBlueprint(_) => None,
+        }
+    }
+}
+
+impl From<RelError> for ExecError {
+    fn from(e: RelError) -> Self {
+        ExecError::Rel(e)
+    }
+}
+
+impl From<MapRedError> for ExecError {
+    fn from(e: MapRedError) -> Self {
+        ExecError::MapRed(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_sources() {
+        let e: ExecError = RelError::DivideByZero.into();
+        assert!(std::error::Error::source(&e).is_some());
+        let e: ExecError = MapRedError::NoSuchFile("x".into()).into();
+        assert!(e.to_string().contains("mapreduce"));
+        assert!(std::error::Error::source(&ExecError::InvalidBlueprint("b".into())).is_none());
+    }
+}

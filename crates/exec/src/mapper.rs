@@ -1,0 +1,338 @@
+//! The common mapper (§VI-A).
+//!
+//! For each raw record, the mapper evaluates every branch's selection and
+//! emits at most *one* key/value pair:
+//!
+//! * **direct mode** (single branch in the whole job): the value is the
+//!   stream's projected row — no tag byte, enabling the map-side combiner;
+//! * **tagged mode** (merged jobs): the value is `[tag, union columns…]`
+//!   where the tag is the *inverted* visibility set — the streams that must
+//!   NOT see this pair (the paper inverts the tag because merged jobs
+//!   mostly overlap, keeping per-record bookkeeping near zero).
+//!
+//! Evaluation errors abort the job through a panic carrying the expression
+//! error; the workloads are typed by the planner, so this is a programming
+//! error rather than a data error.
+
+use std::sync::Arc;
+
+use ysmart_mapred::{MapOutput, Mapper};
+use ysmart_rel::codec::decode_line;
+use ysmart_rel::{Row, Value};
+
+use crate::blueprint::JobBlueprint;
+
+/// The CMF mapper for one input of a job.
+#[derive(Debug)]
+pub struct CommonMapper {
+    blueprint: Arc<JobBlueprint>,
+    input_idx: usize,
+    tagged: bool,
+    /// Bits of streams not fed by this input — always forbidden.
+    foreign_mask: u64,
+}
+
+impl CommonMapper {
+    /// Creates the mapper for `input_idx` of `blueprint`.
+    #[must_use]
+    pub fn new(blueprint: Arc<JobBlueprint>, input_idx: usize) -> Self {
+        let tagged = blueprint.tagged();
+        let mine: u64 = blueprint.inputs[input_idx]
+            .branches
+            .iter()
+            .fold(0, |m, b| m | (1 << b.stream));
+        let all: u64 = if blueprint.streams.len() >= 64 {
+            u64::MAX
+        } else {
+            (1 << blueprint.streams.len()) - 1
+        };
+        CommonMapper {
+            blueprint,
+            input_idx,
+            tagged,
+            foreign_mask: all & !mine,
+        }
+    }
+}
+
+impl Mapper for CommonMapper {
+    fn map(&mut self, line: &str, out: &mut MapOutput) {
+        let input = &self.blueprint.inputs[self.input_idx];
+        // Tagged multi-output files mix records of several merged ops; keep
+        // only this consumer's tag and decode the rest of the line.
+        let payload = match input.tag_filter {
+            None => line,
+            Some(want) => {
+                let Some((tag, rest)) = line.split_once('|') else {
+                    return;
+                };
+                if tag.parse::<i64>() != Ok(want) {
+                    return;
+                }
+                rest
+            }
+        };
+        let row = match decode_line(payload, &input.schema) {
+            Ok(r) => r,
+            Err(e) => panic!("undecodable record for {}: {e}", self.blueprint.name),
+        };
+        // Evaluate each branch's selection; charge one work unit per
+        // branch beyond the first (the shared-scan overhead).
+        out.add_work(input.branches.len() as u64 - 1);
+        let mut forbidden = self.foreign_mask;
+        let mut any = false;
+        for b in &input.branches {
+            let visible = match &b.predicate {
+                None => true,
+                Some(p) => p.eval_predicate(&row).unwrap_or_else(|e| {
+                    panic!("predicate failed in {}: {e}", self.blueprint.name)
+                }),
+            };
+            if visible {
+                any = true;
+            } else {
+                forbidden |= 1 << b.stream;
+            }
+        }
+        if !any {
+            return;
+        }
+        let key: Row = input
+            .key_exprs
+            .iter()
+            .map(|e| {
+                e.eval(&row)
+                    .unwrap_or_else(|err| panic!("key expr failed: {err}"))
+            })
+            .collect();
+
+        if self.blueprint.map_only {
+            // Apply stream 0's projection map-side and emit the final row.
+            let carried = row.project(&input.value_cols);
+            let projected: Row = self.blueprint.streams[0]
+                .projection
+                .iter()
+                .map(|e| {
+                    e.eval(&carried)
+                        .unwrap_or_else(|err| panic!("projection failed: {err}"))
+                })
+                .collect();
+            out.emit(key, projected);
+            return;
+        }
+
+        let carried = row.project(&input.value_cols);
+        let value = if self.tagged {
+            let mut vals = Vec::with_capacity(carried.len() + 1);
+            vals.push(Value::Int(forbidden as i64));
+            vals.extend(carried.into_values());
+            Row::new(vals)
+        } else {
+            // Direct mode: project for the single stream map-side.
+            self.blueprint.streams[0]
+                .projection
+                .iter()
+                .map(|e| {
+                    e.eval(&carried)
+                        .unwrap_or_else(|err| panic!("projection failed: {err}"))
+                })
+                .collect()
+        };
+        out.emit(key, self.pad(value));
+    }
+}
+
+impl CommonMapper {
+    /// Appends the Pig-style serialisation pad, if configured.
+    fn pad(&self, value: Row) -> Row {
+        if self.blueprint.pad_bytes == 0 {
+            return value;
+        }
+        let mut vals = value.into_values();
+        vals.push(Value::Str("x".repeat(self.blueprint.pad_bytes)));
+        Row::new(vals)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blueprint::{EmitSpec, InputSpec, MapBranch, OpKind, ROp, RSource, StreamSpec};
+    use ysmart_rel::{BinOp, DataType, Expr, Schema};
+
+    fn schema() -> Schema {
+        Schema::of("t", &[("k", DataType::Int), ("v", DataType::Int)])
+    }
+
+    fn blueprint(branches: Vec<MapBranch>, nstreams: usize) -> Arc<JobBlueprint> {
+        Arc::new(JobBlueprint {
+            name: "j".into(),
+            inputs: vec![InputSpec {
+                path: "data/t".into(),
+                schema: schema(),
+                key_exprs: vec![Expr::col(0)],
+                value_cols: vec![0, 1],
+                branches,
+                tag_filter: None,
+            }],
+            streams: (0..nstreams)
+                .map(|_| StreamSpec {
+                    projection: vec![Expr::col(0), Expr::col(1)],
+                })
+                .collect(),
+            ops: vec![ROp {
+                kind: OpKind::Pass,
+                inputs: vec![RSource::Stream(0)],
+                transforms: vec![],
+            }],
+            emit: EmitSpec::Single(RSource::Op(0)),
+            output: "out".into(),
+            reduce_tasks: Some(1),
+            combiner: None,
+            map_only: false,
+            short_circuit_streams: vec![],
+            pad_bytes: 0,
+            key_cardinality: None,
+        })
+    }
+
+    #[test]
+    fn direct_mode_emits_projected_row() {
+        let bp = blueprint(
+            vec![MapBranch {
+                stream: 0,
+                predicate: None,
+            }],
+            1,
+        );
+        let mut m = CommonMapper::new(bp, 0);
+        let mut out = MapOutput::default();
+        m.map("7|42", &mut out);
+        assert_eq!(out.pairs().len(), 1);
+        let (k, v) = &out.pairs()[0];
+        assert_eq!(k, &ysmart_rel::row![7i64]);
+        assert_eq!(v, &ysmart_rel::row![7i64, 42i64]);
+    }
+
+    #[test]
+    fn selection_drops_record() {
+        let bp = blueprint(
+            vec![MapBranch {
+                stream: 0,
+                predicate: Some(Expr::binary(BinOp::Gt, Expr::col(1), Expr::lit(100i64))),
+            }],
+            1,
+        );
+        let mut m = CommonMapper::new(bp, 0);
+        let mut out = MapOutput::default();
+        m.map("7|42", &mut out);
+        assert!(out.pairs().is_empty());
+    }
+
+    #[test]
+    fn tagged_mode_inverted_visibility() {
+        // Branch 0 selects v > 10, branch 1 selects v < 100: a record with
+        // v=42 is visible to both (tag 0); v=5 only to stream 1 (tag bit 0).
+        let bp = blueprint(
+            vec![
+                MapBranch {
+                    stream: 0,
+                    predicate: Some(Expr::binary(BinOp::Gt, Expr::col(1), Expr::lit(10i64))),
+                },
+                MapBranch {
+                    stream: 1,
+                    predicate: Some(Expr::binary(BinOp::Lt, Expr::col(1), Expr::lit(100i64))),
+                },
+            ],
+            2,
+        );
+        let mut m = CommonMapper::new(Arc::clone(&bp), 0);
+        let mut out = MapOutput::default();
+        m.map("1|42", &mut out);
+        m.map("1|5", &mut out);
+        m.map("1|1000", &mut out); // only stream 0
+        let tags: Vec<i64> = out
+            .pairs()
+            .iter()
+            .map(|(_, v)| v.get(0).unwrap().as_int().unwrap())
+            .collect();
+        assert_eq!(tags, vec![0b00, 0b01, 0b10]);
+        // The shared scan emitted one pair per record, not one per branch.
+        assert_eq!(out.pairs().len(), 3);
+        assert_eq!(out.work(), 3, "one extra branch evaluation per record");
+    }
+
+    #[test]
+    fn foreign_streams_always_forbidden() {
+        // Two inputs: input 0 feeds stream 0, input 1 feeds stream 1. Pairs
+        // from input 0 must carry stream 1's bit in the forbidden mask.
+        let bp = Arc::new(JobBlueprint {
+            name: "j".into(),
+            inputs: vec![
+                InputSpec {
+                    path: "data/a".into(),
+                    schema: schema(),
+                    key_exprs: vec![Expr::col(0)],
+                    value_cols: vec![0, 1],
+                    branches: vec![MapBranch {
+                        stream: 0,
+                        predicate: None,
+                    }],
+                    tag_filter: None,
+                },
+                InputSpec {
+                    path: "data/b".into(),
+                    schema: schema(),
+                    key_exprs: vec![Expr::col(0)],
+                    value_cols: vec![0],
+                    branches: vec![MapBranch {
+                        stream: 1,
+                        predicate: None,
+                    }],
+                    tag_filter: None,
+                },
+            ],
+            streams: vec![
+                StreamSpec {
+                    projection: vec![Expr::col(0), Expr::col(1)],
+                },
+                StreamSpec {
+                    projection: vec![Expr::col(0)],
+                },
+            ],
+            ops: vec![ROp {
+                kind: OpKind::Pass,
+                inputs: vec![RSource::Stream(0)],
+                transforms: vec![],
+            }],
+            emit: EmitSpec::Single(RSource::Op(0)),
+            output: "out".into(),
+            reduce_tasks: Some(1),
+            combiner: None,
+            map_only: false,
+            short_circuit_streams: vec![],
+            pad_bytes: 0,
+            key_cardinality: None,
+        });
+        let mut m0 = CommonMapper::new(Arc::clone(&bp), 0);
+        let mut out = MapOutput::default();
+        m0.map("1|2", &mut out);
+        let tag = out.pairs()[0].1.get(0).unwrap().as_int().unwrap();
+        assert_eq!(tag, 0b10, "stream 1 must not see input 0's pairs");
+    }
+
+    #[test]
+    #[should_panic(expected = "undecodable record")]
+    fn bad_record_panics() {
+        let bp = blueprint(
+            vec![MapBranch {
+                stream: 0,
+                predicate: None,
+            }],
+            1,
+        );
+        let mut m = CommonMapper::new(bp, 0);
+        let mut out = MapOutput::default();
+        m.map("not-a-number|x", &mut out);
+    }
+}

@@ -1,0 +1,601 @@
+//! The common reducer (§VI-B, Algorithm 1).
+//!
+//! For each key the reducer makes **one pass** over the value list,
+//! dispatching each value to the streams allowed by its (inverted) tag.
+//! It then evaluates the per-key operator DAG: merged reducers (join /
+//! aggregation / pass ops reading streams) first, post-job computations
+//! (ops reading other ops' outputs) after — exactly the structure rules
+//! 2–4 of §V-B create. Only the emit source's rows are written to HDFS; the
+//! outputs of intermediate ops stay in memory, which is the entire point of
+//! job-flow-correlation merging (the paper: "the persistence and
+//! re-partitioning of intermediate tables inner and outer are actually
+//! avoided").
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use ysmart_mapred::{ReduceOutput, Reducer};
+use ysmart_plan::JoinKind;
+use ysmart_rel::codec::encode_line;
+use ysmart_rel::{AggState, Expr, Row, Value};
+
+use crate::blueprint::{EmitSpec, JobBlueprint, OpKind, RSource};
+use crate::combiner::{decode_partial, update_states};
+use crate::rowop::apply_chain;
+
+/// The CMF reducer for a job.
+#[derive(Debug)]
+pub struct CommonReducer {
+    blueprint: Arc<JobBlueprint>,
+    tagged: bool,
+}
+
+impl CommonReducer {
+    /// Creates the reducer for a blueprint.
+    #[must_use]
+    pub fn new(blueprint: Arc<JobBlueprint>) -> Self {
+        let tagged = blueprint.tagged();
+        CommonReducer { blueprint, tagged }
+    }
+
+    fn source_rows<'a>(
+        streams: &'a [Vec<Row>],
+        op_outputs: &'a [Vec<Row>],
+        src: RSource,
+    ) -> &'a [Row] {
+        match src {
+            RSource::Stream(s) => &streams[s],
+            RSource::Op(o) => &op_outputs[o],
+        }
+    }
+}
+
+impl Reducer for CommonReducer {
+    fn reduce(&mut self, _key: &Row, values: &[Row], out: &mut ReduceOutput) {
+        let bp = &self.blueprint;
+        // ---- Algorithm 1: one pass over the values, dispatch by tag ------
+        let mut streams: Vec<Vec<Row>> = vec![Vec::new(); bp.streams.len()];
+        // Strip the Pig-style serialisation pad before any processing.
+        let unpadded: Vec<Row>;
+        let values: &[Row] = if bp.pad_bytes > 0 {
+            unpadded = values
+                .iter()
+                .map(|v| {
+                    let mut vals = v.values().to_vec();
+                    vals.pop();
+                    Row::new(vals)
+                })
+                .collect();
+            &unpadded
+        } else {
+            values
+        };
+        // ---- hand-coded short-circuit (§VII-C case 4) ---------------------
+        // The paper's hand-written reducer returns immediately when a
+        // required input (e.g. the `orders` side with status 'F') has no
+        // pairs for this key — *before* doing any per-value work. A cheap
+        // tag-only pre-pass detects that; it costs roughly an eighth of a
+        // full dispatch per value (an integer check vs. projection).
+        if !bp.short_circuit_streams.is_empty() && self.tagged {
+            let mut present = 0u64;
+            for v in values {
+                let tag = v.get(0).ok().and_then(Value::as_int).unwrap_or(0) as u64;
+                present |= !tag;
+            }
+            out.add_work(values.len() as u64 / 8);
+            for &s in &bp.short_circuit_streams {
+                if present & (1 << s) == 0 {
+                    return;
+                }
+            }
+        }
+
+        if self.tagged {
+            for v in values {
+                let tag = v.get(0).ok().and_then(Value::as_int).unwrap_or(0) as u64;
+                let carried = Row::new(v.values()[1..].to_vec());
+                for (s, spec) in bp.streams.iter().enumerate() {
+                    if tag & (1 << s) != 0 {
+                        continue; // inverted tag: this stream must not see it
+                    }
+                    out.add_work(1);
+                    let projected: Row = spec
+                        .projection
+                        .iter()
+                        .map(|e| {
+                            e.eval(&carried)
+                                .unwrap_or_else(|err| panic!("stream projection failed: {err}"))
+                        })
+                        .collect();
+                    streams[s].push(projected);
+                }
+            }
+        } else {
+            // Direct mode: values are already the single stream's rows.
+            streams[0] = values.to_vec();
+        }
+
+        // Direct-mode short-circuit (single stream): empty groups never
+        // reach the reducer, so only the tagged path above can skip keys;
+        // this residual check keeps semantics for hand-built blueprints.
+        for &s in &bp.short_circuit_streams {
+            if streams[s].is_empty() {
+                return;
+            }
+        }
+
+        // ---- evaluate the per-key operator DAG ----------------------------
+        let mut op_outputs: Vec<Vec<Row>> = Vec::with_capacity(bp.ops.len());
+        for op in &bp.ops {
+            let mut work = 0u64;
+            let rows = match &op.kind {
+                OpKind::Pass => {
+                    let input = Self::source_rows(&streams, &op_outputs, op.inputs[0]);
+                    work += input.len() as u64;
+                    input.to_vec()
+                }
+                OpKind::Agg {
+                    group_cols,
+                    aggs,
+                    having,
+                    merge_partials,
+                } => {
+                    let input = Self::source_rows(&streams, &op_outputs, op.inputs[0]);
+                    eval_agg(input, group_cols, aggs, having.as_ref(), *merge_partials, &mut work)
+                }
+                OpKind::Join {
+                    kind,
+                    residual,
+                    left_width,
+                    right_width,
+                } => {
+                    let left = Self::source_rows(&streams, &op_outputs, op.inputs[0]);
+                    let right = Self::source_rows(&streams, &op_outputs, op.inputs[1]);
+                    eval_join(
+                        left,
+                        right,
+                        *kind,
+                        residual.as_ref(),
+                        *left_width,
+                        *right_width,
+                        &mut work,
+                    )
+                }
+            };
+            let rows = apply_chain(&op.transforms, rows, &mut work)
+                .unwrap_or_else(|e| panic!("transform failed in {}: {e}", bp.name));
+            out.add_work(work);
+            op_outputs.push(rows);
+        }
+
+        // ---- emit only the final source(s) (§VI-B) -------------------------
+        match &bp.emit {
+            EmitSpec::Single(src) => {
+                for row in Self::source_rows(&streams, &op_outputs, *src) {
+                    out.emit_line(encode_line(row));
+                }
+            }
+            EmitSpec::Tagged(srcs) => {
+                for (tag, src) in srcs.iter().enumerate() {
+                    for row in Self::source_rows(&streams, &op_outputs, *src) {
+                        out.emit_line(format!("{tag}|{}", encode_line(row)));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Grouped aggregation within one key group.
+fn eval_agg(
+    input: &[Row],
+    group_cols: &[usize],
+    aggs: &[(ysmart_rel::AggFunc, Option<Expr>)],
+    having: Option<&Expr>,
+    merge_partials: bool,
+    work: &mut u64,
+) -> Vec<Row> {
+    let mut groups: BTreeMap<Vec<Value>, Vec<AggState>> = BTreeMap::new();
+    for row in input {
+        *work += 1;
+        let group: Vec<Value> = group_cols
+            .iter()
+            .map(|&c| row.get(c).cloned().unwrap_or(Value::Null))
+            .collect();
+        let states = groups
+            .entry(group)
+            .or_insert_with(|| aggs.iter().map(|(f, _)| f.new_state()).collect());
+        if merge_partials {
+            // Partial fields follow the group columns in combiner layout.
+            let mut offset = group_cols.len();
+            for (state, (func, _)) in states.iter_mut().zip(aggs) {
+                let width = crate::blueprint::PartialAgg::partial_width(*func);
+                let fields = &row.values()[offset..offset + width];
+                let partial = decode_partial(*func, fields);
+                state
+                    .merge(&partial)
+                    .unwrap_or_else(|e| panic!("partial merge failed: {e}"));
+                offset += width;
+            }
+        } else {
+            update_states(states, aggs, row)
+                .unwrap_or_else(|e| panic!("aggregation failed: {e}"));
+        }
+    }
+    let mut out = Vec::with_capacity(groups.len());
+    for (group, states) in groups {
+        let mut vals = group;
+        for s in &states {
+            vals.push(s.finish());
+        }
+        let row = Row::new(vals);
+        if let Some(h) = having {
+            match h.eval_predicate(&row) {
+                Ok(true) => out.push(row),
+                Ok(false) => {}
+                Err(e) => panic!("HAVING failed: {e}"),
+            }
+        } else {
+            out.push(row);
+        }
+    }
+    out
+}
+
+/// Equi-join within one key group: the partition key is the full equi-key,
+/// so every left row pairs with every right row; the residual predicate and
+/// outer-join padding do the rest.
+fn eval_join(
+    left: &[Row],
+    right: &[Row],
+    kind: JoinKind,
+    residual: Option<&Expr>,
+    left_width: usize,
+    right_width: usize,
+    work: &mut u64,
+) -> Vec<Row> {
+    let mut out = Vec::new();
+    let mut right_matched = vec![false; right.len()];
+    for l in left {
+        let mut matched = false;
+        for (ri, r) in right.iter().enumerate() {
+            *work += 1;
+            let joined = l.concat(r);
+            let pass = match residual {
+                None => true,
+                Some(p) => p
+                    .eval_predicate(&joined)
+                    .unwrap_or_else(|e| panic!("join residual failed: {e}")),
+            };
+            if pass {
+                matched = true;
+                right_matched[ri] = true;
+                out.push(joined);
+            }
+        }
+        if !matched && matches!(kind, JoinKind::LeftOuter | JoinKind::FullOuter) {
+            out.push(l.concat(&Row::nulls(right_width)));
+        }
+    }
+    if matches!(kind, JoinKind::RightOuter | JoinKind::FullOuter) {
+        for (ri, r) in right.iter().enumerate() {
+            if !right_matched[ri] {
+                out.push(Row::nulls(left_width).concat(r));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blueprint::{EmitSpec, InputSpec, JobBlueprint, MapBranch, OpKind, ROp, StreamSpec};
+    use crate::rowop::RowOp;
+    use ysmart_rel::{row, AggFunc, BinOp, DataType, Schema};
+
+    fn bp_with_ops(nstreams: usize, ops: Vec<ROp>, emit: RSource) -> Arc<JobBlueprint> {
+        bp_with_emit(nstreams, ops, EmitSpec::Single(emit))
+    }
+
+    fn bp_with_emit(nstreams: usize, ops: Vec<ROp>, emit: EmitSpec) -> Arc<JobBlueprint> {
+        // Schema/inputs are irrelevant for direct reducer tests; they are
+        // only used by the mapper.
+        Arc::new(JobBlueprint {
+            name: "t".into(),
+            inputs: vec![InputSpec {
+                path: "data/x".into(),
+                schema: Schema::of("x", &[("a", DataType::Int)]),
+                key_exprs: vec![Expr::col(0)],
+                value_cols: vec![0],
+                branches: (0..nstreams)
+                    .map(|s| MapBranch {
+                        stream: s,
+                        predicate: None,
+                    })
+                    .collect(),
+                tag_filter: None,
+            }],
+            streams: (0..nstreams)
+                .map(|_| StreamSpec {
+                    projection: vec![Expr::col(0), Expr::col(1)],
+                })
+                .collect(),
+            ops,
+            emit,
+            output: "out".into(),
+            reduce_tasks: Some(1),
+            combiner: None,
+            map_only: false,
+            short_circuit_streams: vec![],
+            pad_bytes: 0,
+            key_cardinality: None,
+        })
+    }
+
+    fn run_direct(bp: &Arc<JobBlueprint>, values: Vec<Row>) -> Vec<String> {
+        let mut r = CommonReducer::new(Arc::clone(bp));
+        let mut out = ReduceOutput::default();
+        r.reduce(&row![1i64], &values, &mut out);
+        out.into_lines()
+    }
+
+    #[test]
+    fn pass_op_emits_rows() {
+        let bp = bp_with_ops(
+            1,
+            vec![ROp {
+                kind: OpKind::Pass,
+                inputs: vec![RSource::Stream(0)],
+                transforms: vec![],
+            }],
+            RSource::Op(0),
+        );
+        let lines = run_direct(&bp, vec![row![1i64, 2i64], row![1i64, 3i64]]);
+        assert_eq!(lines, vec!["1|2", "1|3"]);
+    }
+
+    #[test]
+    fn agg_groups_within_key() {
+        // Group by col 1 (beyond the partition key), count rows.
+        let bp = bp_with_ops(
+            1,
+            vec![ROp {
+                kind: OpKind::Agg {
+                    group_cols: vec![1],
+                    aggs: vec![(AggFunc::Count, None)],
+                    having: None,
+                    merge_partials: false,
+                },
+                inputs: vec![RSource::Stream(0)],
+                transforms: vec![],
+            }],
+            RSource::Op(0),
+        );
+        let lines = run_direct(
+            &bp,
+            vec![row![1i64, 7i64], row![1i64, 7i64], row![1i64, 9i64]],
+        );
+        assert_eq!(lines, vec!["7|2", "9|1"]);
+    }
+
+    #[test]
+    fn having_filters_groups() {
+        let bp = bp_with_ops(
+            1,
+            vec![ROp {
+                kind: OpKind::Agg {
+                    group_cols: vec![1],
+                    aggs: vec![(AggFunc::Count, None)],
+                    having: Some(Expr::binary(BinOp::Gt, Expr::col(1), Expr::lit(1i64))),
+                    merge_partials: false,
+                },
+                inputs: vec![RSource::Stream(0)],
+                transforms: vec![],
+            }],
+            RSource::Op(0),
+        );
+        let lines = run_direct(
+            &bp,
+            vec![row![1i64, 7i64], row![1i64, 7i64], row![1i64, 9i64]],
+        );
+        assert_eq!(lines, vec!["7|2"]);
+    }
+
+    fn join_bp(kind: JoinKind, residual: Option<Expr>) -> Arc<JobBlueprint> {
+        bp_with_ops(
+            2,
+            vec![ROp {
+                kind: OpKind::Join {
+                    kind,
+                    residual,
+                    left_width: 2,
+                    right_width: 2,
+                },
+                inputs: vec![RSource::Stream(0), RSource::Stream(1)],
+                transforms: vec![],
+            }],
+            RSource::Op(0),
+        )
+    }
+
+    /// Tagged values: [tag, a, b] — tag bit 0 = hide from stream 0 (left),
+    /// bit 1 = hide from stream 1 (right).
+    fn tagged(tag: i64, a: i64, b: i64) -> Row {
+        row![tag, a, b]
+    }
+
+    #[test]
+    fn inner_join_within_key() {
+        let bp = join_bp(JoinKind::Inner, None);
+        let lines = run_direct(
+            &bp,
+            vec![
+                tagged(0b10, 1, 10), // left only
+                tagged(0b01, 1, 20), // right only
+                tagged(0b01, 1, 30), // right only
+            ],
+        );
+        assert_eq!(lines, vec!["1|10|1|20", "1|10|1|30"]);
+    }
+
+    #[test]
+    fn left_outer_join_pads_nulls() {
+        let bp = join_bp(JoinKind::LeftOuter, None);
+        let lines = run_direct(&bp, vec![tagged(0b10, 1, 10)]);
+        assert_eq!(lines, vec!["1|10||"]);
+    }
+
+    #[test]
+    fn full_outer_join_pads_both_sides() {
+        let bp = join_bp(
+            JoinKind::FullOuter,
+            Some(Expr::binary(BinOp::Lt, Expr::col(1), Expr::col(3))),
+        );
+        let lines = run_direct(
+            &bp,
+            vec![tagged(0b10, 1, 50), tagged(0b01, 1, 10)], // residual 50 < 10 fails
+        );
+        // No pair survives the residual, so each side is null-padded once.
+        assert_eq!(lines.len(), 2);
+        assert!(lines.contains(&"1|50||".to_string()), "{lines:?}");
+        assert!(lines.contains(&"||1|10".to_string()), "{lines:?}");
+    }
+
+    #[test]
+    fn shared_scan_both_sides() {
+        // A self-join where one record is visible to both streams.
+        let bp = join_bp(JoinKind::Inner, None);
+        let lines = run_direct(&bp, vec![tagged(0b00, 1, 5)]);
+        assert_eq!(lines, vec!["1|5|1|5"]);
+    }
+
+    #[test]
+    fn post_job_computation_chains_ops() {
+        // Op 0: inner join; Op 1: aggregate the join output (count per b).
+        let bp = bp_with_ops(
+            2,
+            vec![
+                ROp {
+                    kind: OpKind::Join {
+                        kind: JoinKind::Inner,
+                        residual: None,
+                        left_width: 2,
+                        right_width: 2,
+                    },
+                    inputs: vec![RSource::Stream(0), RSource::Stream(1)],
+                    transforms: vec![],
+                },
+                ROp {
+                    kind: OpKind::Agg {
+                        group_cols: vec![0],
+                        aggs: vec![(AggFunc::Count, None)],
+                        having: None,
+                        merge_partials: false,
+                    },
+                    inputs: vec![RSource::Op(0)],
+                    transforms: vec![],
+                },
+            ],
+            RSource::Op(1),
+        );
+        let lines = run_direct(
+            &bp,
+            vec![tagged(0b10, 1, 10), tagged(0b01, 1, 20), tagged(0b01, 1, 30)],
+        );
+        assert_eq!(lines, vec!["1|2"]);
+    }
+
+    #[test]
+    fn transforms_apply_to_op_output() {
+        let bp = bp_with_ops(
+            1,
+            vec![ROp {
+                kind: OpKind::Pass,
+                inputs: vec![RSource::Stream(0)],
+                transforms: vec![
+                    RowOp::Filter(Expr::binary(BinOp::Gt, Expr::col(1), Expr::lit(5i64))),
+                    RowOp::Project(vec![Expr::col(1)]),
+                ],
+            }],
+            RSource::Op(0),
+        );
+        let lines = run_direct(&bp, vec![row![1i64, 3i64], row![1i64, 9i64]]);
+        assert_eq!(lines, vec!["9"]);
+    }
+
+    #[test]
+    fn short_circuit_skips_key() {
+        let mut bp = (*join_bp(JoinKind::Inner, None)).clone();
+        bp.short_circuit_streams = vec![0];
+        let bp = Arc::new(bp);
+        // Only right-side rows: stream 0 empty → skip everything.
+        let mut r = CommonReducer::new(Arc::clone(&bp));
+        let mut out = ReduceOutput::default();
+        r.reduce(&row![1i64], &[tagged(0b01, 1, 20)], &mut out);
+        assert!(out.lines().is_empty());
+        // The tag-only pre-pass skips the key before any dispatch work.
+        assert_eq!(out.work(), 0);
+    }
+
+    #[test]
+    fn merge_partials_mode() {
+        // Partial rows: [group, count_partial] — two partials for group 7.
+        let bp = bp_with_ops(
+            1,
+            vec![ROp {
+                kind: OpKind::Agg {
+                    group_cols: vec![0],
+                    aggs: vec![(AggFunc::Count, None)],
+                    having: None,
+                    merge_partials: true,
+                },
+                inputs: vec![RSource::Stream(0)],
+                transforms: vec![],
+            }],
+            RSource::Op(0),
+        );
+        let lines = run_direct(&bp, vec![row![7i64, 2i64], row![7i64, 3i64]]);
+        assert_eq!(lines, vec!["7|5"]);
+    }
+
+    #[test]
+    fn work_scales_with_ops_dispatched() {
+        // Same values through 1 op vs 2 ops: more merged ops, more work —
+        // the CMF overhead the paper measures in Fig. 9 (YSmart's reduce
+        // phase is longer than hand-coded but much shorter than extra jobs).
+        let one = bp_with_ops(
+            1,
+            vec![ROp {
+                kind: OpKind::Pass,
+                inputs: vec![RSource::Stream(0)],
+                transforms: vec![],
+            }],
+            RSource::Op(0),
+        );
+        let two = bp_with_ops(
+            1,
+            vec![
+                ROp {
+                    kind: OpKind::Pass,
+                    inputs: vec![RSource::Stream(0)],
+                    transforms: vec![],
+                },
+                ROp {
+                    kind: OpKind::Pass,
+                    inputs: vec![RSource::Op(0)],
+                    transforms: vec![],
+                },
+            ],
+            RSource::Op(1),
+        );
+        let values = vec![row![1i64, 2i64]; 10];
+        let mut r1 = CommonReducer::new(one);
+        let mut o1 = ReduceOutput::default();
+        r1.reduce(&row![1i64], &values, &mut o1);
+        let mut r2 = CommonReducer::new(two);
+        let mut o2 = ReduceOutput::default();
+        r2.reduce(&row![1i64], &values, &mut o2);
+        assert!(o2.work() > o1.work());
+    }
+}

@@ -1,0 +1,234 @@
+//! Job chains: sequential execution of a translated query's jobs.
+//!
+//! A translated query is a chain of jobs with data dependencies through
+//! HDFS (§II-A: "a complex computation process can be represented by a
+//! chain of jobs"). The chain runner adds the costs the paper attributes to
+//! job count: per-job scheduler latency, and — under the production
+//! [`crate::config::ContentionModel`] — randomised scheduling gaps before
+//! each launch, the mechanism that amplified Hive's disadvantage on the
+//! Facebook cluster (§VII-F: "Because Hive executes more jobs than YSmart,
+//! it causes higher scheduling cost").
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::engine::{run_job, Cluster};
+use crate::error::MapRedError;
+use crate::hash::hash_row;
+use crate::job::JobSpec;
+use crate::metrics::{ChainMetrics, JobMetrics};
+
+/// A sequence of jobs executed in order; each job may read the outputs of
+/// earlier ones from HDFS.
+#[derive(Debug, Default)]
+pub struct JobChain {
+    /// The jobs, in execution order.
+    pub jobs: Vec<JobSpec>,
+}
+
+impl JobChain {
+    /// An empty chain.
+    #[must_use]
+    pub fn new() -> Self {
+        JobChain::default()
+    }
+
+    /// Appends a job.
+    pub fn push(&mut self, job: JobSpec) -> &mut Self {
+        self.jobs.push(job);
+        self
+    }
+
+    /// Number of jobs — the quantity YSmart minimises.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Whether the chain is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+}
+
+/// Result of running a chain.
+#[derive(Debug, Clone)]
+pub struct ChainOutcome {
+    /// Per-job metrics in execution order.
+    pub metrics: ChainMetrics,
+    /// HDFS path holding the final job's output.
+    pub final_output: String,
+}
+
+/// Runs all jobs in order, charging inter-job scheduling costs.
+///
+/// # Errors
+///
+/// Stops at the first failing job (disk full, time limit, missing input).
+/// The chain total is also checked against the cluster time limit.
+pub fn run_chain(cluster: &mut Cluster, chain: &JobChain) -> Result<ChainOutcome, MapRedError> {
+    assert!(!chain.is_empty(), "empty job chain");
+    let mut metrics = ChainMetrics::default();
+    let mut gap_rng = cluster
+        .config
+        .contention
+        .map(|c| StdRng::seed_from_u64(c.seed ^ hash_row(&ysmart_rel::row![chain.jobs[0].name.as_str()])));
+    let mut elapsed = 0.0;
+    let mut final_output = String::new();
+    for (i, job) in chain.jobs.iter().enumerate() {
+        let mut delay = if i == 0 {
+            0.0
+        } else {
+            cluster.config.inter_job_delay_s
+        };
+        if let (Some(c), Some(rng)) = (cluster.config.contention, gap_rng.as_mut()) {
+            delay += rng.gen::<f64>() * c.max_scheduling_gap_s;
+        }
+        let mut m: JobMetrics = run_job(cluster, job)?;
+        m.startup_delay_s = delay;
+        elapsed += m.total_s();
+        if let Some(limit) = cluster.config.time_limit_s {
+            if elapsed > limit {
+                return Err(MapRedError::TimeLimitExceeded { limit_s: limit });
+            }
+        }
+        final_output = job.output.clone();
+        metrics.jobs.push(m);
+    }
+    Ok(ChainOutcome {
+        metrics,
+        final_output,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ClusterConfig, ContentionModel};
+    use crate::job::{MapOutput, Mapper, ReduceOutput, Reducer};
+    use ysmart_rel::{row, Row};
+
+    struct IdMapper;
+    impl Mapper for IdMapper {
+        fn map(&mut self, line: &str, out: &mut MapOutput) {
+            let n: i64 = line.parse().unwrap();
+            out.emit(row![n % 3], row![n]);
+        }
+    }
+
+    struct CountReducer;
+    impl Reducer for CountReducer {
+        fn reduce(&mut self, key: &Row, values: &[Row], out: &mut ReduceOutput) {
+            out.emit_line(format!("{}|{}", key.get(0).unwrap(), values.len()));
+        }
+    }
+
+    struct PassMapper;
+    impl Mapper for PassMapper {
+        fn map(&mut self, line: &str, out: &mut MapOutput) {
+            let (k, v) = line.split_once('|').unwrap();
+            out.emit(row![0i64], row![k.parse::<i64>().unwrap(), v.parse::<i64>().unwrap()]);
+        }
+    }
+
+    struct SumCountsReducer;
+    impl Reducer for SumCountsReducer {
+        fn reduce(&mut self, _key: &Row, values: &[Row], out: &mut ReduceOutput) {
+            let s: i64 = values
+                .iter()
+                .map(|v| v.get(1).unwrap().as_int().unwrap())
+                .sum();
+            out.emit_line(format!("{s}"));
+        }
+    }
+
+    fn two_job_chain() -> JobChain {
+        let mut chain = JobChain::new();
+        chain.push(
+            JobSpec::builder("count")
+                .input("data/nums", || Box::new(IdMapper))
+                .reducer(|| Box::new(CountReducer))
+                .output("tmp/counts")
+                .reduce_tasks(2)
+                .build(),
+        );
+        chain.push(
+            JobSpec::builder("total")
+                .input("tmp/counts", || Box::new(PassMapper))
+                .reducer(|| Box::new(SumCountsReducer))
+                .output("out/total")
+                .reduce_tasks(1)
+                .build(),
+        );
+        chain
+    }
+
+    #[test]
+    fn chain_pipes_through_hdfs() {
+        let mut c = Cluster::new(ClusterConfig::default());
+        c.load_table("nums", (0..100).map(|i| i.to_string()).collect());
+        let outcome = run_chain(&mut c, &two_job_chain()).unwrap();
+        assert_eq!(outcome.final_output, "out/total");
+        assert_eq!(c.hdfs.get("out/total").unwrap().lines, vec!["100"]);
+        assert_eq!(outcome.metrics.jobs.len(), 2);
+        // Second job pays the scheduler delay.
+        assert_eq!(outcome.metrics.jobs[0].startup_delay_s, 0.0);
+        assert!(outcome.metrics.jobs[1].startup_delay_s > 0.0);
+    }
+
+    #[test]
+    fn contention_adds_gaps_deterministically() {
+        let run = |seed| {
+            let mut c = Cluster::new(ClusterConfig {
+                contention: Some(ContentionModel {
+                    slot_share: 0.5,
+                    max_scheduling_gap_s: 300.0,
+                    task_slowdown: 1.5,
+                    seed,
+                }),
+                ..ClusterConfig::default()
+            });
+            c.load_table("nums", (0..100).map(|i| i.to_string()).collect());
+            run_chain(&mut c, &two_job_chain()).unwrap().metrics.total_s()
+        };
+        let a = run(7);
+        let b = run(7);
+        let c = run(8);
+        assert!((a - b).abs() < 1e-12, "same seed, same gaps");
+        assert!((a - c).abs() > 1e-9, "different seed, different gaps");
+    }
+
+    #[test]
+    fn more_jobs_cost_more_under_contention() {
+        // The §VII-F mechanism: with big scheduling gaps, a 2-job chain is
+        // slower than an equivalent 1-job chain even if work is equal.
+        let base = ClusterConfig {
+            contention: Some(ContentionModel {
+                slot_share: 1.0,
+                max_scheduling_gap_s: 300.0,
+                task_slowdown: 1.0,
+                seed: 3,
+            }),
+            ..ClusterConfig::default()
+        };
+        let mut c1 = Cluster::new(base.clone());
+        c1.load_table("nums", (0..100).map(|i| i.to_string()).collect());
+        let one = {
+            let mut chain = JobChain::new();
+            chain.push(
+                JobSpec::builder("count")
+                    .input("data/nums", || Box::new(IdMapper))
+                    .reducer(|| Box::new(CountReducer))
+                    .output("out/one")
+                    .reduce_tasks(2)
+                    .build(),
+            );
+            run_chain(&mut c1, &chain).unwrap().metrics.total_s()
+        };
+        let mut c2 = Cluster::new(base);
+        c2.load_table("nums", (0..100).map(|i| i.to_string()).collect());
+        let two = run_chain(&mut c2, &two_job_chain()).unwrap().metrics.total_s();
+        assert!(two > one);
+    }
+}

@@ -1,0 +1,297 @@
+//! Cluster configuration and cost model.
+//!
+//! Presets mirror the paper's three experimental platforms (§VII-B): the
+//! two-node local cluster, the Amazon EC2 small-instance clusters (11 and
+//! 101 nodes) and the 747-node Facebook production cluster.
+
+/// Map-output compression model (Fig. 11 evaluates jobs with and without
+/// it; the paper found compression *hurt* in isolated clusters because the
+/// CPU cost outweighed the network savings, which this model reproduces).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Compression {
+    /// Compressed size / raw size, e.g. `0.35` (the paper's Q17 reduce
+    /// input went from 11.09 GB to 3.87 GB ≈ 0.35).
+    pub ratio: f64,
+    /// CPU seconds charged per raw gigabyte compressed (and again per raw
+    /// gigabyte decompressed on the reduce side).
+    pub cpu_s_per_gb: f64,
+}
+
+impl Default for Compression {
+    fn default() -> Self {
+        Compression {
+            ratio: 0.35,
+            cpu_s_per_gb: 22.0,
+        }
+    }
+}
+
+/// Production-cluster dynamics (§VII-F): co-running workloads steal slots
+/// and delay job launches, and the effect grows with the number of jobs a
+/// query needs — the mechanism behind YSmart's larger speedups on the
+/// Facebook cluster.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ContentionModel {
+    /// Fraction of task slots available to this query (0–1].
+    pub slot_share: f64,
+    /// Maximum extra scheduling gap before each job launch, in seconds
+    /// (the paper observed gaps up to 5.4 minutes).
+    pub max_scheduling_gap_s: f64,
+    /// Multiplier on task durations from CPU/disk interference (≥ 1).
+    pub task_slowdown: f64,
+    /// Seed for the gap sampler.
+    pub seed: u64,
+}
+
+/// Straggler model with optional speculative execution. MapReduce's
+/// original fault-tolerance story (Dean & Ghemawat §3.6) includes *backup
+/// tasks*: when a task runs far slower than its peers (a straggler — bad
+/// disk, co-located load), the framework schedules a duplicate and takes
+/// whichever finishes first. Stragglers here are sampled per task with a
+/// seeded RNG; with `speculative` enabled the straggler's effective time is
+/// capped near the normal task time (the backup wins), at the cost of the
+/// duplicated work being charged to the cluster.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StragglerModel {
+    /// Probability that a task is a straggler.
+    pub probability: f64,
+    /// Time multiplier a straggler suffers (e.g. 6.0).
+    pub slowdown: f64,
+    /// Whether backup tasks are launched (Hadoop's speculative execution).
+    pub speculative: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Seeded task-failure injector: each task attempt fails independently with
+/// `probability`; failed attempts are re-executed (up to 4 attempts, as
+/// Hadoop) and their wasted time is charged.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FailureModel {
+    /// Per-attempt failure probability in `[0, 1)`.
+    pub probability: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// The cluster and its cost model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterConfig {
+    /// Worker nodes (excluding the JobTracker, as in the paper's counts).
+    pub nodes: usize,
+    /// Concurrent map tasks per node.
+    pub map_slots_per_node: usize,
+    /// Concurrent reduce tasks per node.
+    pub reduce_slots_per_node: usize,
+    /// Local-disk bandwidth per node, MB/s.
+    pub disk_mbps: f64,
+    /// Network bandwidth per node, MB/s.
+    pub net_mbps: f64,
+    /// CPU cost of mapping one record, microseconds.
+    pub map_cpu_us_per_record: f64,
+    /// CPU cost of reducing one record, microseconds.
+    pub reduce_cpu_us_per_record: f64,
+    /// CPU cost of one extra *work unit* reported by a task (common-mapper
+    /// branch evaluation, common-reducer dispatch and per-operation row
+    /// processing), microseconds. Lower than the per-record cost: a work
+    /// unit is a function call on an already-deserialised row.
+    pub work_cpu_us: f64,
+    /// Fraction of the reduce-side shuffle fetch that overlaps the map
+    /// phase (Hadoop copies map output while later map waves still run).
+    pub shuffle_overlap: f64,
+    /// Fixed startup overhead per task (JVM launch etc.), seconds.
+    pub task_startup_s: f64,
+    /// HDFS block size, MB — determines the number of map tasks.
+    pub hdfs_block_mb: f64,
+    /// HDFS replication factor charged on job output writes.
+    pub replication: u32,
+    /// Fraction of map tasks reading their block from the local disk; the
+    /// rest fetch it over the network.
+    pub locality: f64,
+    /// Per-node local-disk capacity for intermediate data, MB.
+    pub disk_capacity_mb: f64,
+    /// Map-output compression, when enabled.
+    pub compression: Option<Compression>,
+    /// Scheduler latency between chained jobs, seconds.
+    pub inter_job_delay_s: f64,
+    /// Production-cluster contention, when modelled.
+    pub contention: Option<ContentionModel>,
+    /// Task-failure injection, when modelled.
+    pub failures: Option<FailureModel>,
+    /// Straggler injection (and speculative execution), when modelled.
+    pub stragglers: Option<StragglerModel>,
+    /// Wall-clock cap per query, simulated seconds (`None` = unlimited).
+    pub time_limit_s: Option<f64>,
+    /// Every real byte/record processed stands for this many simulated
+    /// ones, so a megabyte-scale dataset can model a 10 GB/1 TB run.
+    pub size_multiplier: f64,
+    /// Number of reduce tasks per job (Hadoop default: ~0.95 × reduce
+    /// slots). `None` derives it from the cluster size.
+    pub reduce_tasks: Option<usize>,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            nodes: 2,
+            map_slots_per_node: 2,
+            reduce_slots_per_node: 2,
+            disk_mbps: 80.0,
+            net_mbps: 110.0,
+            map_cpu_us_per_record: 3.0,
+            reduce_cpu_us_per_record: 1.2,
+            work_cpu_us: 0.6,
+            shuffle_overlap: 0.65,
+            task_startup_s: 2.0,
+            hdfs_block_mb: 64.0,
+            replication: 3,
+            locality: 0.9,
+            disk_capacity_mb: 500_000.0,
+            compression: None,
+            inter_job_delay_s: 5.0,
+            contention: None,
+            failures: None,
+            stragglers: None,
+            time_limit_s: None,
+            size_multiplier: 1.0,
+            reduce_tasks: None,
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// The paper's small local cluster: one TaskTracker node with 4 slots,
+    /// quad-core Xeon, single 500 GB disk, Gigabit Ethernet (§VII-B.1).
+    #[must_use]
+    pub fn small_local() -> Self {
+        ClusterConfig {
+            nodes: 1,
+            map_slots_per_node: 4,
+            reduce_slots_per_node: 4,
+            disk_mbps: 90.0,
+            net_mbps: 110.0,
+            disk_capacity_mb: 450_000.0,
+            ..ClusterConfig::default()
+        }
+    }
+
+    /// An EC2 cluster of default small instances: 1 virtual core, 1.7 GB
+    /// memory, 160 GB instance storage (§VII-B.2). `workers` is the number
+    /// of worker nodes (10 or 100 in the paper, plus one JobTracker).
+    #[must_use]
+    pub fn ec2(workers: usize) -> Self {
+        ClusterConfig {
+            nodes: workers,
+            map_slots_per_node: 2,
+            reduce_slots_per_node: 1,
+            disk_mbps: 50.0,
+            net_mbps: 60.0,
+            map_cpu_us_per_record: 6.0,
+            reduce_cpu_us_per_record: 4.0,
+            disk_capacity_mb: 140_000.0,
+            ..ClusterConfig::default()
+        }
+    }
+
+    /// The Facebook production cluster: 747 nodes, 8 cores, 12 × 1 TB
+    /// disks (§VII-B.3), with production contention enabled.
+    #[must_use]
+    pub fn facebook(seed: u64) -> Self {
+        ClusterConfig {
+            nodes: 747,
+            map_slots_per_node: 6,
+            reduce_slots_per_node: 2,
+            disk_mbps: 600.0, // 12 spindles
+            net_mbps: 120.0,
+            disk_capacity_mb: 11_000_000.0,
+            contention: Some(ContentionModel {
+                slot_share: 0.35,
+                max_scheduling_gap_s: 324.0, // 5.4 minutes
+                task_slowdown: 1.6,
+                seed,
+            }),
+            ..ClusterConfig::default()
+        }
+    }
+
+    /// Total map slots across the cluster (after contention slot share).
+    #[must_use]
+    pub fn total_map_slots(&self) -> usize {
+        self.effective_slots(self.nodes * self.map_slots_per_node)
+    }
+
+    /// Total reduce slots across the cluster (after contention slot share).
+    #[must_use]
+    pub fn total_reduce_slots(&self) -> usize {
+        self.effective_slots(self.nodes * self.reduce_slots_per_node)
+    }
+
+    fn effective_slots(&self, raw: usize) -> usize {
+        let share = self.contention.map_or(1.0, |c| c.slot_share);
+        ((raw as f64 * share).floor() as usize).max(1)
+    }
+
+    /// The number of reduce tasks a job should use.
+    #[must_use]
+    pub fn default_reduce_tasks(&self) -> usize {
+        self.reduce_tasks
+            .unwrap_or_else(|| ((self.total_reduce_slots() as f64) * 0.95).ceil() as usize)
+            .max(1)
+    }
+
+    /// Seconds to move `bytes` (simulated bytes) across one node's disk.
+    #[must_use]
+    pub fn disk_seconds(&self, bytes: f64) -> f64 {
+        bytes / (self.disk_mbps * 1e6)
+    }
+
+    /// Seconds to move `bytes` (simulated bytes) across one node's NIC.
+    #[must_use]
+    pub fn net_seconds(&self, bytes: f64) -> f64 {
+        bytes / (self.net_mbps * 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_have_paper_shapes() {
+        let local = ClusterConfig::small_local();
+        assert_eq!(local.total_map_slots(), 4);
+        let ec2 = ClusterConfig::ec2(100);
+        assert_eq!(ec2.nodes, 100);
+        let fb = ClusterConfig::facebook(1);
+        assert_eq!(fb.nodes, 747);
+        assert!(fb.contention.is_some());
+    }
+
+    #[test]
+    fn contention_reduces_slots() {
+        let fb = ClusterConfig::facebook(1);
+        assert!(fb.total_map_slots() < 747 * fb.map_slots_per_node);
+        assert!(fb.total_map_slots() >= 1);
+    }
+
+    #[test]
+    fn reduce_task_default_positive() {
+        assert!(ClusterConfig::default().default_reduce_tasks() >= 1);
+        let cfg = ClusterConfig {
+            reduce_tasks: Some(7),
+            ..ClusterConfig::default()
+        };
+        assert_eq!(cfg.default_reduce_tasks(), 7);
+    }
+
+    #[test]
+    fn bandwidth_seconds() {
+        let cfg = ClusterConfig {
+            disk_mbps: 100.0,
+            net_mbps: 50.0,
+            ..ClusterConfig::default()
+        };
+        assert!((cfg.disk_seconds(1e8) - 1.0).abs() < 1e-9);
+        assert!((cfg.net_seconds(1e8) - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,776 @@
+//! Job execution: real data processing plus simulated-time accounting.
+//!
+//! [`run_job`] executes one [`JobSpec`] against a [`Cluster`]:
+//!
+//! 1. **Split** — each input file is split into map tasks sized by the HDFS
+//!    block size (in *simulated* bytes, so `size_multiplier` controls task
+//!    counts the way real data volume would).
+//! 2. **Map** — each task runs a fresh mapper over its real records,
+//!    partitions output by [`crate::hash::partition`], sorts each partition,
+//!    applies the combiner, and is charged read + CPU + sort + spill time.
+//!    Failed attempts (seeded injection) are re-executed.
+//! 3. **Schedule** — task times are packed onto the cluster's map slots by
+//!    list scheduling; the map phase lasts until the last task finishes.
+//! 4. **Shuffle + Reduce** — each reduce task fetches its partition over
+//!    the network, merges, groups by key and streams groups through a fresh
+//!    reducer; output lines are written to HDFS with replication cost.
+//! 5. **Checks** — per-node spill volumes are checked against disk
+//!    capacity ([`MapRedError::DiskFull`]) and the job total against the
+//!    configured time limit.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ysmart_rel::codec::encode_line;
+use ysmart_rel::Row;
+
+use crate::config::ClusterConfig;
+use crate::error::MapRedError;
+use crate::hash::{hash_row, partition};
+use crate::hdfs::Hdfs;
+use crate::job::{JobSpec, MapOutput, ReduceOutput};
+use crate::metrics::JobMetrics;
+
+/// CPU microseconds charged per record comparison in the map-side sort.
+const SORT_CPU_US_PER_CMP: f64 = 0.05;
+/// Maximum attempts per task, as Hadoop's `mapred.map.max.attempts`.
+const MAX_ATTEMPTS: usize = 4;
+
+/// The simulated cluster: a global file system plus the cost model.
+#[derive(Debug)]
+pub struct Cluster {
+    /// The global file system.
+    pub hdfs: Hdfs,
+    /// The cost model and topology.
+    pub config: ClusterConfig,
+}
+
+impl Cluster {
+    /// Creates a cluster with an empty file system.
+    #[must_use]
+    pub fn new(config: ClusterConfig) -> Self {
+        Cluster {
+            hdfs: Hdfs::new(),
+            config,
+        }
+    }
+
+    /// Loads a table into HDFS at `data/<name>`.
+    pub fn load_table(&mut self, name: &str, lines: Vec<String>) {
+        self.hdfs.put(&format!("data/{name}"), lines);
+    }
+
+    /// The conventional HDFS path of a loaded table.
+    #[must_use]
+    pub fn table_path(name: &str) -> String {
+        format!("data/{name}")
+    }
+}
+
+/// Internal per-map-task result.
+struct MapTaskResult {
+    pairs: Vec<(Row, Row)>,
+    /// 1 when this task straggled and was rescued by a backup task.
+    speculative: usize,
+    /// Simulated records/bytes per real pair emitted by this task. Usually
+    /// the global `size_multiplier`; 1.0 when a combiner collapsed the task
+    /// to a handful of partial rows — such output is bounded by key
+    /// cardinality, not data volume, and must not scale with it (a map
+    /// task covering 2 000 000× more records of a *global* aggregation
+    /// still emits one partial row).
+    weight: f64,
+    time_s: f64,
+    spill_bytes: u64,
+    in_records: u64,
+    out_records: u64,
+    failed_attempts: usize,
+}
+
+/// Executes one job, mutating HDFS with its output and returning metrics.
+///
+/// # Errors
+///
+/// Missing inputs, disk-capacity overflow, time-limit violation, or user
+/// errors from mappers/reducers.
+pub fn run_job(cluster: &mut Cluster, spec: &JobSpec) -> Result<JobMetrics, MapRedError> {
+    let cfg = cluster.config.clone();
+    let mult = cfg.size_multiplier;
+    let slowdown = cfg.contention.map_or(1.0, |c| c.task_slowdown);
+
+    // ---- split ----------------------------------------------------------
+    let block_real_bytes = (cfg.hdfs_block_mb * 1e6 / mult).max(1.0);
+    let mut tasks: Vec<(usize, Vec<String>)> = Vec::new(); // (input idx, lines)
+    let mut hdfs_read_real: u64 = 0;
+    for (input_idx, input) in spec.inputs.iter().enumerate() {
+        let file = cluster.hdfs.get(&input.path)?.clone();
+        hdfs_read_real += file.bytes();
+        let mut chunk: Vec<String> = Vec::new();
+        let mut chunk_bytes = 0.0;
+        for line in file.lines {
+            chunk_bytes += line.len() as f64 + 1.0;
+            chunk.push(line);
+            if chunk_bytes >= block_real_bytes {
+                tasks.push((input_idx, std::mem::take(&mut chunk)));
+                chunk_bytes = 0.0;
+            }
+        }
+        if !chunk.is_empty() || file_is_empty_input(&tasks, input_idx) {
+            tasks.push((input_idx, chunk));
+        }
+    }
+
+    // ---- map phase -------------------------------------------------------
+    // Tasks are independent, so the *real* work runs in parallel across OS
+    // threads (crossbeam scoped threads); determinism is preserved by
+    // seeding the failure/straggler RNGs per task index rather than
+    // drawing from one sequential stream.
+    let job_hash = hash_row(&ysmart_rel::row![spec.name.as_str()]);
+    let num_reducers = spec.reduce_tasks.unwrap_or_else(|| {
+        let default = cfg.default_reduce_tasks();
+        match spec.key_cardinality_hint {
+            // More reducers than distinct keys are pure startup overhead.
+            Some(keys) => default.min(usize::try_from(keys).unwrap_or(usize::MAX).max(1)),
+            None => default,
+        }
+    });
+    let map_only = spec.reducer.is_none();
+
+    let threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(tasks.len().max(1));
+    let results: Vec<MapTaskResult> = if threads <= 1 || tasks.len() < 4 {
+        let mut out = Vec::with_capacity(tasks.len());
+        for (idx, (input_idx, lines)) in tasks.iter().enumerate() {
+            out.push(run_map_task(
+                &cfg, spec, job_hash, idx, *input_idx, lines, num_reducers, map_only, mult,
+                slowdown,
+            )?);
+        }
+        out
+    } else {
+        let chunk = tasks.len().div_ceil(threads);
+        let task_slices: Vec<(usize, &[(usize, Vec<String>)])> = tasks
+            .chunks(chunk)
+            .enumerate()
+            .map(|(i, c)| (i * chunk, c))
+            .collect();
+        let cfg_ref = &cfg;
+        let chunk_results: Vec<Result<Vec<MapTaskResult>, MapRedError>> =
+            crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = task_slices
+                    .into_iter()
+                    .map(|(base, slice)| {
+                        scope.spawn(move |_| {
+                            let mut out = Vec::with_capacity(slice.len());
+                            for (off, (input_idx, lines)) in slice.iter().enumerate() {
+                                out.push(run_map_task(
+                                    cfg_ref,
+                                    spec,
+                                    job_hash,
+                                    base + off,
+                                    *input_idx,
+                                    lines,
+                                    num_reducers,
+                                    map_only,
+                                    mult,
+                                    slowdown,
+                                )?);
+                            }
+                            Ok(out)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("map task thread panicked"))
+                    .collect()
+            })
+            .expect("crossbeam scope");
+        let mut out = Vec::with_capacity(tasks.len());
+        for r in chunk_results {
+            out.extend(r?);
+        }
+        out
+    };
+    let speculative_tasks: usize = results.iter().map(|r| r.speculative).sum();
+
+    let map_makespan = makespan(
+        results.iter().map(|r| r.time_s),
+        cfg.total_map_slots(),
+    );
+
+    // ---- disk-capacity check on map spill --------------------------------
+    let total_spill: u64 = results.iter().map(|r| r.spill_bytes).sum();
+    check_disk(&cfg, total_spill)?;
+
+    let mut metrics = JobMetrics {
+        name: spec.name.clone(),
+        map_time_s: map_makespan,
+        hdfs_read_bytes: (hdfs_read_real as f64 * mult) as u64,
+        local_spill_bytes: total_spill,
+        map_in_records: (results.iter().map(|r| r.in_records).sum::<u64>() as f64 * mult) as u64,
+        map_out_records: (results.iter().map(|r| r.out_records).sum::<u64>() as f64 * mult)
+            as u64,
+        map_tasks: results.len(),
+        failed_attempts: results.iter().map(|r| r.failed_attempts).sum(),
+        ..JobMetrics::default()
+    };
+    metrics.speculative_tasks = speculative_tasks;
+    let _ = metrics.local_spill_bytes;
+
+    // ---- map-only completion ---------------------------------------------
+    if map_only {
+        let mut lines = Vec::new();
+        let mut out_bytes = 0u64;
+        for r in &results {
+            for (_, v) in &r.pairs {
+                let line = encode_line(v);
+                out_bytes += line.len() as u64 + 1;
+                lines.push(line);
+            }
+        }
+        let sim_out = out_bytes as f64 * mult;
+        // Map-only jobs still write output to HDFS with replication.
+        metrics.map_time_s += cfg.net_seconds(sim_out * f64::from(cfg.replication))
+            / (cfg.total_map_slots() as f64).max(1.0);
+        metrics.hdfs_write_bytes = sim_out as u64;
+        metrics.out_records = (lines.len() as f64 * mult) as u64;
+        check_time(&cfg, metrics.map_time_s)?;
+        cluster.hdfs.put(&spec.output, lines);
+        return Ok(metrics);
+    }
+
+    // ---- shuffle ----------------------------------------------------------
+    let mut partitions: Vec<Vec<(Row, Row)>> = vec![Vec::new(); num_reducers];
+    let mut shuffle_sim_bytes = vec![0.0f64; num_reducers];
+    let mut shuffle_sim_records = vec![0.0f64; num_reducers];
+    for r in results {
+        for (k, v) in r.pairs {
+            let p = partition(&k, num_reducers);
+            shuffle_sim_bytes[p] += (k.size_bytes() + v.size_bytes() + 2) as f64 * r.weight;
+            shuffle_sim_records[p] += r.weight;
+            partitions[p].push((k, v));
+        }
+    }
+    for p in &mut partitions {
+        p.sort();
+    }
+    let compress_ratio = cfg.compression.map_or(1.0, |c| c.ratio);
+    let decompress_cpu = cfg.compression.map_or(0.0, |c| c.cpu_s_per_gb);
+
+    let total_shuffle_sim: f64 = shuffle_sim_bytes.iter().sum::<f64>() * compress_ratio;
+    check_disk(&cfg, total_shuffle_sim as u64)?;
+
+    // ---- reduce phase ------------------------------------------------------
+    let reducer_factory = spec.reducer.as_ref().expect("non-map-only");
+    let mut reduce_speculative = 0usize;
+    let mut reduce_times: Vec<f64> = Vec::with_capacity(num_reducers);
+    let mut all_lines: Vec<String> = Vec::new();
+    let mut out_bytes = 0u64;
+    for (p, pairs) in partitions.into_iter().enumerate() {
+        let mut reducer = reducer_factory();
+        let mut out = ReduceOutput::default();
+        let real_records = pairs.len() as f64;
+        let mut i = 0;
+        while i < pairs.len() {
+            let mut j = i + 1;
+            while j < pairs.len() && pairs[j].0 == pairs[i].0 {
+                j += 1;
+            }
+            let values: Vec<Row> = pairs[i..j].iter().map(|(_, v)| v.clone()).collect();
+            reducer.reduce(&pairs[i].0, &values, &mut out);
+            i = j;
+        }
+        let reduce_work = out.work();
+        let lines = out.into_lines();
+        let task_out_bytes: u64 = lines.iter().map(|l| l.len() as u64 + 1).sum();
+        out_bytes += task_out_bytes;
+
+        let sim_in = shuffle_sim_bytes[p] * compress_ratio;
+        let sim_raw_in = shuffle_sim_bytes[p];
+        let sim_records = shuffle_sim_records[p];
+        // Reduce-side work units scale with the same per-pair weights.
+        let work_scale = if real_records > 0.0 {
+            sim_records / real_records
+        } else {
+            0.0
+        };
+        let fetch_s = cfg.net_seconds(sim_in) * (1.0 - cfg.shuffle_overlap);
+        let merge_s = cfg.disk_seconds(sim_in) + sim_raw_in / 1e9 * decompress_cpu;
+        let cpu_s = (sim_records * cfg.reduce_cpu_us_per_record
+            + reduce_work as f64 * work_scale * cfg.work_cpu_us)
+            / 1e6;
+        let sim_out = task_out_bytes as f64 * mult;
+        let write_s = cfg.net_seconds(sim_out * f64::from(cfg.replication));
+        let mut reduce_time =
+            (cfg.task_startup_s + fetch_s + merge_s + cpu_s + write_s) * slowdown;
+        if let Some(model) = cfg.stragglers {
+            const SPLITMIX: u64 = 0x9E37_79B9_7F4A_7C15;
+            let mut rng = StdRng::seed_from_u64(
+                model.seed ^ job_hash ^ (p as u64 + 0x5151).wrapping_mul(SPLITMIX),
+            );
+            if rng.gen::<f64>() < model.probability {
+                let slowed = reduce_time * model.slowdown.max(1.0);
+                reduce_time = if model.speculative {
+                    reduce_speculative += 1;
+                    slowed.min(reduce_time * 1.2)
+                } else {
+                    slowed
+                };
+            }
+        }
+        reduce_times.push(reduce_time);
+        all_lines.extend(lines);
+    }
+    metrics.reduce_time_s = makespan(reduce_times.into_iter(), cfg.total_reduce_slots());
+    metrics.shuffle_bytes = total_shuffle_sim as u64;
+    metrics.hdfs_write_bytes = (out_bytes as f64 * mult) as u64;
+    metrics.out_records = (all_lines.len() as f64 * mult) as u64;
+    metrics.reduce_tasks = num_reducers;
+    metrics.speculative_tasks = speculative_tasks + reduce_speculative;
+
+    check_time(&cfg, metrics.map_time_s + metrics.reduce_time_s)?;
+    cluster.hdfs.put(&spec.output, all_lines);
+    Ok(metrics)
+}
+
+/// Runs one map task: real record processing plus its simulated cost.
+/// Failure and straggler randomness is seeded per `(job, task index)` so
+/// results and times are identical however tasks are scheduled onto
+/// threads.
+#[allow(clippy::too_many_arguments)]
+fn run_map_task(
+    cfg: &ClusterConfig,
+    spec: &JobSpec,
+    job_hash: u64,
+    task_idx: usize,
+    input_idx: usize,
+    lines: &[String],
+    num_reducers: usize,
+    map_only: bool,
+    mult: f64,
+    slowdown: f64,
+) -> Result<MapTaskResult, MapRedError> {
+    const SPLITMIX: u64 = 0x9E37_79B9_7F4A_7C15;
+    let task_seed = |base: u64| base ^ job_hash ^ (task_idx as u64 + 1).wrapping_mul(SPLITMIX);
+
+    let input = &spec.inputs[input_idx];
+    let mut mapper = (input.mapper)();
+    let mut out = MapOutput::default();
+    let mut in_bytes = 0u64;
+    for line in lines {
+        in_bytes += line.len() as u64 + 1;
+        mapper.map(line, &mut out);
+    }
+    let map_work = out.work();
+    let mut pairs = out.into_pairs();
+    let out_records = pairs.len() as u64;
+    // Sort by (partition, key, value) — Hadoop's sort-based shuffle.
+    if !map_only {
+        pairs.sort_by(|a, b| {
+            let pa = partition(&a.0, num_reducers);
+            let pb = partition(&b.0, num_reducers);
+            pa.cmp(&pb).then_with(|| a.cmp(b))
+        });
+    }
+    let raw_out_bytes: u64 = pairs
+        .iter()
+        .map(|(k, v)| (k.size_bytes() + v.size_bytes() + 2) as u64)
+        .sum();
+    // Combiner per key group.
+    let mut combined_bytes = raw_out_bytes;
+    if let (Some(cf), false) = (&spec.combiner, map_only) {
+        let mut combiner = cf();
+        let mut new_pairs: Vec<(Row, Row)> = Vec::new();
+        let mut i = 0;
+        while i < pairs.len() {
+            let mut j = i + 1;
+            while j < pairs.len() && pairs[j].0 == pairs[i].0 {
+                j += 1;
+            }
+            let key = pairs[i].0.clone();
+            let values: Vec<Row> = pairs[i..j].iter().map(|(_, v)| v.clone()).collect();
+            for v in combiner.combine(&key, &values) {
+                new_pairs.push((key.clone(), v));
+            }
+            i = j;
+        }
+        pairs = new_pairs;
+        combined_bytes = pairs
+            .iter()
+            .map(|(k, v)| (k.size_bytes() + v.size_bytes() + 2) as u64)
+            .sum();
+    }
+
+    // Cardinality-bounded combiner output does not scale with volume.
+    let weight = if spec.combiner.is_some() && pairs.len() <= 4 {
+        1.0
+    } else {
+        mult
+    };
+
+    // ---- cost model for this task ------------------------------------
+    let sim_in_bytes = in_bytes as f64 * mult;
+    let sim_records = lines.len() as f64 * mult;
+    let read_s = cfg.locality * cfg.disk_seconds(sim_in_bytes)
+        + (1.0 - cfg.locality) * cfg.net_seconds(sim_in_bytes);
+    let cpu_s = (sim_records * cfg.map_cpu_us_per_record
+        + map_work as f64 * mult * cfg.work_cpu_us)
+        / 1e6;
+    let sim_out_records = out_records as f64 * mult;
+    let sort_s = if map_only || sim_out_records < 2.0 {
+        0.0
+    } else {
+        sim_out_records * sim_out_records.log2().max(1.0) * SORT_CPU_US_PER_CMP / 1e6
+    };
+    let sim_combined_bytes = combined_bytes as f64 * weight;
+    let (spill_sim_bytes, compress_s) = match (cfg.compression, map_only) {
+        (Some(c), false) => (
+            sim_combined_bytes * c.ratio,
+            sim_combined_bytes / 1e9 * c.cpu_s_per_gb,
+        ),
+        _ => (sim_combined_bytes, 0.0),
+    };
+    let spill_s = if map_only {
+        0.0
+    } else {
+        cfg.disk_seconds(spill_sim_bytes)
+    };
+    let mut base_time =
+        (cfg.task_startup_s + read_s + cpu_s + sort_s + compress_s + spill_s) * slowdown;
+
+    // Straggler model: a sampled straggler runs `slowdown`× slower; with
+    // speculative execution a backup task caps it near normal time.
+    let mut speculative = 0usize;
+    if let Some(model) = cfg.stragglers {
+        let mut rng = StdRng::seed_from_u64(task_seed(model.seed));
+        if rng.gen::<f64>() < model.probability {
+            let slowed = base_time * model.slowdown.max(1.0);
+            base_time = if model.speculative {
+                speculative = 1;
+                slowed.min(base_time * 1.2)
+            } else {
+                slowed
+            };
+        }
+    }
+
+    // Failure injection: failed attempts waste half their run then retry.
+    let mut failed_attempts = 0;
+    let mut time_s = base_time;
+    if let Some(model) = cfg.failures {
+        let mut rng = StdRng::seed_from_u64(task_seed(model.seed));
+        while failed_attempts + 1 < MAX_ATTEMPTS && rng.gen::<f64>() < model.probability {
+            failed_attempts += 1;
+            time_s += base_time * 0.5;
+        }
+        if failed_attempts + 1 >= MAX_ATTEMPTS && rng.gen::<f64>() < model.probability {
+            return Err(MapRedError::TooManyFailures {
+                task: format!("{}-m-{task_idx}", spec.name),
+            });
+        }
+    }
+
+    Ok(MapTaskResult {
+        pairs,
+        speculative,
+        weight,
+        time_s,
+        spill_bytes: spill_sim_bytes as u64,
+        in_records: lines.len() as u64,
+        out_records,
+        failed_attempts,
+    })
+}
+
+/// Whether input `idx` has produced no task yet (empty files still get one
+/// task so their output path exists).
+fn file_is_empty_input(tasks: &[(usize, Vec<String>)], idx: usize) -> bool {
+    !tasks.iter().any(|(i, _)| *i == idx)
+}
+
+/// List-scheduling makespan of task durations over `slots` parallel slots.
+fn makespan(tasks: impl Iterator<Item = f64>, slots: usize) -> f64 {
+    let slots = slots.max(1);
+    let mut finish = vec![0.0f64; slots];
+    for t in tasks {
+        // assign to the earliest-free slot
+        let (idx, _) = finish
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("no NaN"))
+            .expect("slots >= 1");
+        finish[idx] += t;
+    }
+    finish.into_iter().fold(0.0, f64::max)
+}
+
+fn check_disk(cfg: &ClusterConfig, total_bytes: u64) -> Result<(), MapRedError> {
+    let per_node = total_bytes as f64 / cfg.nodes.max(1) as f64;
+    let capacity = cfg.disk_capacity_mb * 1e6;
+    if per_node > capacity {
+        return Err(MapRedError::DiskFull {
+            node: 0,
+            needed_bytes: per_node as u64,
+            capacity_bytes: capacity as u64,
+        });
+    }
+    Ok(())
+}
+
+fn check_time(cfg: &ClusterConfig, elapsed: f64) -> Result<(), MapRedError> {
+    if let Some(limit) = cfg.time_limit_s {
+        if elapsed > limit {
+            return Err(MapRedError::TimeLimitExceeded { limit_s: limit });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{Combiner, JobSpec, Mapper, Reducer};
+    use ysmart_rel::{row, Value};
+
+    /// Word-count-style mapper: `<key>|<n>` lines.
+    struct KvMapper;
+    impl Mapper for KvMapper {
+        fn map(&mut self, line: &str, out: &mut MapOutput) {
+            let (k, v) = line.split_once('|').unwrap();
+            out.emit(
+                row![k.parse::<i64>().unwrap()],
+                row![v.parse::<i64>().unwrap()],
+            );
+        }
+    }
+
+    struct SumReducer;
+    impl Reducer for SumReducer {
+        fn reduce(&mut self, key: &Row, values: &[Row], out: &mut ReduceOutput) {
+            let s: i64 = values
+                .iter()
+                .map(|v| v.get(0).unwrap().as_int().unwrap())
+                .sum();
+            out.emit_line(format!("{}|{}", key.get(0).unwrap(), s));
+        }
+    }
+
+    struct SumCombiner;
+    impl Combiner for SumCombiner {
+        fn combine(&mut self, _key: &Row, values: &[Row]) -> Vec<Row> {
+            let s: i64 = values
+                .iter()
+                .map(|v| v.get(0).unwrap().as_int().unwrap())
+                .sum();
+            vec![row![s]]
+        }
+    }
+
+    fn cluster() -> Cluster {
+        Cluster::new(ClusterConfig::default())
+    }
+
+    fn sum_job(reducers: usize, combiner: bool) -> JobSpec {
+        let mut b = JobSpec::builder("sum")
+            .input("data/t", || Box::new(KvMapper))
+            .reducer(|| Box::new(SumReducer))
+            .output("out/sum")
+            .reduce_tasks(reducers);
+        if combiner {
+            b = b.combiner(|| Box::new(SumCombiner));
+        }
+        b.build()
+    }
+
+    fn load_pairs(c: &mut Cluster) {
+        let lines: Vec<String> = (0..1000).map(|i| format!("{}|1", i % 10)).collect();
+        c.load_table("t", lines);
+    }
+
+    fn sorted_output(c: &Cluster, path: &str) -> Vec<String> {
+        let mut lines = c.hdfs.get(path).unwrap().lines.clone();
+        lines.sort();
+        lines
+    }
+
+    #[test]
+    fn sum_job_correct_across_reducer_counts() {
+        for reducers in [1, 3, 8] {
+            let mut c = cluster();
+            load_pairs(&mut c);
+            let m = run_job(&mut c, &sum_job(reducers, false)).unwrap();
+            let lines = sorted_output(&c, "out/sum");
+            assert_eq!(lines.len(), 10);
+            for l in &lines {
+                assert!(l.ends_with("|100"), "line {l}");
+            }
+            assert_eq!(m.reduce_tasks, reducers);
+            assert_eq!(m.map_in_records, 1000);
+        }
+    }
+
+    #[test]
+    fn combiner_preserves_result_and_cuts_shuffle() {
+        let (mut c1, mut c2) = (cluster(), cluster());
+        load_pairs(&mut c1);
+        load_pairs(&mut c2);
+        let plain = run_job(&mut c1, &sum_job(2, false)).unwrap();
+        let combined = run_job(&mut c2, &sum_job(2, true)).unwrap();
+        assert_eq!(sorted_output(&c1, "out/sum"), sorted_output(&c2, "out/sum"));
+        assert!(
+            combined.shuffle_bytes < plain.shuffle_bytes / 10,
+            "combiner should collapse 1000 pairs into ≤ tasks×keys: {} vs {}",
+            combined.shuffle_bytes,
+            plain.shuffle_bytes
+        );
+        assert!(combined.reduce_time_s < plain.reduce_time_s);
+    }
+
+    #[test]
+    fn map_only_job_writes_values() {
+        struct PassMapper;
+        impl Mapper for PassMapper {
+            fn map(&mut self, line: &str, out: &mut MapOutput) {
+                let (k, v) = line.split_once('|').unwrap();
+                if v == "1" {
+                    out.emit(row![0i64], row![k.parse::<i64>().unwrap()]);
+                }
+            }
+        }
+        let mut c = cluster();
+        c.load_table("t", vec!["5|1".into(), "6|0".into(), "7|1".into()]);
+        let spec = JobSpec::builder("sel")
+            .input("data/t", || Box::new(PassMapper))
+            .output("out/sel")
+            .build();
+        let m = run_job(&mut c, &spec).unwrap();
+        assert_eq!(c.hdfs.get("out/sel").unwrap().lines, vec!["5", "7"]);
+        assert_eq!(m.reduce_tasks, 0);
+        assert!(m.reduce_time_s == 0.0);
+    }
+
+    #[test]
+    fn missing_input_errors() {
+        let mut c = cluster();
+        let e = run_job(&mut c, &sum_job(1, false)).unwrap_err();
+        assert!(matches!(e, MapRedError::NoSuchFile(_)));
+    }
+
+    #[test]
+    fn size_multiplier_scales_simulated_time_not_results() {
+        let (mut c1, mut c2) = (cluster(), cluster());
+        c2.config.size_multiplier = 1000.0;
+        load_pairs(&mut c1);
+        load_pairs(&mut c2);
+        let small = run_job(&mut c1, &sum_job(2, false)).unwrap();
+        let big = run_job(&mut c2, &sum_job(2, false)).unwrap();
+        assert_eq!(sorted_output(&c1, "out/sum"), sorted_output(&c2, "out/sum"));
+        assert!(big.total_s() > small.total_s());
+        assert_eq!(big.hdfs_read_bytes, small.hdfs_read_bytes * 1000);
+    }
+
+    #[test]
+    fn disk_full_stops_job() {
+        let mut c = cluster();
+        c.config.disk_capacity_mb = 0.000001; // 1 byte per node
+        load_pairs(&mut c);
+        let e = run_job(&mut c, &sum_job(2, false)).unwrap_err();
+        assert!(matches!(e, MapRedError::DiskFull { .. }));
+    }
+
+    #[test]
+    fn time_limit_enforced() {
+        let mut c = cluster();
+        c.config.time_limit_s = Some(0.001);
+        load_pairs(&mut c);
+        let e = run_job(&mut c, &sum_job(2, false)).unwrap_err();
+        assert!(matches!(e, MapRedError::TimeLimitExceeded { .. }));
+    }
+
+    #[test]
+    fn failures_add_time_but_not_change_results() {
+        let (mut c1, mut c2) = (cluster(), cluster());
+        c2.config.failures = Some(crate::config::FailureModel {
+            probability: 0.5,
+            seed: 42,
+        });
+        load_pairs(&mut c1);
+        load_pairs(&mut c2);
+        let clean = run_job(&mut c1, &sum_job(2, false)).unwrap();
+        let flaky = run_job(&mut c2, &sum_job(2, false)).unwrap();
+        assert_eq!(sorted_output(&c1, "out/sum"), sorted_output(&c2, "out/sum"));
+        assert!(flaky.failed_attempts > 0);
+        assert!(flaky.map_time_s > clean.map_time_s);
+    }
+
+    #[test]
+    fn compression_shrinks_shuffle_but_costs_cpu() {
+        let (mut c1, mut c2) = (cluster(), cluster());
+        c2.config.compression = Some(crate::config::Compression::default());
+        // Make network nearly free so compression cannot win (the paper's
+        // isolated-cluster finding).
+        for c in [&mut c1, &mut c2] {
+            c.config.net_mbps = 1e6;
+            c.config.size_multiplier = 1e5;
+        }
+        load_pairs(&mut c1);
+        load_pairs(&mut c2);
+        let plain = run_job(&mut c1, &sum_job(2, false)).unwrap();
+        let compressed = run_job(&mut c2, &sum_job(2, false)).unwrap();
+        assert!(compressed.shuffle_bytes < plain.shuffle_bytes);
+        assert!(
+            compressed.total_s() > plain.total_s(),
+            "compression CPU should dominate when network is free"
+        );
+        assert_eq!(sorted_output(&c1, "out/sum"), sorted_output(&c2, "out/sum"));
+    }
+
+    #[test]
+    fn makespan_schedules_waves() {
+        // 8 unit tasks on 4 slots = 2 waves.
+        let t = makespan((0..8).map(|_| 1.0), 4);
+        assert!((t - 2.0).abs() < 1e-9);
+        // uneven tasks
+        let t = makespan([3.0, 1.0, 1.0, 1.0].into_iter(), 2);
+        assert!((t - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            let mut c = cluster();
+            load_pairs(&mut c);
+            let m = run_job(&mut c, &sum_job(3, true)).unwrap();
+            (c.hdfs.get("out/sum").unwrap().lines.clone(), m.total_s())
+        };
+        let (l1, t1) = run();
+        let (l2, t2) = run();
+        assert_eq!(l1, l2);
+        assert!((t1 - t2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn null_keys_group_together() {
+        struct NullKeyMapper;
+        impl Mapper for NullKeyMapper {
+            fn map(&mut self, line: &str, out: &mut MapOutput) {
+                let (_, v) = line.split_once('|').unwrap();
+                out.emit(
+                    Row::new(vec![Value::Null]),
+                    row![v.parse::<i64>().unwrap()],
+                );
+            }
+        }
+        let mut c = cluster();
+        c.load_table("t", vec!["a|1".into(), "b|2".into()]);
+        let spec = JobSpec::builder("nulls")
+            .input("data/t", || Box::new(NullKeyMapper))
+            .reducer(|| Box::new(SumReducer))
+            .output("out/n")
+            .reduce_tasks(4)
+            .build();
+        run_job(&mut c, &spec).unwrap();
+        assert_eq!(c.hdfs.get("out/n").unwrap().lines, vec!["NULL|3"]);
+    }
+}

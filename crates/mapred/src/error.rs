@@ -1,0 +1,80 @@
+//! Errors of the simulated cluster.
+
+use std::fmt;
+
+/// Errors raised while executing MapReduce jobs on the simulated cluster.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MapRedError {
+    /// An input path does not exist in HDFS.
+    NoSuchFile(String),
+    /// A node's local disk overflowed while spilling intermediate data —
+    /// the failure mode that stopped Pig's Q-CSA run in the paper (§VII-D).
+    DiskFull {
+        /// Node index whose disk overflowed.
+        node: usize,
+        /// Bytes the job attempted to hold on that node's disk.
+        needed_bytes: u64,
+        /// The node's configured capacity.
+        capacity_bytes: u64,
+    },
+    /// A job exceeded the configured wall-clock cap (Fig. 11's one-hour
+    /// cut-off for Hive-with-compression on Q21).
+    TimeLimitExceeded {
+        /// The cap in simulated seconds.
+        limit_s: f64,
+    },
+    /// A mapper or reducer reported a data error.
+    User(String),
+    /// A task failed more times than the framework retries (4, as Hadoop).
+    TooManyFailures {
+        /// The task that kept failing.
+        task: String,
+    },
+}
+
+impl fmt::Display for MapRedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MapRedError::NoSuchFile(p) => write!(f, "no such file in HDFS: {p}"),
+            MapRedError::DiskFull {
+                node,
+                needed_bytes,
+                capacity_bytes,
+            } => write!(
+                f,
+                "local disk full on node {node}: needed {needed_bytes} bytes, capacity {capacity_bytes}"
+            ),
+            MapRedError::TimeLimitExceeded { limit_s } => {
+                write!(f, "job exceeded time limit of {limit_s} s")
+            }
+            MapRedError::User(msg) => write!(f, "task error: {msg}"),
+            MapRedError::TooManyFailures { task } => {
+                write!(f, "task {task} failed too many times")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MapRedError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        for e in [
+            MapRedError::NoSuchFile("x".into()),
+            MapRedError::DiskFull {
+                node: 0,
+                needed_bytes: 10,
+                capacity_bytes: 5,
+            },
+            MapRedError::TimeLimitExceeded { limit_s: 3600.0 },
+            MapRedError::User("boom".into()),
+            MapRedError::TooManyFailures { task: "m-3".into() },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

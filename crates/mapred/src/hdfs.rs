@@ -1,0 +1,106 @@
+//! The in-memory global file system (HDFS stand-in).
+//!
+//! Files are line-oriented, matching the raw-data-file model of the paper's
+//! common mapper (§VI-A): a record is a line of text.
+
+use std::collections::BTreeMap;
+
+use crate::error::MapRedError;
+
+/// One line-oriented file.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DataFile {
+    /// The records.
+    pub lines: Vec<String>,
+}
+
+impl DataFile {
+    /// Total payload bytes (line lengths plus one newline each).
+    #[must_use]
+    pub fn bytes(&self) -> u64 {
+        self.lines.iter().map(|l| l.len() as u64 + 1).sum()
+    }
+}
+
+/// The global file system of the simulated cluster.
+#[derive(Debug, Clone, Default)]
+pub struct Hdfs {
+    files: BTreeMap<String, DataFile>,
+}
+
+impl Hdfs {
+    /// An empty file system.
+    #[must_use]
+    pub fn new() -> Self {
+        Hdfs::default()
+    }
+
+    /// Creates or replaces a file from lines.
+    pub fn put(&mut self, path: &str, lines: Vec<String>) {
+        self.files.insert(path.to_string(), DataFile { lines });
+    }
+
+    /// Reads a file.
+    ///
+    /// # Errors
+    ///
+    /// [`MapRedError::NoSuchFile`] when absent.
+    pub fn get(&self, path: &str) -> Result<&DataFile, MapRedError> {
+        self.files
+            .get(path)
+            .ok_or_else(|| MapRedError::NoSuchFile(path.to_string()))
+    }
+
+    /// Whether a path exists.
+    #[must_use]
+    pub fn exists(&self, path: &str) -> bool {
+        self.files.contains_key(path)
+    }
+
+    /// Removes a file (idempotent).
+    pub fn delete(&mut self, path: &str) {
+        self.files.remove(path);
+    }
+
+    /// All paths, in order.
+    pub fn paths(&self) -> impl Iterator<Item = &str> {
+        self.files.keys().map(String::as_str)
+    }
+
+    /// Total bytes stored.
+    #[must_use]
+    pub fn total_bytes(&self) -> u64 {
+        self.files.values().map(DataFile::bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_delete() {
+        let mut fs = Hdfs::new();
+        fs.put("a", vec!["1|x".into(), "2|y".into()]);
+        assert_eq!(fs.get("a").unwrap().lines.len(), 2);
+        assert!(fs.exists("a"));
+        fs.delete("a");
+        assert!(matches!(fs.get("a"), Err(MapRedError::NoSuchFile(_))));
+    }
+
+    #[test]
+    fn bytes_count_newlines() {
+        let f = DataFile {
+            lines: vec!["ab".into(), "c".into()],
+        };
+        assert_eq!(f.bytes(), 3 + 2);
+    }
+
+    #[test]
+    fn total_bytes_sums_files() {
+        let mut fs = Hdfs::new();
+        fs.put("a", vec!["ab".into()]);
+        fs.put("b", vec!["c".into()]);
+        assert_eq!(fs.total_bytes(), 5);
+    }
+}

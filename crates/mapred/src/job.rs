@@ -1,0 +1,309 @@
+//! Job specifications: mappers, reducers, combiners and their wiring.
+//!
+//! A [`JobSpec`] describes one MapReduce job the way a Hadoop driver class
+//! would: one mapper per input file (Hadoop's `MultipleInputs`, which join
+//! jobs rely on to tag each side — §II-B), an optional combiner, an
+//! optional reducer (map-only jobs write mapper output directly), and an
+//! output path.
+//!
+//! Mappers and reducers are built per task from factories, mirroring how
+//! Hadoop instantiates a fresh object per task attempt.
+
+use ysmart_rel::Row;
+
+/// Key/value pairs emitted by a mapper, with byte and work accounting.
+#[derive(Debug, Default)]
+pub struct MapOutput {
+    pairs: Vec<(Row, Row)>,
+    work: u64,
+}
+
+impl MapOutput {
+    /// Emits one key/value pair.
+    pub fn emit(&mut self, key: Row, value: Row) {
+        self.pairs.push((key, value));
+    }
+
+    /// Charges extra CPU work units (≈ one record operation each) beyond
+    /// the per-record baseline — how a multi-branch common mapper reports
+    /// its dispatch overhead to the cost model.
+    pub fn add_work(&mut self, units: u64) {
+        self.work += units;
+    }
+
+    /// Work units charged so far.
+    #[must_use]
+    pub fn work(&self) -> u64 {
+        self.work
+    }
+
+    /// The pairs emitted so far.
+    #[must_use]
+    pub fn pairs(&self) -> &[(Row, Row)] {
+        &self.pairs
+    }
+
+    /// Consumes the buffer.
+    #[must_use]
+    pub fn into_pairs(self) -> Vec<(Row, Row)> {
+        self.pairs
+    }
+}
+
+/// Lines emitted by a reducer (its output file content), with work
+/// accounting.
+#[derive(Debug, Default)]
+pub struct ReduceOutput {
+    lines: Vec<String>,
+    work: u64,
+}
+
+impl ReduceOutput {
+    /// Emits one output record.
+    pub fn emit_line(&mut self, line: String) {
+        self.lines.push(line);
+    }
+
+    /// Charges extra CPU work units beyond the per-record baseline — how a
+    /// common reducer reports the cost of dispatching each value to several
+    /// merged reducers (and how a short-circuiting hand-coded reducer shows
+    /// up cheaper).
+    pub fn add_work(&mut self, units: u64) {
+        self.work += units;
+    }
+
+    /// Work units charged so far.
+    #[must_use]
+    pub fn work(&self) -> u64 {
+        self.work
+    }
+
+    /// The lines emitted so far.
+    #[must_use]
+    pub fn lines(&self) -> &[String] {
+        &self.lines
+    }
+
+    /// Consumes the buffer.
+    #[must_use]
+    pub fn into_lines(self) -> Vec<String> {
+        self.lines
+    }
+}
+
+/// A map function: transforms one input record (a line) into key/value
+/// pairs.
+pub trait Mapper {
+    /// Processes one record. Emitting nothing drops the record (selection).
+    fn map(&mut self, line: &str, out: &mut MapOutput);
+}
+
+/// A reduce function: receives one key and all values for it.
+pub trait Reducer {
+    /// Processes one key group.
+    fn reduce(&mut self, key: &Row, values: &[Row], out: &mut ReduceOutput);
+}
+
+/// A map-side combiner: pre-aggregates one key group of map output,
+/// returning replacement values. This is the "internal hash-aggregate map"
+/// Hive uses in the map phase (paper footnote 2).
+pub trait Combiner {
+    /// Combines the values of one key into (usually fewer) values.
+    fn combine(&mut self, key: &Row, values: &[Row]) -> Vec<Row>;
+}
+
+/// Builds a fresh [`Mapper`] per map task.
+pub type MapperFactory = Box<dyn Fn() -> Box<dyn Mapper> + Send + Sync>;
+/// Builds a fresh [`Reducer`] per reduce task.
+pub type ReducerFactory = Box<dyn Fn() -> Box<dyn Reducer> + Send + Sync>;
+/// Builds a fresh [`Combiner`] per map task.
+pub type CombinerFactory = Box<dyn Fn() -> Box<dyn Combiner> + Send + Sync>;
+
+/// One input of a job: an HDFS path and the mapper that reads it.
+pub struct JobInput {
+    /// HDFS path of the input file.
+    pub path: String,
+    /// Factory for the mapper applied to this input's records.
+    pub mapper: MapperFactory,
+}
+
+impl std::fmt::Debug for JobInput {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobInput").field("path", &self.path).finish()
+    }
+}
+
+/// A full MapReduce job description.
+pub struct JobSpec {
+    /// Job name (for metrics and figures).
+    pub name: String,
+    /// Inputs, each with its own mapper.
+    pub inputs: Vec<JobInput>,
+    /// The reducer; `None` makes this a map-only job whose mapper output
+    /// values are written directly (keys discarded), like a Hadoop job with
+    /// zero reduces.
+    pub reducer: Option<ReducerFactory>,
+    /// Optional map-side combiner.
+    pub combiner: Option<CombinerFactory>,
+    /// Output path in HDFS.
+    pub output: String,
+    /// Number of reduce tasks; `None` uses the cluster default.
+    pub reduce_tasks: Option<usize>,
+    /// Estimated number of distinct shuffle keys, when the translator has
+    /// statistics: the engine caps the derived reduce-task count with it
+    /// (more reducers than keys are pure startup overhead).
+    pub key_cardinality_hint: Option<u64>,
+}
+
+impl std::fmt::Debug for JobSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobSpec")
+            .field("name", &self.name)
+            .field("inputs", &self.inputs)
+            .field("output", &self.output)
+            .field("map_only", &self.reducer.is_none())
+            .field("has_combiner", &self.combiner.is_some())
+            .finish()
+    }
+}
+
+impl JobSpec {
+    /// Starts building a job.
+    #[must_use]
+    pub fn builder(name: &str) -> JobSpecBuilder {
+        JobSpecBuilder {
+            name: name.to_string(),
+            inputs: Vec::new(),
+            reducer: None,
+            combiner: None,
+            output: format!("tmp/{name}"),
+            reduce_tasks: None,
+            key_cardinality_hint: None,
+        }
+    }
+}
+
+/// Builder for [`JobSpec`].
+pub struct JobSpecBuilder {
+    name: String,
+    inputs: Vec<JobInput>,
+    reducer: Option<ReducerFactory>,
+    combiner: Option<CombinerFactory>,
+    output: String,
+    reduce_tasks: Option<usize>,
+    key_cardinality_hint: Option<u64>,
+}
+
+impl JobSpecBuilder {
+    /// Adds an input with its mapper factory.
+    #[must_use]
+    pub fn input(
+        mut self,
+        path: &str,
+        mapper: impl Fn() -> Box<dyn Mapper> + Send + Sync + 'static,
+    ) -> Self {
+        self.inputs.push(JobInput {
+            path: path.to_string(),
+            mapper: Box::new(mapper),
+        });
+        self
+    }
+
+    /// Sets the reducer.
+    #[must_use]
+    pub fn reducer(
+        mut self,
+        reducer: impl Fn() -> Box<dyn Reducer> + Send + Sync + 'static,
+    ) -> Self {
+        self.reducer = Some(Box::new(reducer));
+        self
+    }
+
+    /// Sets the combiner.
+    #[must_use]
+    pub fn combiner(
+        mut self,
+        combiner: impl Fn() -> Box<dyn Combiner> + Send + Sync + 'static,
+    ) -> Self {
+        self.combiner = Some(Box::new(combiner));
+        self
+    }
+
+    /// Sets the output path.
+    #[must_use]
+    pub fn output(mut self, path: &str) -> Self {
+        self.output = path.to_string();
+        self
+    }
+
+    /// Sets the number of reduce tasks.
+    #[must_use]
+    pub fn reduce_tasks(mut self, n: usize) -> Self {
+        self.reduce_tasks = Some(n);
+        self
+    }
+
+    /// Sets the estimated distinct-key count.
+    #[must_use]
+    pub fn key_cardinality_hint(mut self, n: u64) -> Self {
+        self.key_cardinality_hint = Some(n);
+        self
+    }
+
+    /// Finishes the spec.
+    #[must_use]
+    pub fn build(self) -> JobSpec {
+        JobSpec {
+            name: self.name,
+            inputs: self.inputs,
+            reducer: self.reducer,
+            combiner: self.combiner,
+            output: self.output,
+            reduce_tasks: self.reduce_tasks,
+            key_cardinality_hint: self.key_cardinality_hint,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ysmart_rel::row;
+
+    struct NullMapper;
+    impl Mapper for NullMapper {
+        fn map(&mut self, _line: &str, _out: &mut MapOutput) {}
+    }
+
+    #[test]
+    fn builder_assembles_spec() {
+        let spec = JobSpec::builder("j1")
+            .input("data/t", || Box::new(NullMapper))
+            .output("out/j1")
+            .reduce_tasks(3)
+            .build();
+        assert_eq!(spec.name, "j1");
+        assert_eq!(spec.inputs.len(), 1);
+        assert_eq!(spec.output, "out/j1");
+        assert_eq!(spec.reduce_tasks, Some(3));
+        assert!(spec.reducer.is_none());
+        let dbg = format!("{spec:?}");
+        assert!(dbg.contains("map_only: true"));
+    }
+
+    #[test]
+    fn map_output_accumulates() {
+        let mut out = MapOutput::default();
+        out.emit(row![1i64], row!["a"]);
+        out.emit(row![2i64], row!["b"]);
+        assert_eq!(out.pairs().len(), 2);
+        assert_eq!(out.into_pairs().len(), 2);
+    }
+
+    #[test]
+    fn reduce_output_accumulates() {
+        let mut out = ReduceOutput::default();
+        out.emit_line("x|y".into());
+        assert_eq!(out.lines(), &["x|y".to_string()]);
+    }
+}

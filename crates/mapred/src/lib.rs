@@ -1,0 +1,56 @@
+//! # ysmart-mapred — a deterministic MapReduce cluster simulator
+//!
+//! This crate is the workspace's Hadoop substitute (the paper ran on Hadoop
+//! 0.19/0.20 clusters; reproduction band repro=2 ⇒ no Hadoop available, so
+//! we *simulate* it — see DESIGN.md). It plays both roles a real cluster
+//! plays:
+//!
+//! 1. **It actually executes jobs.** [`Mapper`]s and [`Reducer`]s are real
+//!    code running over real records; job outputs land in the in-memory
+//!    [`Hdfs`] and are bit-for-bit checkable against a relational oracle.
+//! 2. **It simulates time.** Every byte read, sorted, spilled, shuffled and
+//!    written is charged against a [`ClusterConfig`] cost model (disk and
+//!    network bandwidth, per-record CPU, task-startup overhead, slot waves,
+//!    HDFS replication, optional map-output compression), yielding
+//!    simulated per-phase durations with the same *shape* as wall-clock
+//!    times on the paper's clusters. `size_multiplier` lets a small real
+//!    dataset stand in for a 10 GB/100 GB/1 TB one: the data processed is
+//!    real, the bytes charged are scaled.
+//!
+//! The execution semantics mirror Hadoop's:
+//!
+//! * map output is partitioned by a stable hash of the key, sorted within
+//!   each partition, optionally run through a [`Combiner`], and spilled to
+//!   (simulated) local disks — the materialisation policy whose cost the
+//!   paper's merging rules exist to avoid;
+//! * reducers fetch their partition from every map task over the network,
+//!   merge, group by key and stream each group through the reducer;
+//! * job chains materialise every intermediate result to HDFS
+//!   ([`chain::run_chain`]), with configurable inter-job scheduler latency
+//!   and a contention model reproducing the Facebook production dynamics of
+//!   §VII-F;
+//! * tasks can be killed by a seeded failure injector and are re-executed,
+//!   like Hadoop's re-execution of tasks on TaskTracker failure.
+
+pub mod chain;
+pub mod config;
+pub mod engine;
+pub mod error;
+pub mod hash;
+pub mod hdfs;
+pub mod job;
+pub mod metrics;
+
+pub use chain::{run_chain, ChainOutcome, JobChain};
+pub use config::{ClusterConfig, Compression, ContentionModel, FailureModel, StragglerModel};
+pub use engine::{run_job, Cluster};
+pub use error::MapRedError;
+pub use hdfs::Hdfs;
+pub use job::{
+    Combiner, JobInput, JobSpec, MapOutput, Mapper, MapperFactory, ReduceOutput, Reducer,
+    ReducerFactory,
+};
+pub use metrics::JobMetrics;
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, MapRedError>;

@@ -1,0 +1,126 @@
+//! Per-job and per-phase metrics.
+
+use std::fmt;
+
+/// Everything measured about one executed job — the numbers behind every
+/// figure of the paper's evaluation (per-phase times in Figs. 9, 10, 12;
+/// byte counts behind the compression discussion of Fig. 11).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct JobMetrics {
+    /// Job name.
+    pub name: String,
+    /// Simulated seconds spent in the map phase (incl. task startup and
+    /// re-executed failed attempts).
+    pub map_time_s: f64,
+    /// Simulated seconds of the shuffle + reduce phase.
+    pub reduce_time_s: f64,
+    /// Scheduler gap charged before the job started.
+    pub startup_delay_s: f64,
+    /// Simulated bytes read from HDFS by map tasks.
+    pub hdfs_read_bytes: u64,
+    /// Simulated map-output bytes spilled to local disks (post-combiner,
+    /// post-compression).
+    pub local_spill_bytes: u64,
+    /// Simulated bytes moved over the network in the shuffle.
+    pub shuffle_bytes: u64,
+    /// Simulated bytes written to HDFS by the job output (before
+    /// replication).
+    pub hdfs_write_bytes: u64,
+    /// Records read by mappers.
+    pub map_in_records: u64,
+    /// Pairs emitted by mappers (pre-combiner).
+    pub map_out_records: u64,
+    /// Records written by the job.
+    pub out_records: u64,
+    /// Map tasks executed (first attempts).
+    pub map_tasks: usize,
+    /// Reduce tasks executed.
+    pub reduce_tasks: usize,
+    /// Task attempts that were failed and re-executed.
+    pub failed_attempts: usize,
+    /// Straggler tasks rescued by speculative backup tasks.
+    pub speculative_tasks: usize,
+}
+
+impl JobMetrics {
+    /// Total simulated job time (delay + map + reduce).
+    #[must_use]
+    pub fn total_s(&self) -> f64 {
+        self.startup_delay_s + self.map_time_s + self.reduce_time_s
+    }
+}
+
+impl fmt::Display for JobMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: map {:.1}s + reduce {:.1}s (delay {:.1}s; {} maps, {} reduces, shuffle {} B)",
+            self.name,
+            self.map_time_s,
+            self.reduce_time_s,
+            self.startup_delay_s,
+            self.map_tasks,
+            self.reduce_tasks,
+            self.shuffle_bytes
+        )
+    }
+}
+
+/// Metrics for a whole chain of jobs (one translated query).
+#[derive(Debug, Clone, Default)]
+pub struct ChainMetrics {
+    /// Per-job metrics, in execution order.
+    pub jobs: Vec<JobMetrics>,
+}
+
+impl ChainMetrics {
+    /// Total simulated time of the chain (jobs run sequentially, as the
+    /// paper's translated plans do).
+    #[must_use]
+    pub fn total_s(&self) -> f64 {
+        self.jobs.iter().map(JobMetrics::total_s).sum()
+    }
+
+    /// Sum of bytes shuffled across all jobs.
+    #[must_use]
+    pub fn total_shuffle_bytes(&self) -> u64 {
+        self.jobs.iter().map(|j| j.shuffle_bytes).sum()
+    }
+
+    /// Sum of HDFS bytes read across all jobs — the "redundant table scan"
+    /// cost the paper's Rule 1 removes.
+    #[must_use]
+    pub fn total_hdfs_read(&self) -> u64 {
+        self.jobs.iter().map(|j| j.hdfs_read_bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_add_up() {
+        let m = JobMetrics {
+            map_time_s: 10.0,
+            reduce_time_s: 5.0,
+            startup_delay_s: 1.0,
+            ..JobMetrics::default()
+        };
+        assert!((m.total_s() - 16.0).abs() < 1e-9);
+        let chain = ChainMetrics {
+            jobs: vec![m.clone(), m],
+        };
+        assert!((chain.total_s() - 32.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_has_name_and_phases() {
+        let m = JobMetrics {
+            name: "job1".into(),
+            ..JobMetrics::default()
+        };
+        let s = m.to_string();
+        assert!(s.contains("job1") && s.contains("map"));
+    }
+}

@@ -1,0 +1,153 @@
+//! Property-based tests of the MapReduce engine's invariants: determinism,
+//! partitioning correctness, and result-preservation under every cost-model
+//! configuration.
+
+use proptest::prelude::*;
+use ysmart_mapred::hash::partition;
+use ysmart_mapred::{
+    run_job, Cluster, ClusterConfig, Combiner, Compression, FailureModel, JobSpec, MapOutput,
+    Mapper, ReduceOutput, Reducer,
+};
+use ysmart_rel::{row, Row};
+
+struct KvMapper;
+impl Mapper for KvMapper {
+    fn map(&mut self, line: &str, out: &mut MapOutput) {
+        let (k, v) = line.split_once('|').unwrap();
+        out.emit(
+            row![k.parse::<i64>().unwrap()],
+            row![v.parse::<i64>().unwrap()],
+        );
+    }
+}
+
+struct SumReducer;
+impl Reducer for SumReducer {
+    fn reduce(&mut self, key: &Row, values: &[Row], out: &mut ReduceOutput) {
+        let s: i64 = values
+            .iter()
+            .map(|v| v.get(0).unwrap().as_int().unwrap())
+            .sum();
+        out.emit_line(format!("{}|{}", key.get(0).unwrap(), s));
+    }
+}
+
+struct SumCombiner;
+impl Combiner for SumCombiner {
+    fn combine(&mut self, _key: &Row, values: &[Row]) -> Vec<Row> {
+        let s: i64 = values
+            .iter()
+            .map(|v| v.get(0).unwrap().as_int().unwrap())
+            .sum();
+        vec![row![s]]
+    }
+}
+
+fn sum_job(reducers: usize, combiner: bool) -> JobSpec {
+    let mut b = JobSpec::builder("sum")
+        .input("data/t", || Box::new(KvMapper))
+        .reducer(|| Box::new(SumReducer))
+        .output("out/sum")
+        .reduce_tasks(reducers);
+    if combiner {
+        b = b.combiner(|| Box::new(SumCombiner));
+    }
+    b.build()
+}
+
+fn run_sum(pairs: &[(i64, i64)], config: ClusterConfig, reducers: usize, comb: bool) -> Vec<String> {
+    let mut c = Cluster::new(config);
+    c.load_table("t", pairs.iter().map(|(k, v)| format!("{k}|{v}")).collect());
+    run_job(&mut c, &sum_job(reducers, comb)).unwrap();
+    let mut lines = c.hdfs.get("out/sum").unwrap().lines.clone();
+    lines.sort();
+    lines
+}
+
+fn expected_sums(pairs: &[(i64, i64)]) -> Vec<String> {
+    let mut m = std::collections::BTreeMap::new();
+    for (k, v) in pairs {
+        *m.entry(*k).or_insert(0i64) += v;
+    }
+    let mut lines: Vec<String> = m.into_iter().map(|(k, s)| format!("{k}|{s}")).collect();
+    lines.sort();
+    lines
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// Equal keys always land on the same reducer, and the reducer index is
+    /// in range for any reducer count.
+    #[test]
+    fn partition_consistent_and_bounded(k in any::<i64>(), n in 1usize..64) {
+        let a = partition(&row![k], n);
+        let b = partition(&row![k], n);
+        prop_assert_eq!(a, b);
+        prop_assert!(a < n);
+    }
+
+    /// The sum job computes exact per-key sums for any input, any reducer
+    /// count, with or without a combiner.
+    #[test]
+    fn sum_job_correct_for_any_input(
+        pairs in prop::collection::vec((-20i64..20, -100i64..100), 1..200),
+        reducers in 1usize..9,
+        comb in any::<bool>(),
+    ) {
+        let got = run_sum(&pairs, ClusterConfig::default(), reducers, comb);
+        prop_assert_eq!(got, expected_sums(&pairs));
+    }
+
+    /// Cost-model knobs never affect results: compression, failures, block
+    /// size, multipliers, contention.
+    #[test]
+    fn cost_model_never_changes_results(
+        pairs in prop::collection::vec((-10i64..10, -50i64..50), 1..100),
+        block_kb in 1u32..64,
+        mult in 1.0f64..1e6,
+        failures in any::<bool>(),
+        compress in any::<bool>(),
+    ) {
+        let base = run_sum(&pairs, ClusterConfig::default(), 3, true);
+        let cfg = ClusterConfig {
+            hdfs_block_mb: f64::from(block_kb) / 1024.0,
+            size_multiplier: mult,
+            compression: compress.then(Compression::default),
+            failures: failures.then_some(FailureModel { probability: 0.3, seed: 11 }),
+            ..ClusterConfig::default()
+        };
+        let got = run_sum(&pairs, cfg, 3, true);
+        prop_assert_eq!(got, base);
+    }
+
+    /// Simulated time is monotone in data volume.
+    #[test]
+    fn time_monotone_in_multiplier(
+        pairs in prop::collection::vec((0i64..10, 0i64..50), 10..100),
+        mult in 2.0f64..1e5,
+    ) {
+        let time = |m: f64| {
+            let mut c = Cluster::new(ClusterConfig {
+                size_multiplier: m,
+                ..ClusterConfig::default()
+            });
+            c.load_table("t", pairs.iter().map(|(k, v)| format!("{k}|{v}")).collect());
+            run_job(&mut c, &sum_job(2, false)).unwrap().total_s()
+        };
+        prop_assert!(time(mult) >= time(1.0));
+    }
+
+    /// A combiner never increases shuffle volume.
+    #[test]
+    fn combiner_never_increases_shuffle(
+        pairs in prop::collection::vec((0i64..5, 0i64..50), 1..150),
+    ) {
+        let run = |comb: bool| {
+            let mut c = Cluster::new(ClusterConfig::default());
+            c.load_table("t", pairs.iter().map(|(k, v)| format!("{k}|{v}")).collect());
+            run_job(&mut c, &sum_job(2, comb)).unwrap().shuffle_bytes
+        };
+        prop_assert!(run(true) <= run(false));
+    }
+}

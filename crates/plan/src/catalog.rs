@@ -1,0 +1,83 @@
+//! The catalog: base-table schemas known to the planner.
+
+use std::collections::BTreeMap;
+
+use ysmart_rel::Schema;
+
+use crate::error::PlanError;
+
+/// Maps base-table names to their schemas.
+///
+/// Table names are stored lower-cased, matching the parser's identifier
+/// folding.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    tables: BTreeMap<String, Schema>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    #[must_use]
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Registers (or replaces) a table.
+    pub fn add_table(&mut self, name: &str, schema: Schema) -> &mut Self {
+        self.tables.insert(name.to_ascii_lowercase(), schema);
+        self
+    }
+
+    /// Looks a table up.
+    ///
+    /// # Errors
+    ///
+    /// [`PlanError::UnknownTable`] when absent.
+    pub fn table(&self, name: &str) -> Result<&Schema, PlanError> {
+        self.tables
+            .get(&name.to_ascii_lowercase())
+            .ok_or_else(|| PlanError::UnknownTable(name.to_string()))
+    }
+
+    /// Whether the table exists.
+    #[must_use]
+    pub fn contains(&self, name: &str) -> bool {
+        self.tables.contains_key(&name.to_ascii_lowercase())
+    }
+
+    /// Iterates over `(name, schema)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Schema)> {
+        self.tables.iter().map(|(n, s)| (n.as_str(), s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ysmart_rel::DataType;
+
+    #[test]
+    fn add_and_lookup_case_insensitive() {
+        let mut c = Catalog::new();
+        c.add_table("Lineitem", Schema::of("lineitem", &[("l_orderkey", DataType::Int)]));
+        assert!(c.contains("LINEITEM"));
+        assert_eq!(c.table("lineitem").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn unknown_table_errors() {
+        assert_eq!(
+            Catalog::new().table("nope").unwrap_err(),
+            PlanError::UnknownTable("nope".into())
+        );
+    }
+
+    #[test]
+    fn iteration_in_name_order() {
+        let mut c = Catalog::new();
+        c.add_table("b", Schema::default());
+        c.add_table("a", Schema::default());
+        let names: Vec<&str> = c.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+}

@@ -1,0 +1,192 @@
+//! Table statistics and cost-informed partition-key selection.
+//!
+//! The paper notes (§IV-A): *"Currently YSmart does not seek a solution
+//! based on execution cost estimations due to the lack of statistics
+//! information of data sets. Rather, YSmart uses a simple heuristic."*
+//! This module implements the future-work direction: per-table row counts
+//! and per-column distinct counts, used to
+//!
+//! 1. break ties between equally-connected PK candidates in favour of the
+//!    higher-cardinality key (better reduce-side parallelism, less skew),
+//!    and
+//! 2. estimate the number of distinct shuffle keys of a job, so the
+//!    translator can cap its reduce-task count — hundreds of reducers are
+//!    useless for a key space of fifty values.
+
+use std::collections::BTreeMap;
+
+use ysmart_rel::{Row, Value};
+
+use crate::pk::{PartitionKey, PkColumn};
+
+/// Statistics for one base table.
+#[derive(Debug, Clone, Default)]
+pub struct TableStats {
+    /// Row count.
+    pub rows: u64,
+    /// Distinct non-NULL values per column name.
+    pub distinct: BTreeMap<String, u64>,
+}
+
+/// Statistics for a database.
+#[derive(Debug, Clone, Default)]
+pub struct Statistics {
+    tables: BTreeMap<String, TableStats>,
+}
+
+impl Statistics {
+    /// An empty statistics set (all estimates unknown).
+    #[must_use]
+    pub fn new() -> Self {
+        Statistics::default()
+    }
+
+    /// Registers statistics for a table.
+    pub fn add_table(&mut self, name: &str, stats: TableStats) -> &mut Self {
+        self.tables.insert(name.to_ascii_lowercase(), stats);
+        self
+    }
+
+    /// Computes statistics for one table by scanning its rows (exact, not
+    /// sampled — the generated instances are small; a production system
+    /// would sample or sketch).
+    #[must_use]
+    pub fn scan_table(column_names: &[String], rows: &[Row]) -> TableStats {
+        let mut sets: Vec<std::collections::BTreeSet<Value>> =
+            vec![std::collections::BTreeSet::new(); column_names.len()];
+        for r in rows {
+            for (i, v) in r.values().iter().enumerate().take(sets.len()) {
+                if !v.is_null() {
+                    sets[i].insert(v.clone());
+                }
+            }
+        }
+        TableStats {
+            rows: rows.len() as u64,
+            distinct: column_names
+                .iter()
+                .cloned()
+                .zip(sets.iter().map(|s| s.len() as u64))
+                .collect(),
+        }
+    }
+
+    /// Looks up the distinct count of a base column.
+    #[must_use]
+    pub fn distinct(&self, table: &str, column: &str) -> Option<u64> {
+        self.tables
+            .get(&table.to_ascii_lowercase())?
+            .distinct
+            .get(column)
+            .copied()
+    }
+
+    /// Row count of a table.
+    #[must_use]
+    pub fn rows(&self, table: &str) -> Option<u64> {
+        Some(self.tables.get(&table.to_ascii_lowercase())?.rows)
+    }
+
+    /// Estimated distinct values of one partition-key column: the maximum
+    /// distinct count over its provenance columns (equi-joined columns
+    /// share a key space; the larger side bounds it from above, and using
+    /// the max is the optimistic estimate that favours parallelism).
+    #[must_use]
+    pub fn pk_column_cardinality(&self, col: &PkColumn) -> Option<u64> {
+        col.cols
+            .iter()
+            .filter_map(|(t, c)| self.distinct(t, c))
+            .max()
+    }
+
+    /// Estimated distinct key tuples of a partition key: the product of
+    /// per-column cardinalities (independence assumption), `None` when any
+    /// column is opaque or unknown.
+    #[must_use]
+    pub fn pk_cardinality(&self, pk: &PartitionKey) -> Option<u64> {
+        if pk.is_empty() {
+            return Some(1);
+        }
+        let mut est: u64 = 1;
+        for col in &pk.columns {
+            est = est.saturating_mul(self.pk_column_cardinality(col)?);
+        }
+        Some(est)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::NodeId;
+    use std::collections::BTreeSet;
+    use ysmart_rel::row;
+
+    #[test]
+    fn scan_counts_rows_and_distincts() {
+        let rows = vec![row![1i64, "a"], row![1i64, "b"], row![2i64, "b"]];
+        let stats =
+            Statistics::scan_table(&["k".to_string(), "s".to_string()], &rows);
+        assert_eq!(stats.rows, 3);
+        assert_eq!(stats.distinct["k"], 2);
+        assert_eq!(stats.distinct["s"], 2);
+    }
+
+    #[test]
+    fn nulls_not_counted_as_distinct() {
+        let rows = vec![
+            Row::new(vec![Value::Null]),
+            Row::new(vec![Value::Int(1)]),
+        ];
+        let stats = Statistics::scan_table(&["k".to_string()], &rows);
+        assert_eq!(stats.distinct["k"], 1);
+    }
+
+    fn pk_col(table: &str, col: &str) -> PkColumn {
+        PkColumn {
+            slots: BTreeSet::from([(NodeId(0), 0)]),
+            cols: BTreeSet::from([(table.to_string(), col.to_string())]),
+        }
+    }
+
+    #[test]
+    fn pk_cardinality_products_and_unknowns() {
+        let mut stats = Statistics::new();
+        stats.add_table(
+            "t",
+            TableStats {
+                rows: 100,
+                distinct: BTreeMap::from([("a".to_string(), 10), ("b".to_string(), 4)]),
+            },
+        );
+        let a = PartitionKey::new(vec![pk_col("t", "a")]);
+        let ab = PartitionKey::new(vec![pk_col("t", "a"), pk_col("t", "b")]);
+        assert_eq!(stats.pk_cardinality(&a), Some(10));
+        assert_eq!(stats.pk_cardinality(&ab), Some(40));
+        let unknown = PartitionKey::new(vec![pk_col("u", "x")]);
+        assert_eq!(stats.pk_cardinality(&unknown), None);
+        assert_eq!(stats.pk_cardinality(&PartitionKey::default()), Some(1));
+    }
+
+    #[test]
+    fn equi_joined_columns_take_max() {
+        let mut stats = Statistics::new();
+        stats.add_table(
+            "l",
+            TableStats {
+                rows: 1000,
+                distinct: BTreeMap::from([("k".to_string(), 200)]),
+            },
+        );
+        stats.add_table(
+            "p",
+            TableStats {
+                rows: 300,
+                distinct: BTreeMap::from([("pk".to_string(), 300)]),
+            },
+        );
+        let mut merged = pk_col("l", "k");
+        merged.union_with(&pk_col("p", "pk"));
+        assert_eq!(stats.pk_column_cardinality(&merged), Some(300));
+    }
+}

@@ -1,0 +1,145 @@
+//! Property-based tests of planning invariants: structural well-formedness
+//! of built plans, symmetry of partition-key matching, and determinism of
+//! the correlation analysis.
+
+use proptest::prelude::*;
+use ysmart_plan::{analyze, build_plan, Catalog, Operator, PartitionKey, PkColumn};
+use ysmart_rel::{DataType, Schema};
+use ysmart_sql::parse;
+
+fn catalog() -> Catalog {
+    let mut c = Catalog::new();
+    c.add_table(
+        "t",
+        Schema::of(
+            "t",
+            &[
+                ("k", DataType::Int),
+                ("g", DataType::Int),
+                ("v", DataType::Int),
+            ],
+        ),
+    );
+    c.add_table(
+        "u",
+        Schema::of("u", &[("k", DataType::Int), ("w", DataType::Int)]),
+    );
+    c
+}
+
+/// A small random query generator over the two-table catalog.
+fn arb_sql() -> impl Strategy<Value = String> {
+    let agg = prop::sample::select(vec!["count(*)", "sum(v)", "min(v)", "max(v)", "avg(v)"]);
+    let jt = prop::sample::select(vec!["JOIN", "LEFT OUTER JOIN", "FULL OUTER JOIN"]);
+    prop_oneof![
+        // filtered projection
+        (-50i64..50).prop_map(|c| format!("SELECT k, v FROM t WHERE v > {c}")),
+        // grouped aggregation
+        (agg.clone(), -50i64..50).prop_map(|(a, c)| format!(
+            "SELECT g, {a} FROM t WHERE v > {c} GROUP BY g"
+        )),
+        // join + aggregation
+        (agg, jt).prop_map(|(a, j)| format!(
+            "SELECT t.k, {a} FROM t {j} u ON t.k = u.k GROUP BY t.k"
+        )),
+        // self-join
+        (0i64..5).prop_map(|c| format!(
+            "SELECT t1.k, count(*) FROM t AS t1, t AS t2 \
+             WHERE t1.k = t2.k AND t1.g = {c} GROUP BY t1.k"
+        )),
+        // nested aggregation-then-join
+        (-20i64..20).prop_map(|c| format!(
+            "SELECT s.g, s.total FROM \
+             (SELECT g, sum(v) AS total FROM t GROUP BY g) AS s, u \
+             WHERE s.g = u.k AND s.total > {c}"
+        )),
+        // distinct + order + limit
+        (1u64..20).prop_map(|n| format!(
+            "SELECT DISTINCT g FROM t ORDER BY g DESC LIMIT {n}"
+        )),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Every generated query plans, and the plan is structurally sound:
+    /// children precede parents, schemas are non-empty, expression columns
+    /// stay within child widths.
+    #[test]
+    fn plans_structurally_sound(sql in arb_sql()) {
+        let plan = build_plan(&catalog(), &parse(&sql).unwrap()).unwrap();
+        let order = plan.post_order(plan.root());
+        prop_assert_eq!(*order.last().unwrap(), plan.root());
+        for id in plan.ids() {
+            let node = plan.node(id);
+            for &c in &node.children {
+                prop_assert!(c.0 < id.0, "arena is topologically ordered");
+            }
+            match &node.op {
+                Operator::Project { exprs } => {
+                    let child_w = plan.node(node.children[0]).schema.len();
+                    for e in exprs {
+                        for col in e.referenced_columns() {
+                            prop_assert!(col < child_w);
+                        }
+                    }
+                    prop_assert_eq!(exprs.len(), node.schema.len());
+                }
+                Operator::Join { left_keys, right_keys, .. } => {
+                    prop_assert_eq!(left_keys.len(), right_keys.len());
+                    prop_assert!(!left_keys.is_empty());
+                    let lw = plan.node(node.children[0]).schema.len();
+                    let rw = plan.node(node.children[1]).schema.len();
+                    prop_assert!(left_keys.iter().all(|&k| k < lw));
+                    prop_assert!(right_keys.iter().all(|&k| k < rw));
+                    prop_assert_eq!(node.schema.len(), lw + rw);
+                }
+                Operator::Aggregate { group_by, aggs, .. } => {
+                    let child_w = plan.node(node.children[0]).schema.len();
+                    prop_assert!(group_by.iter().all(|&g| g < child_w));
+                    prop_assert_eq!(node.schema.len(), group_by.len() + aggs.len());
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Correlation analysis is deterministic and internally consistent:
+    /// TC pairs are also IC pairs, and JFC edges link parents to their
+    /// effective children.
+    #[test]
+    fn analysis_deterministic_and_consistent(sql in arb_sql()) {
+        let plan = build_plan(&catalog(), &parse(&sql).unwrap()).unwrap();
+        let r1 = analyze(&plan);
+        let r2 = analyze(&plan);
+        prop_assert_eq!(&r1.transit_correlated, &r2.transit_correlated);
+        prop_assert_eq!(&r1.job_flow, &r2.job_flow);
+        for &(a, b) in &r1.transit_correlated {
+            prop_assert!(r1.has_ic(a, b), "TC implies IC");
+        }
+        for &(p, c) in &r1.job_flow {
+            prop_assert!(r1.info(p).shuffle_children.contains(&c));
+        }
+    }
+
+    /// Partition-key matching is symmetric at both granularities.
+    #[test]
+    fn pk_matching_symmetric(sql in arb_sql()) {
+        let plan = build_plan(&catalog(), &parse(&sql).unwrap()).unwrap();
+        let report = analyze(&plan);
+        for a in &report.nodes {
+            for b in &report.nodes {
+                prop_assert_eq!(a.pk.matches_value(&b.pk), b.pk.matches_value(&a.pk));
+                prop_assert_eq!(a.pk.matches_table(&b.pk), b.pk.matches_table(&a.pk));
+            }
+        }
+    }
+}
+
+#[test]
+fn opaque_pk_columns_never_match_themselves() {
+    let pk = PartitionKey::new(vec![PkColumn::opaque()]);
+    assert!(!pk.matches_value(&pk.clone()));
+    assert!(!pk.matches_table(&pk.clone()));
+}

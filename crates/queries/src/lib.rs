@@ -1,0 +1,18 @@
+//! # ysmart-queries — the paper's workload queries and the oracle
+//!
+//! * [`workloads`] — the evaluation queries of §VII-A as SQL text bundled
+//!   with catalogs and generated data: the TPC-H-derived Q17, Q18 and Q21
+//!   (flattened with the first-aggregation-then-join algorithm, as the
+//!   paper does), the Q21 "Left Outer Join 1" subtree from the appendix,
+//!   and the click-stream queries Q-AGG and Q-CSA (Fig. 1).
+//! * [`oracle`] — a single-node in-memory relational executor used as
+//!   1. the correctness oracle every MapReduce execution is checked
+//!      against, and
+//!   2. the "ideal parallel PostgreSQL" baseline of §VII-D (single-node
+//!      cost divided by the core count, on quarter-size data).
+
+pub mod oracle;
+pub mod workloads;
+
+pub use oracle::{oracle_execute, rows_approx_equal, DbmsProfile, OracleOutcome};
+pub use workloads::{clicks_workloads, tpch_workloads, Workload};

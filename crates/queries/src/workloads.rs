@@ -1,0 +1,240 @@
+//! The evaluation workloads (§VII-A).
+
+use ysmart_datagen::{clicks_catalog, tpch_catalog, ClicksGen, ClicksSpec, TpchGen, TpchSpec};
+use ysmart_plan::Catalog;
+use ysmart_rel::Row;
+
+/// A named query bundled with its catalog and data.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Short name ("q17", "q-csa", …).
+    pub name: &'static str,
+    /// The SQL text.
+    pub sql: String,
+    /// Catalog of the base tables.
+    pub catalog: Catalog,
+    /// Generated base-table rows.
+    pub tables: Vec<(&'static str, Vec<Row>)>,
+    /// Whether the result is globally ordered (compare as a sequence
+    /// rather than a multiset).
+    pub ordered: bool,
+}
+
+impl Workload {
+    /// Loads the workload's tables into a [`ysmart_core::YSmart`] engine.
+    ///
+    /// # Errors
+    ///
+    /// Row/schema mismatches (a generator bug).
+    pub fn load_into(&self, engine: &mut ysmart_core::YSmart) -> Result<(), ysmart_core::CoreError> {
+        for (name, rows) in &self.tables {
+            engine.load_table(name, rows)?;
+        }
+        Ok(())
+    }
+}
+
+/// Q-AGG: the simple aggregation of Fig. 2(b) — clicks per category.
+#[must_use]
+pub fn q_agg_sql() -> String {
+    "SELECT cid, count(*) AS clicks FROM clicks GROUP BY cid".to_string()
+}
+
+/// Q-CSA (Fig. 1): average pages visited between a category-`x` page and a
+/// category-`y` page, standard-SQL form.
+#[must_use]
+pub fn q_csa_sql(x: i64, y: i64) -> String {
+    format!(
+        "SELECT avg(pageview_count) FROM
+        (SELECT c.uid, mp.ts1, (count(*) - 2) AS pageview_count
+         FROM clicks AS c,
+              (SELECT uid, max(ts1) AS ts1, ts2
+               FROM (SELECT c1.uid, c1.ts AS ts1, min(c2.ts) AS ts2
+                     FROM clicks AS c1, clicks AS c2
+                     WHERE c1.uid = c2.uid AND c1.ts < c2.ts
+                       AND c1.cid = {x} AND c2.cid = {y}
+                     GROUP BY c1.uid, c1.ts) AS cp
+               GROUP BY uid, ts2) AS mp
+         WHERE c.uid = mp.uid AND c.ts >= mp.ts1 AND c.ts <= mp.ts2
+         GROUP BY c.uid, mp.ts1) AS pageview_counts"
+    )
+}
+
+/// Q17 (Fig. 3): the paper's flattened variation of TPC-H Q17.
+#[must_use]
+pub fn q17_sql() -> String {
+    "SELECT sum(l_extendedprice) / 7.0 AS avg_yearly
+     FROM (SELECT l_partkey, 0.2 * avg(l_quantity) AS t1
+           FROM lineitem GROUP BY l_partkey) AS inner_t,
+          (SELECT l_partkey, l_quantity, l_extendedprice
+           FROM lineitem, part
+           WHERE p_partkey = l_partkey) AS outer_t
+     WHERE outer_t.l_partkey = inner_t.l_partkey
+       AND outer_t.l_quantity < inner_t.t1"
+        .to_string()
+}
+
+/// Q18 (Fig. 8(a) shape): large-quantity orders, flattened with
+/// first-aggregation-then-join. `threshold` is the quantity cut-off (the
+/// original uses 300 at SF 1; smaller data wants a smaller cut).
+#[must_use]
+pub fn q18_sql(threshold: i64) -> String {
+    format!(
+        "SELECT o_orderkey, o_totalprice, sum(l_quantity) AS qty
+         FROM (SELECT l_orderkey, l_quantity, o_totalprice, o_orderkey
+               FROM lineitem, orders
+               WHERE o_orderkey = l_orderkey) AS lo,
+              (SELECT l_orderkey AS gk, sum(l_quantity) AS total_qty
+               FROM lineitem GROUP BY l_orderkey) AS t
+         WHERE lo.o_orderkey = t.gk AND t.total_qty > {threshold}
+         GROUP BY o_orderkey, o_totalprice
+         ORDER BY o_totalprice DESC, o_orderkey LIMIT 100"
+    )
+}
+
+/// The Q21 "Left Outer Join 1" subtree, exactly the appendix SQL (with the
+/// listing's missing commas restored) — suppliers whose lineitems kept an
+/// order waiting.
+#[must_use]
+pub fn q21_subtree_sql() -> String {
+    "SELECT sq12.l_suppkey FROM
+        (SELECT sq1.l_orderkey, sq1.l_suppkey FROM
+            (SELECT l_suppkey, l_orderkey FROM lineitem, orders
+             WHERE o_orderkey = l_orderkey
+               AND l_receiptdate > l_commitdate
+               AND o_orderstatus = 'F') AS sq1,
+            (SELECT l_orderkey, count(distinct l_suppkey) AS cs,
+                    max(l_suppkey) AS ms
+             FROM lineitem GROUP BY l_orderkey) AS sq2
+         WHERE sq1.l_orderkey = sq2.l_orderkey
+           AND ((sq2.cs > 1) OR ((sq2.cs = 1) AND (sq1.l_suppkey <> sq2.ms)))
+        ) AS sq12
+        LEFT OUTER JOIN
+        (SELECT l_orderkey, count(distinct l_suppkey) AS cs,
+                max(l_suppkey) AS ms
+         FROM lineitem WHERE l_receiptdate > l_commitdate
+         GROUP BY l_orderkey) AS sq3
+        ON sq12.l_orderkey = sq3.l_orderkey
+        WHERE (sq3.cs IS NULL) OR ((sq3.cs = 1) AND (sq12.l_suppkey = sq3.ms))"
+        .to_string()
+}
+
+/// Full flattened Q21: the subtree joined with supplier and nation,
+/// counting waiting lineitems per supplier of one nation.
+#[must_use]
+pub fn q21_sql(nation: &str) -> String {
+    format!(
+        "SELECT s_name, count(*) AS numwait
+         FROM supplier, nation, ({}) AS waiting
+         WHERE s_suppkey = waiting.l_suppkey
+           AND s_nationkey = n_nationkey
+           AND n_name = '{nation}'
+         GROUP BY s_name
+         ORDER BY numwait DESC, s_name LIMIT 100",
+        q21_subtree_sql()
+    )
+}
+
+/// A TPC-H Q3-shaped query (shipping-priority): a three-way join across
+/// *different* keys plus aggregation and sort. Unlike Q17/Q18/Q21 its
+/// joins do not share one partition key, so it exercises the translator's
+/// non-mergeable paths (only the aggregation above the last join has
+/// job-flow correlation).
+#[must_use]
+pub fn q3_sql(nation: &str) -> String {
+    format!(
+        "SELECT o_orderkey, sum(l_extendedprice) AS revenue, o_orderdate
+         FROM customer, orders, lineitem, supplier, nation
+         WHERE c_custkey = o_custkey
+           AND l_orderkey = o_orderkey
+           AND s_suppkey = l_suppkey
+           AND s_nationkey = n_nationkey
+           AND n_name = '{nation}'
+         GROUP BY o_orderkey, o_orderdate
+         ORDER BY revenue DESC, o_orderkey LIMIT 10"
+    )
+}
+
+/// The three TPC-H workloads (plus the Q21 subtree and the Q3 shape), on
+/// freshly generated data.
+#[must_use]
+pub fn tpch_workloads(spec: &TpchSpec) -> Vec<Workload> {
+    let db = TpchGen::generate(spec);
+    let catalog = tpch_catalog();
+    let tables: Vec<(&'static str, Vec<Row>)> = db
+        .tables()
+        .into_iter()
+        .map(|(n, r)| (n, r.to_vec()))
+        .collect();
+    let mk = |name: &'static str, sql: String, ordered: bool| Workload {
+        name,
+        sql,
+        catalog: catalog.clone(),
+        tables: tables.clone(),
+        ordered,
+    };
+    vec![
+        mk("q17", q17_sql(), false),
+        mk("q18", q18_sql(250), true),
+        mk("q21-subtree", q21_subtree_sql(), false),
+        mk("q21", q21_sql("SAUDI ARABIA"), true),
+        mk("q3", q3_sql("CHINA"), true),
+    ]
+}
+
+/// The click-stream workloads on freshly generated data.
+#[must_use]
+pub fn clicks_workloads(spec: &ClicksSpec) -> Vec<Workload> {
+    let g = ClicksGen::generate(spec);
+    let catalog = clicks_catalog();
+    let tables = vec![("clicks", g.clicks)];
+    vec![
+        Workload {
+            name: "q-agg",
+            sql: q_agg_sql(),
+            catalog: catalog.clone(),
+            tables: tables.clone(),
+            ordered: false,
+        },
+        Workload {
+            name: "q-csa",
+            sql: q_csa_sql(spec.category_x, spec.category_y),
+            catalog,
+            tables,
+            ordered: false,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ysmart_plan::build_plan;
+    use ysmart_sql::parse;
+
+    #[test]
+    fn all_workload_queries_parse_and_plan() {
+        for w in tpch_workloads(&TpchSpec {
+            scale: 0.05,
+            seed: 1,
+        }) {
+            let q = parse(&w.sql).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            build_plan(&w.catalog, &q).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        }
+        for w in clicks_workloads(&ClicksSpec {
+            users: 5,
+            clicks_per_user: 10,
+            ..ClicksSpec::default()
+        }) {
+            let q = parse(&w.sql).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            build_plan(&w.catalog, &q).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        }
+    }
+
+    #[test]
+    fn q_csa_parameters_substituted() {
+        let sql = q_csa_sql(3, 7);
+        assert!(sql.contains("c1.cid = 3"));
+        assert!(sql.contains("c2.cid = 7"));
+    }
+}

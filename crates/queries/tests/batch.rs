@@ -1,0 +1,141 @@
+//! Multi-query batch translation: Rule 1 across queries. Batched queries
+//! must produce exactly their individual results while sharing jobs and
+//! scans when their operations are transit-correlated.
+
+use ysmart_core::{Strategy, YSmart};
+use ysmart_mapred::ClusterConfig;
+use ysmart_plan::Catalog;
+use ysmart_queries::rows_approx_equal;
+use ysmart_rel::{row, DataType, Row, Schema};
+
+fn catalog() -> Catalog {
+    let mut c = Catalog::new();
+    c.add_table(
+        "events",
+        Schema::of(
+            "events",
+            &[
+                ("uid", DataType::Int),
+                ("kind", DataType::Int),
+                ("amount", DataType::Int),
+            ],
+        ),
+    );
+    c.add_table(
+        "users",
+        Schema::of("users", &[("uid", DataType::Int), ("region", DataType::Int)]),
+    );
+    c
+}
+
+fn events(n: i64) -> Vec<Row> {
+    (0..n).map(|i| row![i % 9, i % 4, i * 3]).collect()
+}
+
+fn users() -> Vec<Row> {
+    (0..12i64).map(|i| row![i, i % 3]).collect()
+}
+
+fn engine() -> YSmart {
+    let mut e = YSmart::new(catalog(), ClusterConfig::default());
+    e.load_table("events", &events(120)).unwrap();
+    e.load_table("users", &users()).unwrap();
+    e
+}
+
+fn individual(sql: &str) -> Vec<Row> {
+    let mut e = engine();
+    let mut rows = e.execute_sql(sql, Strategy::YSmart).unwrap().rows;
+    rows.sort();
+    rows
+}
+
+/// Two aggregations on the same table with the same partition key fuse
+/// into one shared job under batch translation.
+#[test]
+fn correlated_queries_share_a_job() {
+    let q1 = "SELECT uid, count(*) FROM events GROUP BY uid";
+    let q2 = "SELECT uid, sum(amount) FROM events GROUP BY uid";
+    let mut e = engine();
+    let batch = e.execute_batch(&[q1, q2], Strategy::YSmart).unwrap();
+    assert_eq!(batch.jobs, 1, "transit-correlated members share one job");
+    // Results equal to individual runs.
+    for (i, sql) in [q1, q2].iter().enumerate() {
+        let mut got = batch.queries[i].0.clone();
+        got.sort();
+        assert!(
+            rows_approx_equal(&got, &individual(sql), false),
+            "member {i} differs"
+        );
+    }
+    // And the whole batch reads `events` once.
+    let individual_reads: u64 = {
+        let mut e = engine();
+        let a = e.execute_sql(q1, Strategy::YSmart).unwrap();
+        let b = e.execute_sql(q2, Strategy::YSmart).unwrap();
+        a.metrics.total_hdfs_read() + b.metrics.total_hdfs_read()
+    };
+    assert!(
+        batch.metrics.total_hdfs_read() < individual_reads,
+        "shared scan: {} vs {}",
+        batch.metrics.total_hdfs_read(),
+        individual_reads
+    );
+}
+
+/// Uncorrelated queries still execute correctly (separate jobs).
+#[test]
+fn uncorrelated_queries_stay_separate() {
+    let q1 = "SELECT uid, count(*) FROM events GROUP BY uid";
+    let q2 = "SELECT region, count(*) FROM users GROUP BY region";
+    let mut e = engine();
+    let batch = e.execute_batch(&[q1, q2], Strategy::YSmart).unwrap();
+    assert_eq!(batch.jobs, 2);
+    for (i, sql) in [q1, q2].iter().enumerate() {
+        let mut got = batch.queries[i].0.clone();
+        got.sort();
+        assert_eq!(got, individual(sql), "member {i}");
+    }
+}
+
+/// A mixed batch: one correlated pair, one join query and one map-only
+/// selection, all in a single run.
+#[test]
+fn mixed_batch_end_to_end() {
+    let sqls = [
+        "SELECT uid, count(*) FROM events GROUP BY uid",
+        "SELECT uid, max(amount) FROM events GROUP BY uid",
+        "SELECT users.uid, region, amount FROM users JOIN events ON users.uid = events.uid",
+        "SELECT uid, amount FROM events WHERE kind = 2",
+    ];
+    let mut e = engine();
+    let batch = e.execute_batch(&sqls, Strategy::YSmart).unwrap();
+    assert_eq!(batch.queries.len(), 4);
+    for (i, sql) in sqls.iter().enumerate() {
+        let mut got = batch.queries[i].0.clone();
+        got.sort();
+        assert!(
+            rows_approx_equal(&got, &individual(sql), false),
+            "member {i} ({sql}) differs"
+        );
+    }
+    // 2 merged aggs (1 job) + join (1 job) + map-only (1 job) — the join on
+    // uid is also transit-correlated with the aggregations, so it may fuse
+    // further; assert only the upper bound.
+    assert!(batch.jobs <= 3, "{} jobs", batch.jobs);
+}
+
+/// Batch translation under the one-op-one-job baseline never merges.
+#[test]
+fn hive_batch_does_not_share() {
+    let q1 = "SELECT uid, count(*) FROM events GROUP BY uid";
+    let q2 = "SELECT uid, sum(amount) FROM events GROUP BY uid";
+    let mut e = engine();
+    let batch = e.execute_batch(&[q1, q2], Strategy::Hive).unwrap();
+    assert_eq!(batch.jobs, 2);
+    for (i, sql) in [q1, q2].iter().enumerate() {
+        let mut got = batch.queries[i].0.clone();
+        got.sort();
+        assert!(rows_approx_equal(&got, &individual(sql), false), "member {i}");
+    }
+}

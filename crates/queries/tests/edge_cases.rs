@@ -1,0 +1,302 @@
+//! Edge-case end-to-end tests of the translator: degenerate inputs, NULL
+//! keys, skew, deep nesting — every case compared against the oracle under
+//! every strategy.
+
+use std::collections::BTreeMap;
+
+use ysmart_core::{Strategy, YSmart};
+use ysmart_mapred::ClusterConfig;
+use ysmart_plan::Catalog;
+use ysmart_queries::{oracle_execute, rows_approx_equal};
+use ysmart_rel::{row, DataType, Row, Schema, Value};
+
+fn catalog() -> Catalog {
+    let mut c = Catalog::new();
+    c.add_table(
+        "t",
+        Schema::of(
+            "t",
+            &[
+                ("k", DataType::Int),
+                ("g", DataType::Int),
+                ("v", DataType::Int),
+                ("s", DataType::Str),
+            ],
+        ),
+    );
+    c.add_table(
+        "u",
+        Schema::of("u", &[("k", DataType::Int), ("w", DataType::Str)]),
+    );
+    c
+}
+
+fn check(sql: &str, t: Vec<Row>, u: Vec<Row>) {
+    let catalog = catalog();
+    let mut tables = BTreeMap::new();
+    tables.insert("t".to_string(), t.clone());
+    tables.insert("u".to_string(), u.clone());
+    let plan = {
+        let q = ysmart_sql::parse(sql).unwrap();
+        ysmart_plan::build_plan(&catalog, &q).unwrap()
+    };
+    let expected = oracle_execute(&plan, &tables).unwrap().rows;
+    for strategy in Strategy::all() {
+        let mut engine = YSmart::new(catalog.clone(), ClusterConfig::default());
+        engine.load_table("t", &t).unwrap();
+        engine.load_table("u", &u).unwrap();
+        let out = engine
+            .execute_sql(sql, strategy)
+            .unwrap_or_else(|e| panic!("{strategy} on `{sql}`: {e}"));
+        assert!(
+            rows_approx_equal(&out.rows, &expected, false),
+            "{strategy} on `{sql}`: {} rows vs oracle {}",
+            out.rows.len(),
+            expected.len()
+        );
+    }
+}
+
+fn t_rows() -> Vec<Row> {
+    vec![
+        row![1i64, 0i64, 10i64, "a"],
+        row![1i64, 1i64, 20i64, "b"],
+        row![2i64, 0i64, 30i64, "c"],
+        row![3i64, 1i64, 40i64, "d"],
+    ]
+}
+
+fn u_rows() -> Vec<Row> {
+    vec![row![1i64, "x"], row![2i64, "y"], row![9i64, "z"]]
+}
+
+#[test]
+fn empty_tables_everywhere() {
+    for sql in [
+        "SELECT k, v FROM t WHERE v > 0",
+        "SELECT g, count(*) FROM t GROUP BY g",
+        "SELECT t.k, w FROM t JOIN u ON t.k = u.k",
+        "SELECT t.k, w FROM t LEFT OUTER JOIN u ON t.k = u.k",
+        "SELECT DISTINCT g FROM t ORDER BY g LIMIT 3",
+    ] {
+        check(sql, vec![], vec![]);
+        check(sql, t_rows(), vec![]);
+        check(sql, vec![], u_rows());
+    }
+}
+
+#[test]
+fn single_row_table() {
+    check(
+        "SELECT g, sum(v), count(distinct s) FROM t GROUP BY g",
+        vec![row![1i64, 0i64, 10i64, "a"]],
+        vec![],
+    );
+}
+
+#[test]
+fn null_join_keys_do_not_match() {
+    // SQL: NULL = NULL is unknown — NULL-keyed rows must join nothing,
+    // but LEFT OUTER must still emit them padded.
+    let t = vec![
+        row![1i64, 0i64, 10i64, "a"],
+        Row::new(vec![Value::Null, Value::Int(0), Value::Int(99), Value::Str("n".into())]),
+    ];
+    let u = vec![
+        row![1i64, "x"],
+        Row::new(vec![Value::Null, Value::Str("nn".into())]),
+    ];
+    check("SELECT t.k, v, w FROM t JOIN u ON t.k = u.k", t.clone(), u.clone());
+    check(
+        "SELECT t.k, v, w FROM t LEFT OUTER JOIN u ON t.k = u.k",
+        t.clone(),
+        u.clone(),
+    );
+    check(
+        "SELECT t.k, v, w FROM t FULL OUTER JOIN u ON t.k = u.k",
+        t,
+        u,
+    );
+}
+
+#[test]
+fn null_group_keys_group_together() {
+    let t = vec![
+        Row::new(vec![Value::Int(1), Value::Null, Value::Int(5), Value::Str("a".into())]),
+        Row::new(vec![Value::Int(2), Value::Null, Value::Int(7), Value::Str("b".into())]),
+        row![3i64, 1i64, 9i64, "c"],
+    ];
+    check("SELECT g, count(*), sum(v) FROM t GROUP BY g", t, vec![]);
+}
+
+#[test]
+fn nulls_ignored_by_aggregates() {
+    let t = vec![
+        Row::new(vec![Value::Int(1), Value::Int(0), Value::Null, Value::Str("a".into())]),
+        row![1i64, 0i64, 10i64, "b"],
+    ];
+    check(
+        "SELECT g, count(v), sum(v), avg(v), min(v), max(v) FROM t GROUP BY g",
+        t,
+        vec![],
+    );
+}
+
+#[test]
+fn heavy_key_skew() {
+    // 500 rows on one key, a handful elsewhere: one reducer gets nearly
+    // everything; results must be unaffected.
+    let mut t = Vec::new();
+    for i in 0..500i64 {
+        t.push(row![7i64, i % 2, i, "s"]);
+    }
+    t.push(row![1i64, 0i64, 1i64, "t"]);
+    check(
+        "SELECT t.k, count(*), sum(v) FROM t, u WHERE t.k = u.k GROUP BY t.k",
+        t,
+        vec![row![7i64, "x"], row![1i64, "y"]],
+    );
+}
+
+#[test]
+fn three_level_nesting() {
+    check(
+        "SELECT m, count(*) FROM \
+           (SELECT g AS m, total FROM \
+             (SELECT g, sum(v) AS total FROM t GROUP BY g) AS inner_t \
+            WHERE total > 0) AS mid \
+         GROUP BY m",
+        t_rows(),
+        vec![],
+    );
+}
+
+#[test]
+fn string_keys_join_and_group() {
+    check(
+        "SELECT s, count(*) FROM t GROUP BY s",
+        t_rows(),
+        vec![],
+    );
+    check(
+        "SELECT t.s, u.w FROM t JOIN u ON t.k = u.k WHERE u.w <> 'z'",
+        t_rows(),
+        u_rows(),
+    );
+}
+
+#[test]
+fn having_order_limit_combo() {
+    let catalog = catalog();
+    let sql = "SELECT g, sum(v) AS total FROM t GROUP BY g \
+               HAVING total > 15 ORDER BY total DESC LIMIT 1";
+    let mut tables = BTreeMap::new();
+    tables.insert("t".to_string(), t_rows());
+    tables.insert("u".to_string(), vec![]);
+    let plan = {
+        let q = ysmart_sql::parse(sql).unwrap();
+        ysmart_plan::build_plan(&catalog, &q).unwrap()
+    };
+    let expected = oracle_execute(&plan, &tables).unwrap().rows;
+    for strategy in Strategy::all() {
+        let mut engine = YSmart::new(catalog.clone(), ClusterConfig::default());
+        engine.load_table("t", &t_rows()).unwrap();
+        engine.load_table("u", &[]).unwrap();
+        let out = engine.execute_sql(sql, strategy).unwrap();
+        assert!(rows_approx_equal(&out.rows, &expected, true), "{strategy}");
+    }
+}
+
+#[test]
+fn constant_projection() {
+    check("SELECT 1, k FROM t WHERE v > 15", t_rows(), vec![]);
+}
+
+#[test]
+fn arithmetic_in_every_clause() {
+    check(
+        "SELECT g + 1, sum(v * 2) FROM t WHERE v + 5 > 10 GROUP BY g + 1",
+        t_rows(),
+        vec![],
+    );
+}
+
+#[test]
+fn self_join_three_instances() {
+    // Three instances of the same table — two joins on the same key.
+    check(
+        "SELECT a.k, count(*) FROM t AS a, t AS b, t AS c \
+         WHERE a.k = b.k AND b.k = c.k GROUP BY a.k",
+        t_rows(),
+        vec![],
+    );
+}
+
+#[test]
+fn right_outer_join_matches_oracle() {
+    check(
+        "SELECT v, w FROM t RIGHT OUTER JOIN u ON t.k = u.k",
+        t_rows(),
+        u_rows(),
+    );
+}
+
+#[test]
+fn anti_join_pattern_like_q21() {
+    // LEFT OUTER + IS NULL: the Q21 idiom.
+    check(
+        "SELECT t.k, v FROM t LEFT OUTER JOIN \
+           (SELECT k, count(*) AS n FROM u GROUP BY k) AS uu \
+         ON t.k = uu.k WHERE uu.n IS NULL",
+        t_rows(),
+        u_rows(),
+    );
+}
+
+#[test]
+fn translation_is_deterministic() {
+    let catalog = catalog();
+    let sql = "SELECT t.k, count(*) FROM t, u WHERE t.k = u.k GROUP BY t.k";
+    let explain = |i: usize| {
+        let mut engine = YSmart::new(catalog.clone(), ClusterConfig::default());
+        let _ = i;
+        engine.translate(sql, Strategy::YSmart).unwrap().explain()
+    };
+    // `explain` embeds the query tag, which includes a per-engine counter;
+    // fresh engines must agree exactly.
+    assert_eq!(explain(0), explain(1));
+}
+
+#[test]
+fn between_and_in_end_to_end() {
+    check(
+        "SELECT k, v FROM t WHERE v BETWEEN 15 AND 35",
+        t_rows(),
+        vec![],
+    );
+    check(
+        "SELECT g, count(*) FROM t WHERE k IN (1, 3) GROUP BY g",
+        t_rows(),
+        vec![],
+    );
+    check(
+        "SELECT k FROM t WHERE v NOT BETWEEN 15 AND 35 AND s NOT IN ('a', 'd')",
+        t_rows(),
+        vec![],
+    );
+}
+
+#[test]
+fn explain_describes_the_pipeline() {
+    let mut engine = YSmart::new(catalog(), ClusterConfig::default());
+    engine.load_table("t", &t_rows()).unwrap();
+    engine.load_table("u", &u_rows()).unwrap();
+    let sql = "SELECT t1.k, count(*) FROM t AS t1, t AS t2 \
+               WHERE t1.k = t2.k GROUP BY t1.k";
+    let translation = engine.translate(sql, Strategy::YSmart).unwrap();
+    let explain = translation.explain();
+    assert!(explain.contains("Job 1/1"), "{explain}");
+    assert!(explain.contains("data/t"), "{explain}");
+    assert!(explain.contains("post-job computation"), "{explain}");
+    assert!(explain.contains("emit"), "{explain}");
+}

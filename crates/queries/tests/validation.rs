@@ -1,0 +1,123 @@
+//! The central correctness gate: every workload query, translated under
+//! every strategy, must produce exactly the oracle's result set on the
+//! simulated cluster. A figure can only report times for runs that pass
+//! this gate.
+
+use std::collections::BTreeMap;
+
+use ysmart_core::{Strategy, YSmart};
+use ysmart_datagen::{ClicksSpec, TpchSpec};
+use ysmart_mapred::ClusterConfig;
+use ysmart_queries::{clicks_workloads, oracle_execute, rows_approx_equal, tpch_workloads, Workload};
+use ysmart_rel::Row;
+
+fn check_workload(w: &Workload) {
+    let tables: BTreeMap<String, Vec<Row>> = w
+        .tables
+        .iter()
+        .map(|(n, r)| ((*n).to_string(), r.clone()))
+        .collect();
+    let plan = {
+        let q = ysmart_sql::parse(&w.sql).unwrap();
+        ysmart_plan::build_plan(&w.catalog, &q).unwrap()
+    };
+    let expected = oracle_execute(&plan, &tables).unwrap().rows;
+
+    for strategy in Strategy::all() {
+        let mut engine = YSmart::new(w.catalog.clone(), ClusterConfig::default());
+        w.load_into(&mut engine).unwrap();
+        let out = engine
+            .execute_sql(&w.sql, strategy)
+            .unwrap_or_else(|e| panic!("{} under {strategy}: {e}", w.name));
+        assert!(
+            rows_approx_equal(&out.rows, &expected, w.ordered),
+            "{} under {strategy}: results differ ({} vs {} rows)",
+            w.name,
+            out.rows.len(),
+            expected.len()
+        );
+    }
+}
+
+#[test]
+fn tpch_queries_match_oracle_under_all_strategies() {
+    for w in tpch_workloads(&TpchSpec {
+        scale: 0.15,
+        seed: 11,
+    }) {
+        check_workload(&w);
+    }
+}
+
+#[test]
+fn clicks_queries_match_oracle_under_all_strategies() {
+    for w in clicks_workloads(&ClicksSpec {
+        users: 25,
+        clicks_per_user: 30,
+        seed: 5,
+        ..ClicksSpec::default()
+    }) {
+        check_workload(&w);
+    }
+}
+
+#[test]
+fn multiple_seeds_and_scales() {
+    for seed in [1, 2, 3] {
+        for w in tpch_workloads(&TpchSpec { scale: 0.08, seed }) {
+            check_workload(&w);
+        }
+    }
+}
+
+/// The paper's headline job counts (§VII-A), asserted end-to-end.
+#[test]
+fn job_counts_match_paper() {
+    let tpch = tpch_workloads(&TpchSpec {
+        scale: 0.05,
+        seed: 2,
+    });
+    let clicks = clicks_workloads(&ClicksSpec {
+        users: 8,
+        clicks_per_user: 12,
+        seed: 2,
+        ..ClicksSpec::default()
+    });
+    let find = |ws: &[Workload], n: &str| -> Workload {
+        ws.iter().find(|w| w.name == n).unwrap().clone()
+    };
+
+    // Q17: Hive four jobs, YSmart two (§VII-D: "For Q17 by Hive, there are
+    // four jobs").
+    let q17 = find(&tpch, "q17");
+    let counts = job_counts(&q17);
+    assert_eq!(counts[&Strategy::Hive], 4);
+    assert_eq!(counts[&Strategy::YSmart], 2);
+
+    // Q-CSA: Hive six jobs, YSmart two (§VII-D: "YSmart executes two jobs,
+    // while Hive executes six jobs").
+    let q_csa = find(&clicks, "q-csa");
+    let counts = job_counts(&q_csa);
+    assert_eq!(counts[&Strategy::Hive], 6);
+    assert_eq!(counts[&Strategy::YSmart], 2);
+
+    // Q21 subtree: five operations one-op-one-job vs a single YSmart job
+    // (§VII-C).
+    let sub = find(&tpch, "q21-subtree");
+    let counts = job_counts(&sub);
+    assert_eq!(counts[&Strategy::Hive], 5);
+    assert_eq!(counts[&Strategy::YSmart], 1);
+    // IC/TC only: three jobs (Fig. 9 middle configuration).
+    assert_eq!(counts[&Strategy::YSmartNoJfc], 3);
+}
+
+fn job_counts(w: &Workload) -> BTreeMap<Strategy, usize> {
+    let mut out = BTreeMap::new();
+    for strategy in Strategy::all() {
+        let mut engine = YSmart::new(w.catalog.clone(), ClusterConfig::default());
+        w.load_into(&mut engine).unwrap();
+        let t = engine.translate(&w.sql, strategy).unwrap();
+        out.insert(strategy, t.job_count());
+    }
+    out
+}

@@ -1,0 +1,176 @@
+//! Rows: fixed-width tuples of [`Value`]s.
+
+use std::fmt;
+
+use crate::error::RelError;
+use crate::value::Value;
+
+/// A tuple of values. The layout (names and types) is described by a
+/// separate [`crate::Schema`]; rows themselves carry no metadata, matching
+/// how records travel through a MapReduce shuffle as raw payloads.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Row {
+    values: Vec<Value>,
+}
+
+impl Row {
+    /// Creates a row from values.
+    #[must_use]
+    pub fn new(values: Vec<Value>) -> Self {
+        Row { values }
+    }
+
+    /// The values in order.
+    #[must_use]
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Number of columns in the row.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the row has no columns.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Value at column `i`.
+    ///
+    /// # Errors
+    ///
+    /// [`RelError::ColumnOutOfBounds`] when `i` exceeds the row width.
+    pub fn get(&self, i: usize) -> Result<&Value, RelError> {
+        self.values.get(i).ok_or(RelError::ColumnOutOfBounds {
+            index: i,
+            width: self.values.len(),
+        })
+    }
+
+    /// Projects the row onto the given column indices.
+    #[must_use]
+    pub fn project(&self, indices: &[usize]) -> Row {
+        Row {
+            values: indices
+                .iter()
+                .map(|&i| self.values.get(i).cloned().unwrap_or(Value::Null))
+                .collect(),
+        }
+    }
+
+    /// Concatenates two rows (join output).
+    #[must_use]
+    pub fn concat(&self, other: &Row) -> Row {
+        let mut values = self.values.clone();
+        values.extend(other.values.iter().cloned());
+        Row { values }
+    }
+
+    /// A row of `n` NULLs — the padding side of an outer join.
+    #[must_use]
+    pub fn nulls(n: usize) -> Row {
+        Row {
+            values: vec![Value::Null; n],
+        }
+    }
+
+    /// Consumes the row, returning its values.
+    #[must_use]
+    pub fn into_values(self) -> Vec<Value> {
+        self.values
+    }
+
+    /// Byte size for simulator I/O accounting.
+    #[must_use]
+    pub fn size_bytes(&self) -> usize {
+        self.values.iter().map(Value::size_bytes).sum()
+    }
+}
+
+impl From<Vec<Value>> for Row {
+    fn from(values: Vec<Value>) -> Self {
+        Row::new(values)
+    }
+}
+
+impl FromIterator<Value> for Row {
+    fn from_iter<T: IntoIterator<Item = Value>>(iter: T) -> Self {
+        Row::new(iter.into_iter().collect())
+    }
+}
+
+impl fmt::Display for Row {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Builds a row from heterogeneous literals, e.g. `row![1, "a", 2.5]`.
+#[macro_export]
+macro_rules! row {
+    ($($v:expr),* $(,)?) => {
+        $crate::Row::new(vec![$($crate::Value::from($v)),*])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn macro_builds_mixed_row() {
+        let r = row![1i64, "x", 2.5f64, true];
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.get(1).unwrap(), &Value::Str("x".into()));
+    }
+
+    #[test]
+    fn out_of_bounds_get() {
+        let r = row![1i64];
+        assert!(matches!(
+            r.get(5),
+            Err(RelError::ColumnOutOfBounds { index: 5, width: 1 })
+        ));
+    }
+
+    #[test]
+    fn project_and_concat() {
+        let r = row![1i64, 2i64, 3i64];
+        let p = r.project(&[2, 0]);
+        assert_eq!(p, row![3i64, 1i64]);
+        let c = p.concat(&row!["z"]);
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn nulls_row_for_outer_join_padding() {
+        let r = Row::nulls(3);
+        assert!(r.values().iter().all(Value::is_null));
+    }
+
+    #[test]
+    fn rows_order_lexicographically() {
+        assert!(row![1i64, 2i64] < row![1i64, 3i64]);
+        assert!(row![1i64] < row![1i64, 0i64]);
+    }
+
+    #[test]
+    fn size_accounting_sums_values() {
+        assert_eq!(row![1i64, "ab"].size_bytes(), 8 + 3);
+    }
+
+    #[test]
+    fn display_row() {
+        assert_eq!(row![1i64, "a"].to_string(), "[1, a]");
+    }
+}

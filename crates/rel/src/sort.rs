@@ -1,0 +1,124 @@
+//! Sort keys and row comparators for SORT jobs and `ORDER BY`.
+
+use std::cmp::Ordering;
+
+use crate::expr::Expr;
+use crate::row::Row;
+
+/// Sort direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SortOrder {
+    /// Ascending (SQL default). NULLs first, matching the total order of
+    /// [`crate::Value`].
+    #[default]
+    Asc,
+    /// Descending.
+    Desc,
+}
+
+/// One `ORDER BY` item: an expression plus a direction.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SortKey {
+    /// Expression to sort by (usually a plain column).
+    pub expr: Expr,
+    /// Direction.
+    pub order: SortOrder,
+}
+
+impl SortKey {
+    /// Ascending sort on a column index.
+    #[must_use]
+    pub fn asc(col: usize) -> Self {
+        SortKey {
+            expr: Expr::col(col),
+            order: SortOrder::Asc,
+        }
+    }
+
+    /// Descending sort on a column index.
+    #[must_use]
+    pub fn desc(col: usize) -> Self {
+        SortKey {
+            expr: Expr::col(col),
+            order: SortOrder::Desc,
+        }
+    }
+}
+
+/// Compares two rows under a list of sort keys.
+///
+/// Expression evaluation failures are treated as NULL (sorting never aborts
+/// a job — the same forgiving behaviour as Hadoop's raw comparators).
+#[must_use]
+pub fn compare(keys: &[SortKey], a: &Row, b: &Row) -> Ordering {
+    use crate::value::Value;
+    for key in keys {
+        let va = key.expr.eval(a).unwrap_or(Value::Null);
+        let vb = key.expr.eval(b).unwrap_or(Value::Null);
+        let ord = va.cmp(&vb);
+        let ord = match key.order {
+            SortOrder::Asc => ord,
+            SortOrder::Desc => ord.reverse(),
+        };
+        if ord != Ordering::Equal {
+            return ord;
+        }
+    }
+    Ordering::Equal
+}
+
+/// Sorts rows in place under the sort keys (stable, so ties keep input
+/// order — the behaviour downstream LIMIT relies on being deterministic).
+pub fn sort_rows(keys: &[SortKey], rows: &mut [Row]) {
+    rows.sort_by(|a, b| compare(keys, a, b));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row;
+
+    #[test]
+    fn single_key_asc_desc() {
+        let mut rows = vec![row![3i64, "c"], row![1i64, "a"], row![2i64, "b"]];
+        sort_rows(&[SortKey::asc(0)], &mut rows);
+        assert_eq!(rows[0], row![1i64, "a"]);
+        sort_rows(&[SortKey::desc(0)], &mut rows);
+        assert_eq!(rows[0], row![3i64, "c"]);
+    }
+
+    #[test]
+    fn multi_key() {
+        let mut rows = vec![row![1i64, 2i64], row![1i64, 1i64], row![0i64, 9i64]];
+        sort_rows(&[SortKey::asc(0), SortKey::desc(1)], &mut rows);
+        assert_eq!(rows, vec![row![0i64, 9i64], row![1i64, 2i64], row![1i64, 1i64]]);
+    }
+
+    #[test]
+    fn nulls_sort_first_asc() {
+        use crate::value::Value;
+        let mut rows = vec![row![1i64], Row::new(vec![Value::Null])];
+        sort_rows(&[SortKey::asc(0)], &mut rows);
+        assert!(rows[0].get(0).unwrap().is_null());
+    }
+
+    #[test]
+    fn stable_on_ties() {
+        let mut rows = vec![row![1i64, "first"], row![1i64, "second"]];
+        sort_rows(&[SortKey::asc(0)], &mut rows);
+        assert_eq!(rows[0].get(1).unwrap().as_str().unwrap(), "first");
+    }
+
+    #[test]
+    fn expression_key() {
+        use crate::expr::{BinOp, Expr};
+        // sort by (a - b)
+        let key = SortKey {
+            expr: Expr::binary(BinOp::Sub, Expr::col(0), Expr::col(1)),
+            order: SortOrder::Asc,
+        };
+        let mut rows = vec![row![10i64, 1i64], row![5i64, 4i64]];
+        sort_rows(&[key], &mut rows);
+        assert_eq!(rows[0], row![5i64, 4i64]);
+    }
+}

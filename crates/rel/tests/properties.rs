@@ -1,0 +1,155 @@
+//! Property-based tests of the relational base layer's invariants.
+
+use proptest::prelude::*;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use ysmart_rel::codec::{decode_line, encode_line};
+use ysmart_rel::sort::{compare, sort_rows};
+use ysmart_rel::{AggFunc, DataType, Field, Row, Schema, SortKey, Value};
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        (-1_000_000i64..1_000_000).prop_map(Value::Int),
+        (-1000.0f64..1000.0).prop_map(Value::Float),
+        "[a-z]{0,12}".prop_map(Value::Str),
+    ]
+}
+
+fn hash_of(v: &Value) -> u64 {
+    let mut h = DefaultHasher::new();
+    v.hash(&mut h);
+    h.finish()
+}
+
+proptest! {
+    /// The total order is consistent: sorting twice gives the same result,
+    /// and `a <= b <= c` implies `a <= c` (checked over sorted triples).
+    #[test]
+    fn value_order_is_total_and_transitive(mut vs in prop::collection::vec(arb_value(), 3..20)) {
+        vs.sort();
+        let once = vs.clone();
+        vs.sort();
+        prop_assert_eq!(&once, &vs);
+        for w in once.windows(3) {
+            prop_assert!(w[0] <= w[2]);
+        }
+    }
+
+    /// Eq implies equal hashes (required for grouping and shuffling).
+    #[test]
+    fn value_eq_implies_same_hash(a in arb_value(), b in arb_value()) {
+        if a == b {
+            prop_assert_eq!(hash_of(&a), hash_of(&b));
+        }
+    }
+
+    /// `sql_cmp` is antisymmetric and agrees with equality.
+    #[test]
+    fn sql_cmp_antisymmetric(a in arb_value(), b in arb_value()) {
+        use std::cmp::Ordering;
+        match (a.sql_cmp(&b), b.sql_cmp(&a)) {
+            (None, None) => {} // at least one NULL or incomparable
+            (Some(x), Some(y)) => prop_assert_eq!(x, y.reverse()),
+            other => prop_assert!(false, "one-sided comparison: {:?}", other),
+        }
+        if a.sql_cmp(&b) == Some(Ordering::Equal) {
+            prop_assert_eq!(&a, &b);
+        }
+    }
+
+    /// Arithmetic with NULL always yields NULL (never an error).
+    #[test]
+    fn null_absorbs_arithmetic(a in arb_value()) {
+        for op in [Value::add, Value::sub, Value::mul] {
+            if let Ok(v) = op(&a, &Value::Null) {
+                prop_assert!(v.is_null());
+            } else {
+                prop_assert!(false, "NULL arithmetic must not error");
+            }
+        }
+    }
+
+    /// Integer add/mul agree with i64 arithmetic (in range).
+    #[test]
+    fn int_arithmetic_agrees(a in -10_000i64..10_000, b in -10_000i64..10_000) {
+        prop_assert_eq!(Value::Int(a).add(&Value::Int(b)).unwrap(), Value::Int(a + b));
+        prop_assert_eq!(Value::Int(a).mul(&Value::Int(b)).unwrap(), Value::Int(a * b));
+    }
+
+    /// Rows survive the text codec for every type (strings restricted to
+    /// separator-free alphabets, as the generators produce).
+    #[test]
+    fn codec_round_trips(
+        ints in prop::collection::vec(prop::option::of(-1_000_000i64..1_000_000), 1..6),
+        s in "[a-zA-Z0-9 _.-]{0,20}",
+    ) {
+        let mut fields: Vec<Field> = ints
+            .iter()
+            .enumerate()
+            .map(|(i, _)| Field::new("t", &format!("c{i}"), DataType::Int))
+            .collect();
+        fields.push(Field::new("t", "s", DataType::Str));
+        let schema = Schema::new(fields);
+        let mut values: Vec<Value> = ints
+            .iter()
+            .map(|o| o.map(Value::Int).unwrap_or(Value::Null))
+            .collect();
+        // Empty text decodes as NULL, so a round-trip maps "" -> NULL.
+        values.push(if s.is_empty() { Value::Null } else { Value::Str(s.clone()) });
+        let row = Row::new(values);
+        let line = encode_line(&row);
+        let back = decode_line(&line, &schema).unwrap();
+        prop_assert_eq!(back, row);
+    }
+
+    /// Aggregate merge is associative-enough: any split of the input
+    /// produces the same final value as sequential accumulation.
+    #[test]
+    fn agg_split_invariance(
+        xs in prop::collection::vec(prop::option::of(-1000i64..1000), 1..30),
+        split in 0usize..30,
+        func in prop::sample::select(vec![
+            AggFunc::Count, AggFunc::Sum, AggFunc::Avg, AggFunc::Min, AggFunc::Max,
+        ]),
+    ) {
+        let vals: Vec<Value> = xs.iter().map(|o| o.map(Value::Int).unwrap_or(Value::Null)).collect();
+        let split = split.min(vals.len());
+        let mut direct = func.new_state();
+        for v in &vals {
+            direct.update(v).unwrap();
+        }
+        let mut a = func.new_state();
+        let mut b = func.new_state();
+        for v in &vals[..split] {
+            a.update(v).unwrap();
+        }
+        for v in &vals[split..] {
+            b.update(v).unwrap();
+        }
+        a.merge(&b).unwrap();
+        // Avg accumulates floats; compare with tolerance.
+        match (a.finish(), direct.finish()) {
+            (Value::Float(x), Value::Float(y)) => prop_assert!((x - y).abs() < 1e-9),
+            (x, y) => prop_assert_eq!(x, y),
+        }
+    }
+
+    /// Sorting is idempotent and respects the first key.
+    #[test]
+    fn sort_invariants(rows_data in prop::collection::vec((any::<i64>(), any::<i64>()), 0..30)) {
+        let mut rows: Vec<Row> = rows_data
+            .iter()
+            .map(|(a, b)| Row::new(vec![Value::Int(*a), Value::Int(*b)]))
+            .collect();
+        let keys = [SortKey::asc(0), SortKey::desc(1)];
+        sort_rows(&keys, &mut rows);
+        let once = rows.clone();
+        sort_rows(&keys, &mut rows);
+        prop_assert_eq!(&once, &rows);
+        for w in rows.windows(2) {
+            prop_assert!(compare(&keys, &w[0], &w[1]) != std::cmp::Ordering::Greater);
+        }
+    }
+}

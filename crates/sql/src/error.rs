@@ -1,0 +1,70 @@
+//! Parse errors with source positions.
+
+use std::fmt;
+
+/// A lexing or parsing error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description of what went wrong.
+    pub message: String,
+    /// Byte offset into the source text where the error was detected.
+    pub offset: usize,
+    /// 1-based line number of the error.
+    pub line: usize,
+    /// 1-based column number of the error.
+    pub column: usize,
+}
+
+impl ParseError {
+    /// Creates an error at a byte offset, computing line/column from the
+    /// source text.
+    #[must_use]
+    pub fn at(source: &str, offset: usize, message: impl Into<String>) -> Self {
+        let clamped = offset.min(source.len());
+        let prefix = &source[..clamped];
+        let line = prefix.bytes().filter(|&b| b == b'\n').count() + 1;
+        let column = prefix
+            .rfind('\n')
+            .map_or(clamped + 1, |nl| clamped - nl);
+        ParseError {
+            message: message.into(),
+            offset,
+            line,
+            column,
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "parse error at line {}, column {}: {}",
+            self.line, self.column, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_and_column_computed() {
+        let src = "SELECT a\nFROM t\nWHERE ???";
+        let off = src.find("???").unwrap();
+        let e = ParseError::at(src, off, "unexpected `?`");
+        assert_eq!(e.line, 3);
+        assert_eq!(e.column, 7);
+        assert!(e.to_string().contains("line 3"));
+    }
+
+    #[test]
+    fn offset_past_end_is_clamped() {
+        let e = ParseError::at("ab", 99, "eof");
+        assert_eq!(e.line, 1);
+        assert_eq!(e.column, 3);
+    }
+}

@@ -1,0 +1,397 @@
+//! SQL lexer.
+//!
+//! Produces a flat token stream. Keywords are case-insensitive; identifiers
+//! are lower-cased (SQL's unquoted-identifier folding), string literals keep
+//! their exact contents. Comments (`-- …` to end of line) are skipped.
+
+use std::fmt;
+
+use crate::error::ParseError;
+
+/// The kind of a lexed token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Keyword or identifier (already lower-cased). Keywords are
+    /// distinguished by the parser via [`Token::is_kw`].
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal (contents between quotes, `''` unescaped to `'`).
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `;`
+    Semicolon,
+    /// `*`
+    Star,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `/`
+    Slash,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    LtEq,
+    /// `>`
+    Gt,
+    /// `>=`
+    GtEq,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "`{s}`"),
+            TokenKind::Int(i) => write!(f, "{i}"),
+            TokenKind::Float(x) => write!(f, "{x}"),
+            TokenKind::Str(s) => write!(f, "'{s}'"),
+            TokenKind::LParen => f.write_str("("),
+            TokenKind::RParen => f.write_str(")"),
+            TokenKind::Comma => f.write_str(","),
+            TokenKind::Dot => f.write_str("."),
+            TokenKind::Semicolon => f.write_str(";"),
+            TokenKind::Star => f.write_str("*"),
+            TokenKind::Plus => f.write_str("+"),
+            TokenKind::Minus => f.write_str("-"),
+            TokenKind::Slash => f.write_str("/"),
+            TokenKind::Eq => f.write_str("="),
+            TokenKind::NotEq => f.write_str("<>"),
+            TokenKind::Lt => f.write_str("<"),
+            TokenKind::LtEq => f.write_str("<="),
+            TokenKind::Gt => f.write_str(">"),
+            TokenKind::GtEq => f.write_str(">="),
+            TokenKind::Eof => f.write_str("<eof>"),
+        }
+    }
+}
+
+/// A token with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What was lexed.
+    pub kind: TokenKind,
+    /// Byte offset of the token's first character.
+    pub offset: usize,
+}
+
+impl Token {
+    /// Whether this token is the given keyword (case-insensitive match was
+    /// already done by lower-casing in the lexer).
+    #[must_use]
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(&self.kind, TokenKind::Ident(s) if s == kw)
+    }
+}
+
+/// Tokenises SQL text.
+#[derive(Debug)]
+pub struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    /// Creates a lexer over `src`.
+    #[must_use]
+    pub fn new(src: &'a str) -> Self {
+        Lexer {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    /// Lexes the whole input into a token vector ending with
+    /// [`TokenKind::Eof`].
+    ///
+    /// # Errors
+    ///
+    /// Unterminated strings and unexpected characters produce a
+    /// [`ParseError`] at the offending offset.
+    pub fn tokenize(mut self) -> Result<Vec<Token>, ParseError> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_ws_and_comments();
+            let start = self.pos;
+            let Some(&b) = self.bytes.get(self.pos) else {
+                out.push(Token {
+                    kind: TokenKind::Eof,
+                    offset: start,
+                });
+                return Ok(out);
+            };
+            let kind = match b {
+                b'(' => self.single(TokenKind::LParen),
+                b')' => self.single(TokenKind::RParen),
+                b',' => self.single(TokenKind::Comma),
+                b'.' if !self.peek_digit(1) => self.single(TokenKind::Dot),
+                b';' => self.single(TokenKind::Semicolon),
+                b'*' => self.single(TokenKind::Star),
+                b'+' => self.single(TokenKind::Plus),
+                b'-' => self.single(TokenKind::Minus),
+                b'/' => self.single(TokenKind::Slash),
+                b'=' => self.single(TokenKind::Eq),
+                b'<' => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'=') => self.single(TokenKind::LtEq),
+                        Some(b'>') => self.single(TokenKind::NotEq),
+                        _ => TokenKind::Lt,
+                    }
+                }
+                b'>' => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'=') => self.single(TokenKind::GtEq),
+                        _ => TokenKind::Gt,
+                    }
+                }
+                b'!' => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'=') => self.single(TokenKind::NotEq),
+                        _ => {
+                            return Err(ParseError::at(self.src, start, "expected `!=`"));
+                        }
+                    }
+                }
+                b'\'' => self.lex_string(start)?,
+                b'0'..=b'9' => self.lex_number(start)?,
+                b'.' => self.lex_number(start)?,
+                b'a'..=b'z' | b'A'..=b'Z' | b'_' => self.lex_ident(start),
+                other => {
+                    return Err(ParseError::at(
+                        self.src,
+                        start,
+                        format!("unexpected character `{}`", other as char),
+                    ));
+                }
+            };
+            out.push(Token {
+                kind,
+                offset: start,
+            });
+        }
+    }
+
+    fn single(&mut self, kind: TokenKind) -> TokenKind {
+        self.pos += 1;
+        kind
+    }
+
+    fn peek_digit(&self, ahead: usize) -> bool {
+        self.bytes
+            .get(self.pos + ahead)
+            .is_some_and(u8::is_ascii_digit)
+    }
+
+    fn skip_ws_and_comments(&mut self) {
+        loop {
+            while self
+                .bytes
+                .get(self.pos)
+                .is_some_and(u8::is_ascii_whitespace)
+            {
+                self.pos += 1;
+            }
+            if self.bytes.get(self.pos) == Some(&b'-') && self.bytes.get(self.pos + 1) == Some(&b'-')
+            {
+                while self.bytes.get(self.pos).is_some_and(|&b| b != b'\n') {
+                    self.pos += 1;
+                }
+            } else {
+                return;
+            }
+        }
+    }
+
+    fn lex_string(&mut self, start: usize) -> Result<TokenKind, ParseError> {
+        self.pos += 1; // opening quote
+        let mut s = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err(ParseError::at(self.src, start, "unterminated string")),
+                Some(b'\'') => {
+                    if self.bytes.get(self.pos + 1) == Some(&b'\'') {
+                        s.push('\'');
+                        self.pos += 2;
+                    } else {
+                        self.pos += 1;
+                        return Ok(TokenKind::Str(s));
+                    }
+                }
+                Some(&b) => {
+                    s.push(b as char);
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+
+    fn lex_number(&mut self, start: usize) -> Result<TokenKind, ParseError> {
+        let mut saw_dot = false;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' if !saw_dot && self.peek_digit(1) => {
+                    saw_dot = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = &self.src[start..self.pos];
+        if saw_dot {
+            text.parse::<f64>()
+                .map(TokenKind::Float)
+                .map_err(|_| ParseError::at(self.src, start, "invalid float literal"))
+        } else {
+            text.parse::<i64>()
+                .map(TokenKind::Int)
+                .map_err(|_| ParseError::at(self.src, start, "integer literal out of range"))
+        }
+    }
+
+    fn lex_ident(&mut self, start: usize) -> TokenKind {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|&b| b.is_ascii_alphanumeric() || b == b'_')
+        {
+            self.pos += 1;
+        }
+        TokenKind::Ident(self.src[start..self.pos].to_ascii_lowercase())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        Lexer::new(src)
+            .tokenize()
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn keywords_fold_case() {
+        let ks = kinds("SELECT Foo FROM bar");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Ident("select".into()),
+                TokenKind::Ident("foo".into()),
+                TokenKind::Ident("from".into()),
+                TokenKind::Ident("bar".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn operators() {
+        let ks = kinds("a <= b <> c >= d != e < f > g = h");
+        assert!(ks.contains(&TokenKind::LtEq));
+        assert_eq!(
+            ks.iter().filter(|k| **k == TokenKind::NotEq).count(),
+            2,
+            "both <> and != lex as NotEq"
+        );
+        assert!(ks.contains(&TokenKind::GtEq));
+    }
+
+    #[test]
+    fn numbers_int_and_float() {
+        assert_eq!(
+            kinds("42 0.2 7.0"),
+            vec![
+                TokenKind::Int(42),
+                TokenKind::Float(0.2),
+                TokenKind::Float(7.0),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn qualified_name_lexes_as_ident_dot_ident() {
+        assert_eq!(
+            kinds("c1.uid"),
+            vec![
+                TokenKind::Ident("c1".into()),
+                TokenKind::Dot,
+                TokenKind::Ident("uid".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn string_with_escaped_quote() {
+        assert_eq!(
+            kinds("'it''s'"),
+            vec![TokenKind::Str("it's".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        let e = Lexer::new("'oops").tokenize().unwrap_err();
+        assert!(e.message.contains("unterminated"));
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let ks = kinds("a -- comment here\n b");
+        assert_eq!(ks.len(), 3);
+    }
+
+    #[test]
+    fn leading_dot_float_literal() {
+        // `.7` is a float literal; a bare `.` (qualified name) stays a Dot.
+        assert_eq!(kinds(".7"), vec![TokenKind::Float(0.7), TokenKind::Eof]);
+        assert_eq!(
+            kinds("t.c"),
+            vec![
+                TokenKind::Ident("t".into()),
+                TokenKind::Dot,
+                TokenKind::Ident("c".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn unexpected_character() {
+        let e = Lexer::new("select @").tokenize().unwrap_err();
+        assert!(e.message.contains("unexpected character"));
+        assert_eq!(e.offset, 7);
+    }
+
+    #[test]
+    fn offsets_recorded() {
+        let toks = Lexer::new("ab cd").tokenize().unwrap();
+        assert_eq!(toks[1].offset, 3);
+    }
+}

@@ -1,0 +1,37 @@
+//! # ysmart-sql — SQL front-end
+//!
+//! Lexer, recursive-descent parser and AST for the SQL subset the paper
+//! targets (§IV): selection, projection, aggregation (with or without
+//! grouping, including `count(distinct …)` and `HAVING`), sorting, and
+//! equi-joins (inner and left/right/full outer), plus subqueries in `FROM`
+//! — the form produced by flattening nested TPC-H queries with the
+//! first-aggregation-then-join algorithm the paper uses.
+//!
+//! The parser is deliberately independent of the relational layer: it
+//! resolves nothing, producing a purely syntactic [`ast::Query`]. Name
+//! resolution and typing happen in `ysmart-plan`.
+//!
+//! ```
+//! use ysmart_sql::parse;
+//! let q = parse("SELECT cid, count(*) FROM clicks GROUP BY cid").unwrap();
+//! assert_eq!(q.group_by.len(), 1);
+//! ```
+
+pub mod ast;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::{AstExpr, FromItem, Join, JoinType, Literal, Query, SelectItem, TableRef, TableSource};
+pub use error::ParseError;
+pub use lexer::{Lexer, Token, TokenKind};
+pub use parser::Parser;
+
+/// Parses a single SQL query.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] with the byte offset of the offending token.
+pub fn parse(sql: &str) -> Result<Query, ParseError> {
+    Parser::new(sql)?.parse_query_eof()
+}

@@ -1,0 +1,909 @@
+//! Recursive-descent SQL parser.
+//!
+//! Grammar (keywords case-insensitive):
+//!
+//! ```text
+//! query      := SELECT [DISTINCT] select_list FROM from_list
+//!               [WHERE expr] [GROUP BY expr_list] [HAVING expr]
+//!               [ORDER BY order_list] [LIMIT int]
+//! select_list:= '*' | select_item (',' select_item)*
+//! select_item:= expr [[AS] ident]
+//! from_list  := from_item (',' from_item)*
+//! from_item  := table_ref (join_clause)*
+//! table_ref  := ident [[AS] ident] | '(' query ')' [AS] ident
+//! join_clause:= [INNER | LEFT [OUTER] | RIGHT [OUTER] | FULL [OUTER]]
+//!               JOIN table_ref ON expr
+//! expr       := or_expr
+//! or_expr    := and_expr (OR and_expr)*
+//! and_expr   := not_expr (AND not_expr)*
+//! not_expr   := NOT not_expr | cmp_expr
+//! cmp_expr   := add_expr [(= | <> | < | <= | > | >=) add_expr]
+//!             | add_expr IS [NOT] NULL
+//!             | add_expr [NOT] BETWEEN add_expr AND add_expr
+//!             | add_expr [NOT] IN '(' expr (',' expr)* ')'
+//! add_expr   := mul_expr (('+'|'-') mul_expr)*
+//! mul_expr   := unary (('*'|'/') unary)*
+//! unary      := '-' unary | primary
+//! primary    := literal | agg_call | column | '(' expr ')'
+//! agg_call   := (count|sum|avg|min|max) '(' ('*' | [DISTINCT] expr) ')'
+//! column     := ident ['.' ident]
+//! ```
+
+use crate::ast::{
+    AstAggFunc, AstBinOp, AstExpr, FromItem, Join, JoinType, Literal, Query, SelectItem, TableRef,
+    TableSource,
+};
+use crate::error::ParseError;
+use crate::lexer::{Lexer, Token, TokenKind};
+
+/// The recursive-descent parser. Usually invoked through [`crate::parse`].
+#[derive(Debug)]
+pub struct Parser {
+    src: String,
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    /// Lexes `src` and prepares a parser over its tokens.
+    ///
+    /// # Errors
+    ///
+    /// Propagates lexer errors.
+    pub fn new(src: &str) -> Result<Self, ParseError> {
+        let tokens = Lexer::new(src).tokenize()?;
+        Ok(Parser {
+            src: src.to_string(),
+            tokens,
+            pos: 0,
+        })
+    }
+
+    /// Parses one query and requires the rest of the input to be empty
+    /// (a trailing semicolon is allowed).
+    ///
+    /// # Errors
+    ///
+    /// Any syntax error, or trailing tokens after the query.
+    pub fn parse_query_eof(mut self) -> Result<Query, ParseError> {
+        let q = self.parse_query()?;
+        if self.peek_kind() == &TokenKind::Semicolon {
+            self.advance();
+        }
+        if self.peek_kind() != &TokenKind::Eof {
+            return Err(self.unexpected("end of input"));
+        }
+        Ok(q)
+    }
+
+    fn parse_query(&mut self) -> Result<Query, ParseError> {
+        self.expect_kw("select")?;
+        let distinct = self.eat_kw("distinct");
+        let select = self.parse_select_list()?;
+        self.expect_kw("from")?;
+        let from = self.parse_from_list()?;
+        let where_clause = if self.eat_kw("where") {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        let group_by = if self.eat_kw("group") {
+            self.expect_kw("by")?;
+            self.parse_expr_list()?
+        } else {
+            Vec::new()
+        };
+        let having = if self.eat_kw("having") {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        let order_by = if self.eat_kw("order") {
+            self.expect_kw("by")?;
+            self.parse_order_list()?
+        } else {
+            Vec::new()
+        };
+        let limit = if self.eat_kw("limit") {
+            match self.peek_kind().clone() {
+                TokenKind::Int(n) if n >= 0 => {
+                    self.advance();
+                    Some(n as u64)
+                }
+                _ => return Err(self.unexpected("a non-negative integer after LIMIT")),
+            }
+        } else {
+            None
+        };
+        Ok(Query {
+            select,
+            distinct,
+            from,
+            where_clause,
+            group_by,
+            having,
+            order_by,
+            limit,
+        })
+    }
+
+    fn parse_select_list(&mut self) -> Result<Vec<SelectItem>, ParseError> {
+        let mut items = Vec::new();
+        loop {
+            if self.peek_kind() == &TokenKind::Star {
+                self.advance();
+                items.push(SelectItem::Wildcard);
+            } else {
+                let expr = self.parse_expr()?;
+                let alias = self.parse_alias()?;
+                items.push(SelectItem::Expr { expr, alias });
+            }
+            if self.peek_kind() == &TokenKind::Comma {
+                self.advance();
+            } else {
+                return Ok(items);
+            }
+        }
+    }
+
+    /// `[AS] ident` — an alias after a select item or table reference. Bare
+    /// identifiers that are clause keywords are not treated as aliases.
+    fn parse_alias(&mut self) -> Result<Option<String>, ParseError> {
+        if self.eat_kw("as") {
+            return Ok(Some(self.expect_ident()?));
+        }
+        if let TokenKind::Ident(name) = self.peek_kind() {
+            if !is_clause_keyword(name) {
+                let name = name.clone();
+                self.advance();
+                return Ok(Some(name));
+            }
+        }
+        Ok(None)
+    }
+
+    fn parse_from_list(&mut self) -> Result<Vec<FromItem>, ParseError> {
+        let mut items = vec![self.parse_from_item()?];
+        while self.peek_kind() == &TokenKind::Comma {
+            self.advance();
+            items.push(self.parse_from_item()?);
+        }
+        Ok(items)
+    }
+
+    fn parse_from_item(&mut self) -> Result<FromItem, ParseError> {
+        let base = self.parse_table_ref()?;
+        let mut joins = Vec::new();
+        while let Some(join_type) = self.parse_join_type()? {
+            let table = self.parse_table_ref()?;
+            self.expect_kw("on")?;
+            let on = self.parse_expr()?;
+            joins.push(Join {
+                join_type,
+                table,
+                on,
+            });
+        }
+        Ok(FromItem { base, joins })
+    }
+
+    fn parse_join_type(&mut self) -> Result<Option<JoinType>, ParseError> {
+        let jt = if self.eat_kw("inner") {
+            self.expect_kw("join")?;
+            JoinType::Inner
+        } else if self.eat_kw("left") {
+            self.eat_kw("outer");
+            self.expect_kw("join")?;
+            JoinType::LeftOuter
+        } else if self.eat_kw("right") {
+            self.eat_kw("outer");
+            self.expect_kw("join")?;
+            JoinType::RightOuter
+        } else if self.eat_kw("full") {
+            self.eat_kw("outer");
+            self.expect_kw("join")?;
+            JoinType::FullOuter
+        } else if self.eat_kw("join") {
+            JoinType::Inner
+        } else {
+            return Ok(None);
+        };
+        Ok(Some(jt))
+    }
+
+    fn parse_table_ref(&mut self) -> Result<TableRef, ParseError> {
+        if self.peek_kind() == &TokenKind::LParen {
+            self.advance();
+            let q = self.parse_query()?;
+            self.expect(TokenKind::RParen)?;
+            let alias = self.parse_alias()?;
+            let Some(alias) = alias else {
+                return Err(self.error_here("a subquery in FROM requires an alias"));
+            };
+            return Ok(TableRef {
+                source: TableSource::Subquery(Box::new(q)),
+                alias: Some(alias),
+            });
+        }
+        let name = self.expect_ident()?;
+        let alias = self.parse_alias()?;
+        Ok(TableRef {
+            source: TableSource::Table(name),
+            alias,
+        })
+    }
+
+    fn parse_expr_list(&mut self) -> Result<Vec<AstExpr>, ParseError> {
+        let mut out = vec![self.parse_expr()?];
+        while self.peek_kind() == &TokenKind::Comma {
+            self.advance();
+            out.push(self.parse_expr()?);
+        }
+        Ok(out)
+    }
+
+    fn parse_order_list(&mut self) -> Result<Vec<(AstExpr, bool)>, ParseError> {
+        let mut out = Vec::new();
+        loop {
+            let e = self.parse_expr()?;
+            let asc = if self.eat_kw("desc") {
+                false
+            } else {
+                self.eat_kw("asc");
+                true
+            };
+            out.push((e, asc));
+            if self.peek_kind() == &TokenKind::Comma {
+                self.advance();
+            } else {
+                return Ok(out);
+            }
+        }
+    }
+
+    /// Entry point for expressions (public so tests and tools can parse
+    /// standalone predicates).
+    pub fn parse_expr(&mut self) -> Result<AstExpr, ParseError> {
+        self.parse_or()
+    }
+
+    fn parse_or(&mut self) -> Result<AstExpr, ParseError> {
+        let mut lhs = self.parse_and()?;
+        while self.eat_kw("or") {
+            let rhs = self.parse_and()?;
+            lhs = bin(AstBinOp::Or, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_and(&mut self) -> Result<AstExpr, ParseError> {
+        let mut lhs = self.parse_not()?;
+        while self.eat_kw("and") {
+            let rhs = self.parse_not()?;
+            lhs = bin(AstBinOp::And, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_not(&mut self) -> Result<AstExpr, ParseError> {
+        if self.eat_kw("not") {
+            let inner = self.parse_not()?;
+            return Ok(AstExpr::Not(Box::new(inner)));
+        }
+        self.parse_cmp()
+    }
+
+    fn parse_cmp(&mut self) -> Result<AstExpr, ParseError> {
+        let lhs = self.parse_add()?;
+        let op = match self.peek_kind() {
+            TokenKind::Eq => AstBinOp::Eq,
+            TokenKind::NotEq => AstBinOp::NotEq,
+            TokenKind::Lt => AstBinOp::Lt,
+            TokenKind::LtEq => AstBinOp::LtEq,
+            TokenKind::Gt => AstBinOp::Gt,
+            TokenKind::GtEq => AstBinOp::GtEq,
+            TokenKind::Ident(kw) if kw == "is" => {
+                self.advance();
+                let negated = self.eat_kw("not");
+                self.expect_kw("null")?;
+                return Ok(if negated {
+                    AstExpr::IsNotNull(Box::new(lhs))
+                } else {
+                    AstExpr::IsNull(Box::new(lhs))
+                });
+            }
+            // `x BETWEEN a AND b` and `x IN (v, …)` desugar during parsing
+            // (TPC-H's original Q17/Q19 forms use both); `NOT` prefixes
+            // negate the desugared predicate.
+            TokenKind::Ident(kw) if kw == "between" => {
+                self.advance();
+                return self.parse_between_tail(lhs, false);
+            }
+            TokenKind::Ident(kw) if kw == "in" => {
+                self.advance();
+                return self.parse_in_tail(lhs, false);
+            }
+            TokenKind::Ident(kw) if kw == "not" => {
+                // lookahead for NOT BETWEEN / NOT IN
+                match self.peek_kind_at(1) {
+                    Some(TokenKind::Ident(next)) if next == "between" => {
+                        self.advance();
+                        self.advance();
+                        return self.parse_between_tail(lhs, true);
+                    }
+                    Some(TokenKind::Ident(next)) if next == "in" => {
+                        self.advance();
+                        self.advance();
+                        return self.parse_in_tail(lhs, true);
+                    }
+                    _ => return Ok(lhs),
+                }
+            }
+            _ => return Ok(lhs),
+        };
+        self.advance();
+        let rhs = self.parse_add()?;
+        Ok(bin(op, lhs, rhs))
+    }
+
+    /// Desugars `lhs BETWEEN lo AND hi` into `lhs >= lo AND lhs <= hi`.
+    fn parse_between_tail(&mut self, lhs: AstExpr, negated: bool) -> Result<AstExpr, ParseError> {
+        let lo = self.parse_add()?;
+        self.expect_kw("and")?;
+        let hi = self.parse_add()?;
+        let both = bin(
+            AstBinOp::And,
+            bin(AstBinOp::GtEq, lhs.clone(), lo),
+            bin(AstBinOp::LtEq, lhs, hi),
+        );
+        Ok(if negated {
+            AstExpr::Not(Box::new(both))
+        } else {
+            both
+        })
+    }
+
+    /// Desugars `lhs IN (a, b, …)` into `lhs = a OR lhs = b OR …`.
+    fn parse_in_tail(&mut self, lhs: AstExpr, negated: bool) -> Result<AstExpr, ParseError> {
+        self.expect(TokenKind::LParen)?;
+        let mut out: Option<AstExpr> = None;
+        loop {
+            let item = self.parse_expr()?;
+            let eq = bin(AstBinOp::Eq, lhs.clone(), item);
+            out = Some(match out {
+                None => eq,
+                Some(acc) => bin(AstBinOp::Or, acc, eq),
+            });
+            match self.peek_kind() {
+                TokenKind::Comma => self.advance(),
+                _ => break,
+            }
+        }
+        self.expect(TokenKind::RParen)?;
+        let e = out.expect("IN list has at least one item");
+        Ok(if negated {
+            AstExpr::Not(Box::new(e))
+        } else {
+            e
+        })
+    }
+
+    fn parse_add(&mut self) -> Result<AstExpr, ParseError> {
+        let mut lhs = self.parse_mul()?;
+        loop {
+            let op = match self.peek_kind() {
+                TokenKind::Plus => AstBinOp::Add,
+                TokenKind::Minus => AstBinOp::Sub,
+                _ => return Ok(lhs),
+            };
+            self.advance();
+            let rhs = self.parse_mul()?;
+            lhs = bin(op, lhs, rhs);
+        }
+    }
+
+    fn parse_mul(&mut self) -> Result<AstExpr, ParseError> {
+        let mut lhs = self.parse_unary()?;
+        loop {
+            let op = match self.peek_kind() {
+                TokenKind::Star => AstBinOp::Mul,
+                TokenKind::Slash => AstBinOp::Div,
+                _ => return Ok(lhs),
+            };
+            self.advance();
+            let rhs = self.parse_unary()?;
+            lhs = bin(op, lhs, rhs);
+        }
+    }
+
+    fn parse_unary(&mut self) -> Result<AstExpr, ParseError> {
+        if self.peek_kind() == &TokenKind::Minus {
+            self.advance();
+            let inner = self.parse_unary()?;
+            return Ok(AstExpr::Neg(Box::new(inner)));
+        }
+        self.parse_primary()
+    }
+
+    fn parse_primary(&mut self) -> Result<AstExpr, ParseError> {
+        match self.peek_kind().clone() {
+            TokenKind::Int(i) => {
+                self.advance();
+                Ok(AstExpr::Literal(Literal::Int(i)))
+            }
+            TokenKind::Float(x) => {
+                self.advance();
+                Ok(AstExpr::Literal(Literal::Float(x)))
+            }
+            TokenKind::Str(s) => {
+                self.advance();
+                Ok(AstExpr::Literal(Literal::Str(s)))
+            }
+            TokenKind::LParen => {
+                self.advance();
+                let e = self.parse_expr()?;
+                self.expect(TokenKind::RParen)?;
+                Ok(e)
+            }
+            TokenKind::Ident(name) => {
+                if name == "null" {
+                    self.advance();
+                    return Ok(AstExpr::Literal(Literal::Null));
+                }
+                // Aggregate call?
+                if let Some(func) = AstAggFunc::from_name(&name) {
+                    if self.peek_kind_at(1) == Some(&TokenKind::LParen) {
+                        self.advance(); // name
+                        self.advance(); // (
+                        return self.parse_agg_tail(func);
+                    }
+                }
+                self.advance();
+                if self.peek_kind() == &TokenKind::Dot {
+                    self.advance();
+                    let col = self.expect_ident()?;
+                    Ok(AstExpr::Column {
+                        qualifier: Some(name),
+                        name: col,
+                    })
+                } else {
+                    Ok(AstExpr::Column {
+                        qualifier: None,
+                        name,
+                    })
+                }
+            }
+            _ => Err(self.unexpected("an expression")),
+        }
+    }
+
+    fn parse_agg_tail(&mut self, func: AstAggFunc) -> Result<AstExpr, ParseError> {
+        if self.peek_kind() == &TokenKind::Star {
+            self.advance();
+            self.expect(TokenKind::RParen)?;
+            if func != AstAggFunc::Count {
+                return Err(self.error_here("only count(*) may take `*`"));
+            }
+            return Ok(AstExpr::Agg {
+                func,
+                distinct: false,
+                arg: None,
+            });
+        }
+        let distinct = self.eat_kw("distinct");
+        if distinct && func != AstAggFunc::Count {
+            return Err(self.error_here("DISTINCT is only supported with count()"));
+        }
+        let arg = self.parse_expr()?;
+        self.expect(TokenKind::RParen)?;
+        Ok(AstExpr::Agg {
+            func,
+            distinct,
+            arg: Some(Box::new(arg)),
+        })
+    }
+
+    // --- token helpers -----------------------------------------------------
+
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn peek_kind(&self) -> &TokenKind {
+        &self.peek().kind
+    }
+
+    fn peek_kind_at(&self, ahead: usize) -> Option<&TokenKind> {
+        self.tokens.get(self.pos + ahead).map(|t| &t.kind)
+    }
+
+    fn advance(&mut self) {
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek().is_kw(kw) {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), ParseError> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.unexpected(&format!("keyword `{}`", kw.to_ascii_uppercase())))
+        }
+    }
+
+    fn expect(&mut self, kind: TokenKind) -> Result<(), ParseError> {
+        if self.peek_kind() == &kind {
+            self.advance();
+            Ok(())
+        } else {
+            Err(self.unexpected(&format!("`{kind}`")))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, ParseError> {
+        match self.peek_kind() {
+            TokenKind::Ident(s) if !is_clause_keyword(s) => {
+                let s = s.clone();
+                self.advance();
+                Ok(s)
+            }
+            _ => Err(self.unexpected("an identifier")),
+        }
+    }
+
+    fn unexpected(&self, wanted: &str) -> ParseError {
+        let tok = self.peek();
+        ParseError::at(
+            &self.src,
+            tok.offset,
+            format!("expected {wanted}, found {}", tok.kind),
+        )
+    }
+
+    fn error_here(&self, message: &str) -> ParseError {
+        ParseError::at(&self.src, self.peek().offset, message)
+    }
+}
+
+fn bin(op: AstBinOp, lhs: AstExpr, rhs: AstExpr) -> AstExpr {
+    AstExpr::Binary {
+        op,
+        lhs: Box::new(lhs),
+        rhs: Box::new(rhs),
+    }
+}
+
+/// Keywords that terminate an implicit alias position. A bare identifier in
+/// alias position is an alias unless it is one of these.
+fn is_clause_keyword(word: &str) -> bool {
+    matches!(
+        word,
+        "select"
+            | "from"
+            | "where"
+            | "group"
+            | "by"
+            | "having"
+            | "order"
+            | "limit"
+            | "join"
+            | "inner"
+            | "left"
+            | "right"
+            | "full"
+            | "outer"
+            | "on"
+            | "and"
+            | "or"
+            | "not"
+            | "as"
+            | "is"
+            | "null"
+            | "between"
+            | "in"
+            | "distinct"
+            | "asc"
+            | "desc"
+            | "union"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    #[test]
+    fn minimal_select() {
+        let q = parse("SELECT a FROM t").unwrap();
+        assert_eq!(q.select.len(), 1);
+        assert_eq!(q.from.len(), 1);
+        assert!(q.where_clause.is_none());
+    }
+
+    #[test]
+    fn select_star() {
+        let q = parse("SELECT * FROM t").unwrap();
+        assert_eq!(q.select, vec![SelectItem::Wildcard]);
+    }
+
+    #[test]
+    fn aliases_with_and_without_as() {
+        let q = parse("SELECT a AS x, b y FROM t u").unwrap();
+        match &q.select[0] {
+            SelectItem::Expr { alias, .. } => assert_eq!(alias.as_deref(), Some("x")),
+            SelectItem::Wildcard => panic!(),
+        }
+        match &q.select[1] {
+            SelectItem::Expr { alias, .. } => assert_eq!(alias.as_deref(), Some("y")),
+            SelectItem::Wildcard => panic!(),
+        }
+        assert_eq!(q.from[0].base.alias.as_deref(), Some("u"));
+    }
+
+    #[test]
+    fn comma_join_with_where() {
+        let q = parse(
+            "SELECT c1.uid FROM clicks AS c1, clicks AS c2 \
+             WHERE c1.uid = c2.uid AND c1.ts < c2.ts",
+        )
+        .unwrap();
+        assert_eq!(q.from.len(), 2);
+        let w = q.where_clause.unwrap();
+        assert_eq!(w.conjuncts().len(), 2);
+    }
+
+    #[test]
+    fn explicit_joins_all_kinds() {
+        for (sql, jt) in [
+            ("JOIN", JoinType::Inner),
+            ("INNER JOIN", JoinType::Inner),
+            ("LEFT JOIN", JoinType::LeftOuter),
+            ("LEFT OUTER JOIN", JoinType::LeftOuter),
+            ("RIGHT OUTER JOIN", JoinType::RightOuter),
+            ("FULL OUTER JOIN", JoinType::FullOuter),
+        ] {
+            let q = parse(&format!("SELECT a FROM t {sql} u ON t.k = u.k")).unwrap();
+            assert_eq!(q.from[0].joins[0].join_type, jt, "{sql}");
+        }
+    }
+
+    #[test]
+    fn subquery_in_from_requires_alias() {
+        assert!(parse("SELECT a FROM (SELECT b FROM t)").is_err());
+        let q = parse("SELECT a FROM (SELECT b FROM t) AS s").unwrap();
+        match &q.from[0].base.source {
+            TableSource::Subquery(inner) => assert_eq!(inner.from.len(), 1),
+            TableSource::Table(_) => panic!("expected subquery"),
+        }
+    }
+
+    #[test]
+    fn group_by_having_order_limit() {
+        let q = parse(
+            "SELECT cid, count(*) AS n FROM clicks GROUP BY cid \
+             HAVING count(*) > 10 ORDER BY n DESC, cid LIMIT 5",
+        )
+        .unwrap();
+        assert_eq!(q.group_by.len(), 1);
+        assert!(q.having.is_some());
+        assert_eq!(q.order_by.len(), 2);
+        assert!(!q.order_by[0].1, "DESC");
+        assert!(q.order_by[1].1, "default ASC");
+        assert_eq!(q.limit, Some(5));
+    }
+
+    #[test]
+    fn count_distinct() {
+        let q = parse("SELECT count(distinct l_suppkey) FROM lineitem").unwrap();
+        match &q.select[0] {
+            SelectItem::Expr { expr, .. } => match expr {
+                AstExpr::Agg { distinct, .. } => assert!(distinct),
+                other => panic!("unexpected {other:?}"),
+            },
+            SelectItem::Wildcard => panic!(),
+        }
+    }
+
+    #[test]
+    fn distinct_only_with_count() {
+        assert!(parse("SELECT sum(distinct x) FROM t").is_err());
+    }
+
+    #[test]
+    fn star_only_with_count() {
+        assert!(parse("SELECT max(*) FROM t").is_err());
+    }
+
+    #[test]
+    fn arithmetic_precedence() {
+        let q = parse("SELECT a + b * c FROM t").unwrap();
+        let SelectItem::Expr { expr, .. } = &q.select[0] else {
+            panic!()
+        };
+        // + at the root, * nested
+        match expr {
+            AstExpr::Binary { op, rhs, .. } => {
+                assert_eq!(*op, AstBinOp::Add);
+                assert!(matches!(
+                    rhs.as_ref(),
+                    AstExpr::Binary {
+                        op: AstBinOp::Mul,
+                        ..
+                    }
+                ));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn and_binds_tighter_than_or() {
+        let q = parse("SELECT a FROM t WHERE x = 1 OR y = 2 AND z = 3").unwrap();
+        match q.where_clause.unwrap() {
+            AstExpr::Binary { op, .. } => assert_eq!(op, AstBinOp::Or),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn is_null_and_is_not_null() {
+        let q = parse("SELECT a FROM t WHERE (b IS NULL) OR (c IS NOT NULL)").unwrap();
+        let w = q.where_clause.unwrap();
+        assert!(w.to_string().contains("IS NULL"));
+        assert!(w.to_string().contains("IS NOT NULL"));
+    }
+
+    #[test]
+    fn not_and_negation() {
+        let q = parse("SELECT a FROM t WHERE NOT (a = -1)").unwrap();
+        assert!(matches!(q.where_clause.unwrap(), AstExpr::Not(_)));
+    }
+
+    #[test]
+    fn expression_aliases_with_computation() {
+        let q = parse("SELECT (count(*) - 2) AS pageview_count FROM t GROUP BY uid").unwrap();
+        let SelectItem::Expr { expr, alias } = &q.select[0] else {
+            panic!()
+        };
+        assert_eq!(alias.as_deref(), Some("pageview_count"));
+        assert!(expr.contains_aggregate());
+    }
+
+    #[test]
+    fn q_csa_parses() {
+        // The paper's Fig. 1 query, verbatim modulo whitespace.
+        let sql = "SELECT avg(pageview_count) FROM
+            (SELECT c.uid, mp.ts1, (count(*)-2) AS pageview_count
+             FROM clicks AS c,
+                  (SELECT uid, max(ts1) AS ts1, ts2
+                   FROM (SELECT c1.uid, c1.ts AS ts1, min(c2.ts) AS ts2
+                         FROM clicks AS c1, clicks AS c2
+                         WHERE c1.uid = c2.uid AND c1.ts < c2.ts
+                           AND c1.cid = 10 AND c2.cid = 20
+                         GROUP BY c1.uid, c1.ts) AS cp
+                   GROUP BY uid, ts2) AS mp
+             WHERE c.uid = mp.uid AND c.ts >= mp.ts1 AND c.ts <= mp.ts2
+             GROUP BY c.uid, mp.ts1) AS pageview_counts";
+        let q = parse(sql).unwrap();
+        assert_eq!(q.from.len(), 1);
+    }
+
+    #[test]
+    fn q17_parses() {
+        let sql = "SELECT sum(l_extendedprice) / 7.0 AS avg_yearly
+            FROM (SELECT l_partkey, 0.2 * avg(l_quantity) AS t1
+                  FROM lineitem GROUP BY l_partkey) AS inner_t,
+                 (SELECT l_partkey, l_quantity, l_extendedprice
+                  FROM lineitem, part
+                  WHERE p_partkey = l_partkey) AS outer_t
+            WHERE outer_t.l_partkey = inner_t.l_partkey
+              AND outer_t.l_quantity < inner_t.t1";
+        let q = parse(sql).unwrap();
+        assert_eq!(q.from.len(), 2);
+    }
+
+    #[test]
+    fn q21_subtree_parses() {
+        // Appendix code of the paper (with the missing commas of the listing
+        // repaired).
+        let sql = "SELECT sq12.l_suppkey FROM
+            (SELECT sq1.l_orderkey, sq1.l_suppkey FROM
+                (SELECT l_suppkey, l_orderkey FROM lineitem, orders
+                 WHERE o_orderkey = l_orderkey
+                   AND l_receiptdate > l_commitdate
+                   AND o_orderstatus = 'F') AS sq1,
+                (SELECT l_orderkey, count(distinct l_suppkey) AS cs,
+                        max(l_suppkey) AS ms
+                 FROM lineitem GROUP BY l_orderkey) AS sq2
+             WHERE sq1.l_orderkey = sq2.l_orderkey
+               AND ((sq2.cs > 1) OR ((sq2.cs = 1) AND (sq1.l_suppkey <> sq2.ms)))
+            ) AS sq12
+            LEFT OUTER JOIN
+            (SELECT l_orderkey, count(distinct l_suppkey) AS cs,
+                    max(l_suppkey) AS ms
+             FROM lineitem WHERE l_receiptdate > l_commitdate
+             GROUP BY l_orderkey) AS sq3
+            ON sq12.l_orderkey = sq3.l_orderkey
+            WHERE (sq3.cs IS NULL) OR ((sq3.cs = 1) AND (sq12.l_suppkey = sq3.ms))";
+        let q = parse(sql).unwrap();
+        assert_eq!(q.from[0].joins.len(), 1);
+        assert_eq!(q.from[0].joins[0].join_type, JoinType::LeftOuter);
+    }
+
+    #[test]
+    fn display_round_trip_reparses() {
+        let sql = "SELECT a, count(*) AS n FROM t AS x JOIN u ON x.k = u.k \
+                   WHERE x.v > 3 GROUP BY a HAVING count(*) > 1 ORDER BY n DESC LIMIT 7";
+        let q1 = parse(sql).unwrap();
+        let q2 = parse(&q1.to_string()).unwrap();
+        assert_eq!(q1, q2);
+    }
+
+    #[test]
+    fn trailing_semicolon_ok_trailing_garbage_not() {
+        assert!(parse("SELECT a FROM t;").is_ok());
+        let e = parse("SELECT a FROM t garbage extra").unwrap_err();
+        assert!(e.to_string().contains("expected"));
+    }
+
+    #[test]
+    fn error_position_points_at_token() {
+        let e = parse("SELECT FROM t").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.column >= 8);
+    }
+
+    #[test]
+    fn between_desugars() {
+        let q = parse("SELECT a FROM t WHERE a BETWEEN 1 AND 5").unwrap();
+        let w = q.where_clause.unwrap();
+        assert_eq!(w.to_string(), "((a >= 1) AND (a <= 5))");
+        let q = parse("SELECT a FROM t WHERE a NOT BETWEEN 1 AND 5").unwrap();
+        assert!(matches!(q.where_clause.unwrap(), AstExpr::Not(_)));
+    }
+
+    #[test]
+    fn in_list_desugars() {
+        let q = parse("SELECT a FROM t WHERE a IN (1, 2, 3)").unwrap();
+        let w = q.where_clause.unwrap();
+        assert_eq!(w.to_string(), "(((a = 1) OR (a = 2)) OR (a = 3))");
+        let q = parse("SELECT a FROM t WHERE b NOT IN ('x', 'y')").unwrap();
+        assert!(matches!(q.where_clause.unwrap(), AstExpr::Not(_)));
+    }
+
+    #[test]
+    fn between_binds_tighter_than_and() {
+        let q = parse("SELECT a FROM t WHERE a BETWEEN 1 AND 5 AND b = 2").unwrap();
+        let w = q.where_clause.unwrap();
+        // top-level AND with the desugared BETWEEN on the left
+        assert_eq!(w.conjuncts().len(), 3);
+    }
+
+    #[test]
+    fn not_prefix_still_works() {
+        let q = parse("SELECT a FROM t WHERE NOT a = 1 AND NOT (b IN (2))").unwrap();
+        assert_eq!(q.where_clause.unwrap().conjuncts().len(), 2);
+    }
+
+    #[test]
+    fn nested_parens_in_predicates() {
+        let q = parse("SELECT a FROM t WHERE ((a = 1) AND ((b = 2) OR (c = 3)))").unwrap();
+        assert!(q.where_clause.is_some());
+    }
+
+    #[test]
+    fn keyword_not_taken_as_alias() {
+        let q = parse("SELECT a FROM t WHERE a = 1").unwrap();
+        assert!(q.from[0].base.alias.is_none());
+    }
+}

@@ -1,0 +1,47 @@
+//! Decision-support workloads: the paper's TPC-H-derived queries.
+//!
+//! ```sh
+//! cargo run --release --example tpch_dss
+//! ```
+//!
+//! Generates a TPC-H-shaped database, then runs Q17, Q18 and Q21 under
+//! every translation strategy, reporting job counts, simulated times and
+//! the I/O savings (HDFS bytes read, bytes shuffled) that correlation
+//! merging buys.
+
+use ysmart::core::{Strategy, YSmart};
+use ysmart::datagen::TpchSpec;
+use ysmart::mapred::ClusterConfig;
+use ysmart::queries::tpch_workloads;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let workloads = tpch_workloads(&TpchSpec {
+        scale: 0.5,
+        seed: 7,
+    });
+    for w in &workloads {
+        if w.name == "q21-subtree" {
+            continue; // part of q21 proper
+        }
+        println!("== {} ==", w.name);
+        for strategy in Strategy::all() {
+            let mut engine = YSmart::new(w.catalog.clone(), ClusterConfig::small_local());
+            w.load_into(&mut engine)?;
+            // Model a 10 GB volume over the generated instance.
+            let real = engine.cluster.hdfs.total_bytes().max(1);
+            engine.cluster.config.size_multiplier = 10.0e9 / real as f64;
+            match engine.execute_sql(&w.sql, strategy) {
+                Ok(out) => println!(
+                    "  {strategy:<14} {} jobs  {:>8.1}s  read {:>6.2} GB  shuffled {:>6.2} GB  ({} rows)",
+                    out.jobs,
+                    out.total_s(),
+                    out.metrics.total_hdfs_read() as f64 / 1e9,
+                    out.metrics.total_shuffle_bytes() as f64 / 1e9,
+                    out.rows.len(),
+                ),
+                Err(e) => println!("  {strategy:<14} DNF: {e}"),
+            }
+        }
+    }
+    Ok(())
+}

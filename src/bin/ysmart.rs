@@ -1,0 +1,220 @@
+//! The stand-alone SQL-to-MapReduce translator the paper's conclusion
+//! promises ("will also be an independent SQL-to-MapReduce translator").
+//!
+//! ```text
+//! ysmart --catalog schema.sql --data DIR [options] "SELECT ..."
+//! ysmart --demo [options] ["SELECT ..."]
+//!
+//!   --catalog FILE     CREATE TABLE statements describing the base tables
+//!   --data DIR         directory with one pipe-delimited FILE <table>.tbl
+//!                      per catalog table
+//!   --demo             use a built-in click-stream catalog and dataset
+//!   --strategy NAME    hive | pig | ysmart-no-jfc | ysmart (default) |
+//!                      hand-coded
+//!   --cluster SPEC     local (default) | ec2:<workers> | facebook
+//!   --target-gb N      simulate this data volume (default: actual size)
+//!   --explain          print the job pipeline instead of executing
+//!   --plan             also print the logical plan and correlation report
+//! ```
+
+use std::process::ExitCode;
+
+use ysmart::core::{Strategy, YSmart};
+use ysmart::datagen::{ClicksGen, ClicksSpec};
+use ysmart::mapred::ClusterConfig;
+use ysmart::plan::{analyze, Catalog};
+use ysmart::rel::codec::encode_line;
+
+struct Args {
+    catalog: Option<String>,
+    data: Option<String>,
+    demo: bool,
+    strategy: Strategy,
+    cluster: ClusterConfig,
+    target_gb: Option<f64>,
+    explain: bool,
+    plan: bool,
+    sql: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        catalog: None,
+        data: None,
+        demo: false,
+        strategy: Strategy::YSmart,
+        cluster: ClusterConfig::small_local(),
+        target_gb: None,
+        explain: false,
+        plan: false,
+        sql: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--catalog" => args.catalog = Some(it.next().ok_or("--catalog needs a file")?),
+            "--data" => args.data = Some(it.next().ok_or("--data needs a directory")?),
+            "--demo" => args.demo = true,
+            "--strategy" => {
+                let s = it.next().ok_or("--strategy needs a name")?;
+                args.strategy = match s.as_str() {
+                    "hive" => Strategy::Hive,
+                    "pig" => Strategy::Pig,
+                    "ysmart-no-jfc" => Strategy::YSmartNoJfc,
+                    "ysmart" => Strategy::YSmart,
+                    "hand-coded" => Strategy::HandCoded,
+                    other => return Err(format!("unknown strategy `{other}`")),
+                };
+            }
+            "--cluster" => {
+                let s = it.next().ok_or("--cluster needs a spec")?;
+                args.cluster = if s == "local" {
+                    ClusterConfig::small_local()
+                } else if s == "facebook" {
+                    ClusterConfig::facebook(1)
+                } else if let Some(n) = s.strip_prefix("ec2:") {
+                    ClusterConfig::ec2(n.parse().map_err(|_| "bad ec2 worker count")?)
+                } else {
+                    return Err(format!("unknown cluster `{s}`"));
+                };
+            }
+            "--target-gb" => {
+                args.target_gb =
+                    Some(it.next().ok_or("--target-gb needs a number")?.parse().map_err(
+                        |_| "bad --target-gb value".to_string(),
+                    )?);
+            }
+            "--explain" => args.explain = true,
+            "--plan" => args.plan = true,
+            "--help" | "-h" => return Err(String::new()),
+            other if other.starts_with("--") => return Err(format!("unknown flag `{other}`")),
+            sql => args.sql = Some(sql.to_string()),
+        }
+    }
+    Ok(args)
+}
+
+fn usage() {
+    eprintln!(
+        "usage: ysmart (--demo | --catalog schema.sql --data DIR) \\\n\
+         \u{20}        [--strategy hive|pig|ysmart-no-jfc|ysmart|hand-coded] \\\n\
+         \u{20}        [--cluster local|ec2:<n>|facebook] [--target-gb N] \\\n\
+         \u{20}        [--explain] [--plan] \"SELECT ...\""
+    );
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            if msg.is_empty() {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("ysmart: {msg}");
+            usage();
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+
+    // ---- catalog + data -----------------------------------------------
+    let (catalog, tables): (Catalog, Vec<(String, Vec<String>)>) = if args.demo {
+        let spec = ClicksSpec::default();
+        let stream = ClicksGen::generate(&spec);
+        let lines = stream.clicks.iter().map(encode_line).collect();
+        (
+            ysmart::datagen::clicks_catalog(),
+            vec![("clicks".to_string(), lines)],
+        )
+    } else {
+        let catalog_file = args
+            .catalog
+            .as_ref()
+            .ok_or("either --demo or --catalog is required")?;
+        let ddl = std::fs::read_to_string(catalog_file)
+            .map_err(|e| format!("cannot read {catalog_file}: {e}"))?;
+        let catalog = Catalog::parse_ddl(&ddl).map_err(|e| e.to_string())?;
+        let dir = args.data.as_ref().ok_or("--data is required with --catalog")?;
+        let mut tables = Vec::new();
+        for (name, _) in catalog.iter() {
+            let path = format!("{dir}/{name}.tbl");
+            let text = std::fs::read_to_string(&path)
+                .map_err(|e| format!("cannot read {path}: {e}"))?;
+            let lines: Vec<String> = text.lines().map(str::to_string).collect();
+            tables.push((name.to_string(), lines));
+        }
+        (catalog, tables)
+    };
+
+    let sql = match args.sql {
+        Some(s) => s,
+        None if args.demo => {
+            "SELECT cid, count(*) AS clicks FROM clicks GROUP BY cid".to_string()
+        }
+        None => return Err("no SQL query given".into()),
+    };
+
+    let mut engine = YSmart::new(catalog, args.cluster);
+    for (name, lines) in tables {
+        engine.load_table_lines(&name, lines);
+    }
+    if let Some(gb) = args.target_gb {
+        let real = engine.cluster.hdfs.total_bytes().max(1);
+        engine.cluster.config.size_multiplier = gb * 1e9 / real as f64;
+    }
+
+    // ---- plan / correlations -------------------------------------------
+    if args.plan {
+        let plan = engine.plan(&sql).map_err(|e| e.to_string())?;
+        println!("-- logical plan --\n{}", plan.render());
+        let report = analyze(&plan);
+        println!("-- correlations --");
+        for info in &report.nodes {
+            println!("  {} partitions by {}", info.id, info.pk);
+        }
+        println!("  transit-correlated: {:?}", report.transit_correlated);
+        println!("  job-flow (parent<-child): {:?}", report.job_flow);
+        println!();
+    }
+
+    // ---- translate -------------------------------------------------------
+    let translation = engine
+        .translate(&sql, args.strategy)
+        .map_err(|e| e.to_string())?;
+    if args.explain {
+        print!("{}", translation.explain());
+        return Ok(());
+    }
+
+    // ---- execute -----------------------------------------------------------
+    let outcome = engine
+        .execute_translation(&translation)
+        .map_err(|e| e.to_string())?;
+    let header: Vec<String> = outcome
+        .schema
+        .fields()
+        .iter()
+        .map(|f| f.name.clone())
+        .collect();
+    println!("{}", header.join("|"));
+    for row in &outcome.rows {
+        println!("{}", encode_line(row));
+    }
+    eprintln!(
+        "-- {} ({}): {} job(s), simulated {:.1}s, {} rows",
+        args.strategy,
+        if args.target_gb.is_some() {
+            "scaled"
+        } else {
+            "actual size"
+        },
+        outcome.jobs,
+        outcome.total_s(),
+        outcome.rows.len()
+    );
+    Ok(())
+}

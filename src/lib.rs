@@ -1,0 +1,34 @@
+//! # ysmart — correlation-aware SQL-to-MapReduce translation
+//!
+//! This is the facade crate of the YSmart workspace, a reproduction of
+//! *"YSmart: Yet Another SQL-to-MapReduce Translator"* (Lee et al.,
+//! ICDCS 2011). It re-exports the public API of every workspace crate:
+//!
+//! * [`sql`] — SQL lexer, parser and AST;
+//! * [`rel`] — values, rows, schemas, expressions, aggregates;
+//! * [`plan`] — logical plans, partition keys and correlation detection;
+//! * [`mapred`] — the simulated MapReduce cluster (the Hadoop substitute);
+//! * [`exec`] — primitive job types and the Common MapReduce Framework;
+//! * [`core`] — translation strategies (YSmart rules 1–4, Hive/Pig
+//!   baselines) and the top-level [`core::YSmart`] engine;
+//! * [`datagen`] — seeded TPC-H-shaped and click-stream data generators;
+//! * [`queries`] — the paper's workload queries and the relational oracle.
+//!
+//! ## Quickstart
+//!
+//! See `examples/quickstart.rs`; in short:
+//!
+//! ```text
+//! let mut engine = YSmart::new(catalog, cluster_config);
+//! engine.load_table("lineitem", rows);
+//! let outcome = engine.execute_sql(sql, Strategy::YSmart)?;
+//! ```
+
+pub use ysmart_core as core;
+pub use ysmart_datagen as datagen;
+pub use ysmart_exec as exec;
+pub use ysmart_mapred as mapred;
+pub use ysmart_plan as plan;
+pub use ysmart_queries as queries;
+pub use ysmart_rel as rel;
+pub use ysmart_sql as sql;

@@ -1,0 +1,195 @@
+//! Cross-crate integration tests through the `ysmart` facade: SQL text in,
+//! verified rows and metrics out, across cluster configurations.
+
+use ysmart::core::{Strategy, YSmart};
+use ysmart::datagen::{ClicksGen, ClicksSpec, TpchSpec};
+use ysmart::mapred::{ClusterConfig, Compression, FailureModel};
+use ysmart::queries::rows_approx_equal;
+use ysmart::queries::workloads::q_csa_sql;
+use ysmart::queries::{clicks_workloads, tpch_workloads};
+use ysmart::rel::Row;
+
+fn sorted(rows: &[Row]) -> Vec<Row> {
+    let mut v = rows.to_vec();
+    v.sort();
+    v
+}
+
+/// The same query produces the same rows on radically different cluster
+/// shapes — the simulator's cost model must never affect results.
+#[test]
+fn results_invariant_across_cluster_configs() {
+    let spec = ClicksSpec {
+        users: 20,
+        clicks_per_user: 25,
+        seed: 3,
+        ..ClicksSpec::default()
+    };
+    let stream = ClicksGen::generate(&spec);
+    let sql = q_csa_sql(spec.category_x, spec.category_y);
+    let configs = [
+        ClusterConfig::small_local(),
+        ClusterConfig::ec2(10),
+        ClusterConfig::ec2(100),
+        ClusterConfig::facebook(7),
+        ClusterConfig {
+            compression: Some(Compression::default()),
+            ..ClusterConfig::default()
+        },
+        ClusterConfig {
+            failures: Some(FailureModel {
+                probability: 0.3,
+                seed: 18,
+            }),
+            ..ClusterConfig::default()
+        },
+    ];
+    let mut reference: Option<Vec<Row>> = None;
+    for (i, config) in configs.into_iter().enumerate() {
+        let mut engine = YSmart::new(ysmart::datagen::clicks_catalog(), config);
+        engine.load_table("clicks", &stream.clicks).unwrap();
+        let out = engine.execute_sql(&sql, Strategy::YSmart).unwrap();
+        let got = sorted(&out.rows);
+        match &reference {
+            None => reference = Some(got),
+            Some(r) => assert_eq!(&got, r, "config #{i} changed the results"),
+        }
+    }
+}
+
+/// Simulated time scales with data volume; job counts and results do not.
+#[test]
+fn size_multiplier_scales_time_only() {
+    let tpch = tpch_workloads(&TpchSpec {
+        scale: 0.1,
+        seed: 4,
+    });
+    let w = tpch.iter().find(|w| w.name == "q17").unwrap();
+    let mut times = Vec::new();
+    let mut rows = Vec::new();
+    for target in [1.0e9, 100.0e9] {
+        let mut engine = YSmart::new(w.catalog.clone(), ClusterConfig::small_local());
+        w.load_into(&mut engine).unwrap();
+        let real = engine.cluster.hdfs.total_bytes().max(1);
+        engine.cluster.config.size_multiplier = target / real as f64;
+        let out = engine.execute_sql(&w.sql, Strategy::YSmart).unwrap();
+        times.push(out.total_s());
+        rows.push(sorted(&out.rows));
+        assert_eq!(out.jobs, 2);
+    }
+    // Different multipliers change map-task boundaries, hence float
+    // summation order: compare with tolerance.
+    assert!(rows_approx_equal(&rows[0], &rows[1], false));
+    assert!(times[1] > times[0] * 10.0, "{times:?}");
+}
+
+/// YSmart reads and shuffles strictly fewer bytes than Hive on every
+/// correlated workload query — the mechanism behind every figure.
+#[test]
+fn ysmart_saves_io_on_correlated_queries() {
+    let tpch = tpch_workloads(&TpchSpec {
+        scale: 0.2,
+        seed: 5,
+    });
+    for name in ["q17", "q18", "q21"] {
+        let w = tpch.iter().find(|w| w.name == name).unwrap();
+        let mut stats = Vec::new();
+        for strategy in [Strategy::YSmart, Strategy::Hive] {
+            let mut engine = YSmart::new(w.catalog.clone(), ClusterConfig::small_local());
+            w.load_into(&mut engine).unwrap();
+            let out = engine.execute_sql(&w.sql, strategy).unwrap();
+            stats.push((
+                out.jobs,
+                out.metrics.total_hdfs_read(),
+                out.metrics.total_shuffle_bytes(),
+            ));
+        }
+        let (ys, hive) = (stats[0], stats[1]);
+        assert!(ys.0 < hive.0, "{name}: fewer jobs");
+        assert!(ys.1 < hive.1, "{name}: fewer HDFS bytes read");
+        assert!(ys.2 <= hive.2, "{name}: no more shuffle bytes");
+    }
+}
+
+/// Failure injection changes time, never answers, end to end.
+#[test]
+fn fault_tolerance_end_to_end() {
+    let ws = clicks_workloads(&ClicksSpec {
+        users: 12,
+        clicks_per_user: 15,
+        seed: 6,
+        ..ClicksSpec::default()
+    });
+    let w = ws.iter().find(|w| w.name == "q-csa").unwrap();
+    let clean = {
+        let mut e = YSmart::new(w.catalog.clone(), ClusterConfig::default());
+        w.load_into(&mut e).unwrap();
+        e.execute_sql(&w.sql, Strategy::YSmart).unwrap()
+    };
+    let flaky = {
+        let cfg = ClusterConfig {
+            // Small blocks create enough map tasks for the injector to hit.
+            hdfs_block_mb: 0.0005,
+            failures: Some(FailureModel {
+                probability: 0.3,
+                seed: 18,
+            }),
+            ..ClusterConfig::default()
+        };
+        let mut e = YSmart::new(w.catalog.clone(), cfg);
+        w.load_into(&mut e).unwrap();
+        e.execute_sql(&w.sql, Strategy::YSmart).unwrap()
+    };
+    assert_eq!(sorted(&clean.rows), sorted(&flaky.rows));
+    let failed: usize = flaky.metrics.jobs.iter().map(|j| j.failed_attempts).sum();
+    assert!(failed > 0);
+    assert!(flaky.total_s() > clean.total_s());
+}
+
+/// A translated chain leaves its intermediate files in HDFS under `tmp/`
+/// and the final result under `out/` (the materialisation the paper's
+/// merging avoids paying repeatedly).
+#[test]
+fn intermediate_materialisation_visible_in_hdfs() {
+    let tpch = tpch_workloads(&TpchSpec {
+        scale: 0.1,
+        seed: 8,
+    });
+    let w = tpch.iter().find(|w| w.name == "q17").unwrap();
+    let mut engine = YSmart::new(w.catalog.clone(), ClusterConfig::default());
+    w.load_into(&mut engine).unwrap();
+    engine.execute_sql(&w.sql, Strategy::Hive).unwrap();
+    let tmp_files = engine
+        .cluster
+        .hdfs
+        .paths()
+        .filter(|p| p.starts_with("tmp/"))
+        .count();
+    assert_eq!(tmp_files, 3, "Hive's 4-job chain materialises 3 intermediates");
+}
+
+/// Errors carry enough structure to report the paper's DNF cases.
+#[test]
+fn dnf_cases_are_classified() {
+    let ws = clicks_workloads(&ClicksSpec {
+        users: 20,
+        clicks_per_user: 25,
+        seed: 9,
+        ..ClicksSpec::default()
+    });
+    let w = ws.iter().find(|w| w.name == "q-csa").unwrap();
+
+    let mut cfg = ClusterConfig::small_local();
+    cfg.disk_capacity_mb = 0.0001;
+    let mut engine = YSmart::new(w.catalog.clone(), cfg);
+    w.load_into(&mut engine).unwrap();
+    let e = engine.execute_sql(&w.sql, Strategy::Pig).unwrap_err();
+    assert!(e.is_disk_full());
+
+    let mut cfg = ClusterConfig::small_local();
+    cfg.time_limit_s = Some(0.001);
+    let mut engine = YSmart::new(w.catalog.clone(), cfg);
+    w.load_into(&mut engine).unwrap();
+    let e = engine.execute_sql(&w.sql, Strategy::Hive).unwrap_err();
+    assert!(e.is_time_limit());
+}
