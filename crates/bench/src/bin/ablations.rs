@@ -18,7 +18,9 @@ use ysmart_core::{compile, CoreError, TranslateOptions, YSmart};
 use ysmart_datagen::{ClicksSpec, TpchSpec};
 use ysmart_mapred::ClusterConfig;
 use ysmart_plan::analyze;
-use ysmart_queries::{clicks_workloads, oracle_execute, rows_approx_equal, tpch_workloads, Workload};
+use ysmart_queries::{
+    clicks_workloads, oracle_execute, rows_approx_equal, tpch_workloads, Workload,
+};
 use ysmart_rel::Row;
 
 fn run_with_options(

@@ -24,7 +24,11 @@ fn main() {
     });
 
     for (workers, target_gb) in [(10, 10.0), (100, 100.0)] {
-        println!("--- {}-node cluster, {} GB TPC-H ---", workers + 1, target_gb);
+        println!(
+            "--- {}-node cluster, {} GB TPC-H ---",
+            workers + 1,
+            target_gb
+        );
         for name in ["q17", "q18", "q21"] {
             let w = tpch.iter().find(|w| w.name == name).expect("workload");
             let mut rows = Vec::new();

@@ -25,10 +25,9 @@ fn main() {
         let mut rows = Vec::new();
         let mut sums = [(0.0, 0usize), (0.0, 0usize)]; // (ysmart, hive)
         for instance in 0..3u64 {
-            for (k, (sys, strategy)) in
-                [("YSmart", Strategy::YSmart), ("Hive", Strategy::Hive)]
-                    .into_iter()
-                    .enumerate()
+            for (k, (sys, strategy)) in [("YSmart", Strategy::YSmart), ("Hive", Strategy::Hive)]
+                .into_iter()
+                .enumerate()
             {
                 let config = ClusterConfig::facebook(2000 + instance);
                 let label = format!("{sys} {}", instance + 1);

@@ -23,8 +23,10 @@ fn main() {
     for w in &workloads {
         println!("-- {} --", w.name);
         let mut rows = Vec::new();
-        for (label, strategy) in [("Hive", Strategy::Hive), ("hand-coded", Strategy::HandCoded)]
-        {
+        for (label, strategy) in [
+            ("Hive", Strategy::Hive),
+            ("hand-coded", Strategy::HandCoded),
+        ] {
             let result = execute_verified(w, strategy, &config, target_gb)
                 .map(|o| o.total_s())
                 .map_err(|e| e.to_string());

@@ -1,0 +1,133 @@
+//! Fault-tolerance figure — recovery cost under node loss, YSmart vs Hive.
+//!
+//! Not a figure from the paper: the paper's §VII runs on healthy clusters.
+//! This harness measures what the translation strategies pay when nodes
+//! die mid-query. The mechanism favouring YSmart is the same one behind
+//! every paper figure — fewer jobs. A node death costs a job re-executed
+//! map tasks, shuffle re-fetches, and possibly a whole-job retry with
+//! backoff; a chain recovers from its checkpoint (finished outputs stay in
+//! HDFS), so a longer chain both exposes more jobs to failure and pays
+//! more scheduler round-trips to crawl back.
+//!
+//! Every run is verified against the relational oracle: faults may change
+//! simulated time, never answers. Results are averaged over seeds and
+//! written to `results/faults.txt`.
+
+use ysmart_bench::{execute_verified, fmt_secs};
+use ysmart_core::{FaultOptions, Strategy, YSmart};
+use ysmart_datagen::ClicksSpec;
+use ysmart_mapred::{ClusterConfig, RetryPolicy};
+use ysmart_queries::clicks_workloads;
+
+const RATES: [f64; 4] = [0.0, 0.1, 0.25, 0.5];
+const SEEDS: u64 = 5;
+const TARGET_GB: f64 = 10.0;
+
+struct Cell {
+    total_s: f64,
+    recovery_s: f64,
+    retries: usize,
+    reexecuted: usize,
+    nodes_lost: usize,
+}
+
+fn main() {
+    let mut report = String::new();
+    let mut emit = |line: &str| {
+        println!("{line}");
+        report.push_str(line);
+        report.push('\n');
+    };
+
+    emit("=== Recovery cost under node failures (not in the paper) ===");
+    emit(&format!(
+        "q-csa, {TARGET_GB} GB, 11-node EC2 cluster; averages over {SEEDS} seeds"
+    ));
+
+    let clicks = clicks_workloads(&ClicksSpec {
+        users: 60,
+        clicks_per_user: 30,
+        seed: 2024,
+        ..ClicksSpec::default()
+    });
+    let w = clicks.iter().find(|w| w.name == "q-csa").expect("workload");
+
+    for (sys, strategy) in [("YSmart", Strategy::YSmart), ("Hive", Strategy::Hive)] {
+        let jobs = {
+            let engine = YSmart::new(w.catalog.clone(), ClusterConfig::ec2(10));
+            engine
+                .plan(&w.sql)
+                .and_then(|p| ysmart_core::translate_plan(&p, strategy, w.name))
+                .map(|t| t.job_count())
+                .expect("translation")
+        };
+        emit(&format!("--- {sys} ({jobs} jobs) ---"));
+        emit("  p(node dies)      total   recovery  retries  re-exec  nodes lost");
+        let mut baseline = None;
+        for rate in RATES {
+            let mut acc = Cell {
+                total_s: 0.0,
+                recovery_s: 0.0,
+                retries: 0,
+                reexecuted: 0,
+                nodes_lost: 0,
+            };
+            for seed in 0..SEEDS {
+                let mut config = ClusterConfig::ec2(10);
+                let mut faults = if rate > 0.0 {
+                    FaultOptions::injected(rate, seed)
+                } else {
+                    FaultOptions::default()
+                };
+                // The sweep must finish even on unlucky seeds, and a gentle
+                // backoff keeps the figure about re-execution cost rather
+                // than the exponential backoff curve.
+                if faults.retry.is_some() {
+                    faults.retry = Some(RetryPolicy {
+                        max_retries: 24,
+                        backoff_base_s: 10.0,
+                        backoff_factor: 1.5,
+                    });
+                }
+                faults.apply(&mut config);
+                let out =
+                    execute_verified(w, strategy, &config, TARGET_GB).expect("verified execution");
+                acc.total_s += out.total_s();
+                acc.recovery_s += out.metrics.recovery_s();
+                acc.retries += out.metrics.retries;
+                acc.reexecuted += out.metrics.total_reexecuted_tasks();
+                acc.nodes_lost += out.metrics.jobs.iter().map(|j| j.nodes_lost).sum::<usize>();
+            }
+            let n = SEEDS as f64;
+            let overhead = baseline
+                .map(|b: f64| {
+                    format!(
+                        "  (+{:.0}% vs healthy)",
+                        (acc.total_s / n / b - 1.0) * 100.0
+                    )
+                })
+                .unwrap_or_default();
+            if rate == 0.0 {
+                baseline = Some(acc.total_s / n);
+            }
+            emit(&format!(
+                "  p={:<12.2}{}  {}  {:>7.1}  {:>7.1}  {:>10.1}{}",
+                rate,
+                fmt_secs(acc.total_s / n),
+                fmt_secs(acc.recovery_s / n),
+                acc.retries as f64 / n,
+                acc.reexecuted as f64 / n,
+                acc.nodes_lost as f64 / n,
+                overhead,
+            ));
+        }
+    }
+
+    emit("");
+    emit("All runs verified against the relational oracle: node failures");
+    emit("changed simulated time only, never a single result row.");
+
+    std::fs::create_dir_all("results").expect("results dir");
+    std::fs::write("results/faults.txt", &report).expect("write results/faults.txt");
+    println!("\nwrote results/faults.txt");
+}

@@ -138,7 +138,13 @@ pub fn print_summary(title: &str, rows: &[FigRow]) {
             Ok(s) => {
                 let speedup = base
                     .filter(|b| *b > 0.0 && !r.label.to_lowercase().contains("ysmart"))
-                    .map(|b| format!("  ({:.0}% of YSmart speedup base: {:.2}x)", s / b * 100.0, s / b))
+                    .map(|b| {
+                        format!(
+                            "  ({:.0}% of YSmart speedup base: {:.2}x)",
+                            s / b * 100.0,
+                            s / b
+                        )
+                    })
                     .unwrap_or_default();
                 println!("  {:<16} {}{}", r.label, fmt_secs(*s), speedup);
             }

@@ -69,8 +69,7 @@ impl Translation {
                     .tag_filter
                     .map(|t| format!(" [tag {t}]"))
                     .unwrap_or_default();
-                let keys: Vec<String> =
-                    input.key_exprs.iter().map(ToString::to_string).collect();
+                let keys: Vec<String> = input.key_exprs.iter().map(ToString::to_string).collect();
                 let _ = writeln!(
                     out,
                     "  scan {}{} key=({})",
@@ -463,9 +462,7 @@ fn build_op(plan: &Plan, node: NodeId, inputs: Vec<RSource>) -> ROp {
             let mut conjuncts: Vec<Expr> = left_keys
                 .iter()
                 .zip(right_keys)
-                .map(|(&l, &r)| {
-                    Expr::binary(BinOp::Eq, Expr::col(l), Expr::col(left_width + r))
-                })
+                .map(|(&l, &r)| Expr::binary(BinOp::Eq, Expr::col(l), Expr::col(left_width + r)))
                 .collect();
             conjuncts.extend(residual.clone());
             ROp {
@@ -550,7 +547,10 @@ fn compile_draft(
         for (child_pos, &child) in children.iter().enumerate() {
             let key_cols = key_cols_for(plan, report, node, child_pos);
             match resolve_chain(plan, child)? {
-                ChainEnd::Shuffle { node: producer, transforms } if in_draft.contains(&producer) => {
+                ChainEnd::Shuffle {
+                    node: producer,
+                    transforms,
+                } if in_draft.contains(&producer) => {
                     // In-job source: append the pipe transforms to the
                     // producer's op.
                     let idx = op_index[&producer];
@@ -560,9 +560,7 @@ fn compile_draft(
                 ChainEnd::Shuffle { node: producer, .. } => {
                     // Cross-job source: read the producer's published file.
                     let pb = published.get(&producer).ok_or_else(|| {
-                        CoreError::Translate(format!(
-                            "producer {producer} has no published output"
-                        ))
+                        CoreError::Translate(format!("producer {producer} has no published output"))
                     })?;
                     let width = pb.schema.len();
                     let interface: Vec<Expr> = (0..width).map(Expr::Column).collect();
@@ -595,10 +593,8 @@ fn compile_draft(
                         unreachable!()
                     };
                     let schema = plan.node(scan).schema.clone();
-                    let key_exprs: Vec<Expr> = key_cols
-                        .iter()
-                        .map(|&k| interface[k].clone())
-                        .collect();
+                    let key_exprs: Vec<Expr> =
+                        key_cols.iter().map(|&k| interface[k].clone()).collect();
                     let stream = stream_count;
                     stream_count += 1;
                     streams.push(StreamSpec { projection: vec![] });
@@ -631,8 +627,11 @@ fn compile_draft(
             }
         }
         let value_cols: Vec<usize> = used.into_iter().collect();
-        let pos_of: HashMap<usize, usize> =
-            value_cols.iter().enumerate().map(|(i, &c)| (c, i)).collect();
+        let pos_of: HashMap<usize, usize> = value_cols
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (c, i))
+            .collect();
         let mut branches = Vec::new();
         for (stream, predicate, interface) in p.branches {
             let projection: Vec<Expr> = interface
@@ -666,9 +665,7 @@ fn compile_draft(
                 loop {
                     match cur {
                         None => break true,
-                        Some(p) if plan.node(p).op.needs_shuffle() => {
-                            break !in_draft.contains(&p)
-                        }
+                        Some(p) if plan.node(p).op.needs_shuffle() => break !in_draft.contains(&p),
                         Some(p) => cur = parents[p.0],
                     }
                 }
@@ -692,7 +689,11 @@ fn compile_draft(
             root,
             Published {
                 path: out_path.to_string(),
-                tag: if roots.len() == 1 { None } else { Some(tag as i64) },
+                tag: if roots.len() == 1 {
+                    None
+                } else {
+                    Some(tag as i64)
+                },
                 schema: published_schema(plan, parents, root),
             },
         );
@@ -710,9 +711,11 @@ fn compile_draft(
         }
     }
     let needs_single_reducer = key_arity == 0
-        || ops
-            .iter()
-            .any(|op| op.transforms.iter().any(|t| matches!(t, RowOp::Sort(_) | RowOp::Limit(_))));
+        || ops.iter().any(|op| {
+            op.transforms
+                .iter()
+                .any(|t| matches!(t, RowOp::Sort(_) | RowOp::Limit(_)))
+        });
     let reduce_tasks = if needs_single_reducer { Some(1) } else { None };
 
     // ---- combiner (map-side hash aggregation, footnote 2) -------------------
@@ -813,9 +816,10 @@ fn add_branch(
     allow_share: bool,
 ) {
     if allow_share {
-        if let Some(p) = pending.iter_mut().find(|p| {
-            p.path == path && p.key_exprs == key_exprs && p.tag_filter == tag_filter
-        }) {
+        if let Some(p) = pending
+            .iter_mut()
+            .find(|p| p.path == path && p.key_exprs == key_exprs && p.tag_filter == tag_filter)
+        {
             p.branches.push((stream, predicate, interface));
             return;
         }
@@ -856,8 +860,11 @@ fn compile_map_only(
         .flat_map(Expr::referenced_columns)
         .collect();
     let value_cols: Vec<usize> = used.into_iter().collect();
-    let pos_of: HashMap<usize, usize> =
-        value_cols.iter().enumerate().map(|(i, &c)| (c, i)).collect();
+    let pos_of: HashMap<usize, usize> = value_cols
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| (c, i))
+        .collect();
     let projection: Vec<Expr> = interface
         .iter()
         .map(|e| e.remap_columns(&|c| pos_of[&c]))
@@ -1014,11 +1021,10 @@ mod tests {
         );
         let bp = t.blueprints.last().unwrap();
         assert_eq!(bp.reduce_tasks, Some(1));
-        let has_sort = bp.ops.iter().any(|op| {
-            op.transforms
-                .iter()
-                .any(|tr| matches!(tr, RowOp::Sort(_)))
-        });
+        let has_sort = bp
+            .ops
+            .iter()
+            .any(|op| op.transforms.iter().any(|tr| matches!(tr, RowOp::Sort(_))));
         assert!(has_sort);
     }
 

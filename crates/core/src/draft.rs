@@ -128,8 +128,7 @@ pub fn build_drafts(
 ) -> Vec<Draft> {
     let shuffle_nodes: Vec<NodeId> = report.nodes.iter().map(|n| n.id).collect();
     let post: Vec<NodeId> = plan.post_order(plan.root());
-    let post_pos: HashMap<NodeId, usize> =
-        post.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+    let post_pos: HashMap<NodeId, usize> = post.iter().enumerate().map(|(i, &n)| (n, i)).collect();
 
     let mut b = Builder {
         plan,
@@ -167,11 +166,7 @@ pub fn build_drafts(
                     let tc = b.nodes[di].iter().any(|&na| {
                         b.nodes[dj].iter().any(|&nb| {
                             report.has_tc(na, nb)
-                                && pk_aligned(
-                                    &report.info(na).pk,
-                                    &report.info(nb).pk,
-                                    false,
-                                )
+                                && pk_aligned(&report.info(na).pk, &report.info(nb).pk, false)
                         })
                     });
                     if tc && !b.depends(di, dj) && !b.depends(dj, di) {
@@ -204,9 +199,7 @@ pub fn build_drafts(
                 // Rule 2: aggregation into its only preceding job.
                 Operator::Aggregate { .. } => {
                     if let [c] = info.shuffle_children[..] {
-                        if report.has_jfc(p, c)
-                            && pk_aligned(&info.pk, &report.info(c).pk, true)
-                        {
+                        if report.has_jfc(p, c) && pk_aligned(&info.pk, &report.info(c).pk, true) {
                             let dc = b.draft_of(c);
                             b.union(dc, dp);
                         }
@@ -219,8 +212,7 @@ pub fn build_drafts(
                         .iter()
                         .copied()
                         .filter(|&c| {
-                            report.has_jfc(p, c)
-                                && pk_aligned(&info.pk, &report.info(c).pk, true)
+                            report.has_jfc(p, c) && pk_aligned(&info.pk, &report.info(c).pk, true)
                         })
                         .collect();
                     if jfc.is_empty() {
@@ -354,7 +346,10 @@ mod tests {
         );
         c.add_table(
             "part",
-            Schema::of("part", &[("p_partkey", DataType::Int), ("p_name", DataType::Str)]),
+            Schema::of(
+                "part",
+                &[("p_partkey", DataType::Int), ("p_name", DataType::Str)],
+            ),
         );
         c.add_table(
             "orders",
@@ -446,7 +441,10 @@ mod tests {
             let ds = drafts_for(Q17, strategy);
             for (i, d) in ds.iter().enumerate() {
                 for &dep in &d.deps {
-                    assert!(dep < i, "draft {i} depends on later draft {dep} ({strategy})");
+                    assert!(
+                        dep < i,
+                        "draft {i} depends on later draft {dep} ({strategy})"
+                    );
                 }
             }
         }

@@ -111,13 +111,10 @@ impl YSmart {
     /// surface the error).
     pub fn load_table_lines(&mut self, name: &str, lines: Vec<String>) {
         if let Ok(schema) = self.catalog.table(name) {
-            let rows: Option<Vec<ysmart_rel::Row>> = lines
-                .iter()
-                .map(|l| decode_line(l, schema).ok())
-                .collect();
+            let rows: Option<Vec<ysmart_rel::Row>> =
+                lines.iter().map(|l| decode_line(l, schema).ok()).collect();
             if let Some(rows) = rows {
-                let columns: Vec<String> =
-                    schema.fields().iter().map(|f| f.name.clone()).collect();
+                let columns: Vec<String> = schema.fields().iter().map(|f| f.name.clone()).collect();
                 self.stats
                     .add_table(name, Statistics::scan_table(&columns, &rows));
             }
@@ -161,7 +158,11 @@ impl YSmart {
     /// Any pipeline failure, including simulated cluster failures (disk
     /// full, time limit) — check [`CoreError::is_disk_full`] /
     /// [`CoreError::is_time_limit`] for the paper's DNF cases.
-    pub fn execute_sql(&mut self, sql: &str, strategy: Strategy) -> Result<QueryOutcome, CoreError> {
+    pub fn execute_sql(
+        &mut self,
+        sql: &str,
+        strategy: Strategy,
+    ) -> Result<QueryOutcome, CoreError> {
         let translation = self.translate(sql, strategy)?;
         self.execute_translation(&translation)
     }

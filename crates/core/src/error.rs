@@ -93,7 +93,10 @@ impl CoreError {
     /// cut-off).
     #[must_use]
     pub fn is_time_limit(&self) -> bool {
-        matches!(self, CoreError::MapRed(MapRedError::TimeLimitExceeded { .. }))
+        matches!(
+            self,
+            CoreError::MapRed(MapRedError::TimeLimitExceeded { .. })
+        )
     }
 }
 
@@ -104,8 +107,8 @@ mod tests {
     #[test]
     fn conversions_and_predicates() {
         let e: CoreError = MapRedError::DiskFull {
-            node: 0,
-            needed_bytes: 2,
+            nodes: 2,
+            per_node_bytes: 2,
             capacity_bytes: 1,
         }
         .into();

@@ -1,4 +1,7 @@
-//! Translation strategies: YSmart and the systems the paper compares.
+//! Translation strategies: YSmart and the systems the paper compares —
+//! plus the fault-injection knobs applied on top of a cluster preset.
+
+use ysmart_mapred::{ClusterConfig, FailureModel, NodeFailureModel, RetryPolicy};
 
 /// Which rule set and execution style the translator applies.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -114,9 +117,59 @@ pub struct TranslateOptions {
     pub value_pad_bytes: usize,
 }
 
+/// Fault-injection and recovery knobs, bundled so experiment harnesses can
+/// sweep them over any [`ClusterConfig`] preset without reaching into the
+/// individual fields.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FaultOptions {
+    /// Per-task-attempt failure injection.
+    pub task_failures: Option<FailureModel>,
+    /// Whole-node death injection.
+    pub node_failures: Option<NodeFailureModel>,
+    /// Chain-level retry with exponential backoff.
+    pub retry: Option<RetryPolicy>,
+}
+
+impl FaultOptions {
+    /// A fault profile for sweeps: node deaths at `probability` plus a
+    /// moderate task-failure rate, recovered by the default retry policy.
+    #[must_use]
+    pub fn injected(probability: f64, seed: u64) -> Self {
+        FaultOptions {
+            task_failures: Some(FailureModel {
+                probability: (probability / 2.0).min(0.3),
+                seed: seed ^ 0xF417,
+            }),
+            node_failures: Some(NodeFailureModel { probability, seed }),
+            retry: Some(RetryPolicy::default()),
+        }
+    }
+
+    /// Writes the knobs into a cluster configuration (an unset knob clears
+    /// the corresponding field, so applying `FaultOptions::default()`
+    /// disables injection).
+    pub fn apply(&self, cfg: &mut ClusterConfig) {
+        cfg.failures = self.task_failures;
+        cfg.node_failures = self.node_failures;
+        cfg.retry = self.retry;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn fault_options_apply_and_clear() {
+        let mut cfg = ClusterConfig::default();
+        let faults = FaultOptions::injected(0.2, 7);
+        faults.apply(&mut cfg);
+        assert!(cfg.failures.is_some());
+        assert_eq!(cfg.node_failures.unwrap().probability, 0.2);
+        assert!(cfg.retry.is_some());
+        FaultOptions::default().apply(&mut cfg);
+        assert!(cfg.failures.is_none() && cfg.node_failures.is_none() && cfg.retry.is_none());
+    }
 
     #[test]
     fn presets_match_paper_systems() {

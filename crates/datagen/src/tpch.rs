@@ -55,9 +55,30 @@ pub struct TpchGen {
 
 /// The 25 TPC-H nations.
 const NATIONS: [&str; 25] = [
-    "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA", "FRANCE", "GERMANY",
-    "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN", "JORDAN", "KENYA", "MOROCCO", "MOZAMBIQUE",
-    "PERU", "CHINA", "ROMANIA", "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM",
+    "ALGERIA",
+    "ARGENTINA",
+    "BRAZIL",
+    "CANADA",
+    "EGYPT",
+    "ETHIOPIA",
+    "FRANCE",
+    "GERMANY",
+    "INDIA",
+    "INDONESIA",
+    "IRAN",
+    "IRAQ",
+    "JAPAN",
+    "JORDAN",
+    "KENYA",
+    "MOROCCO",
+    "MOZAMBIQUE",
+    "PERU",
+    "CHINA",
+    "ROMANIA",
+    "SAUDI ARABIA",
+    "VIETNAM",
+    "RUSSIA",
+    "UNITED KINGDOM",
     "UNITED STATES",
 ];
 
@@ -102,7 +123,11 @@ impl TpchGen {
                 Row::new(vec![
                     Value::Int(i as i64 + 1),
                     Value::Str(format!("Part {:07}", i + 1)),
-                    Value::Str(format!("Brand#{}{}", rng.gen_range(1..6), rng.gen_range(1..6))),
+                    Value::Str(format!(
+                        "Brand#{}{}",
+                        rng.gen_range(1..6),
+                        rng.gen_range(1..6)
+                    )),
                     Value::Str(
                         ["SM CASE", "MED BOX", "LG DRUM", "JUMBO PKG"][rng.gen_range(0..4)]
                             .to_string(),
@@ -282,7 +307,10 @@ mod tests {
             scale: 0.1,
             seed: 1,
         });
-        let big = TpchGen::generate(&TpchSpec { scale: 1.0, seed: 1 });
+        let big = TpchGen::generate(&TpchSpec {
+            scale: 1.0,
+            seed: 1,
+        });
         assert!(big.orders.len() > 5 * small.orders.len());
         // ~4 lineitems per order on average.
         let ratio = big.lineitem.len() as f64 / big.orders.len() as f64;
@@ -341,9 +369,7 @@ mod tests {
         let late = db
             .lineitem
             .iter()
-            .filter(|l| {
-                l.get(9).unwrap().as_int().unwrap() > l.get(8).unwrap().as_int().unwrap()
-            })
+            .filter(|l| l.get(9).unwrap().as_int().unwrap() > l.get(8).unwrap().as_int().unwrap())
             .count() as f64
             / db.lineitem.len() as f64;
         assert!((0.35..0.65).contains(&late), "late fraction {late}");

@@ -241,7 +241,10 @@ impl JobBlueprint {
                 OpKind::Agg { .. } | OpKind::Pass => 1,
             };
             if op.inputs.len() != arity {
-                return bad(format!("op {i} expects {arity} inputs, has {}", op.inputs.len()));
+                return bad(format!(
+                    "op {i} expects {arity} inputs, has {}",
+                    op.inputs.len()
+                ));
             }
             for src in &op.inputs {
                 match src {
@@ -267,9 +270,7 @@ impl JobBlueprint {
                 RSource::Stream(s) if *s >= nstreams => {
                     return bad("emit stream out of range".into())
                 }
-                RSource::Op(o) if *o >= self.ops.len() => {
-                    return bad("emit op out of range".into())
-                }
+                RSource::Op(o) if *o >= self.ops.len() => return bad("emit op out of range".into()),
                 _ => {}
             }
         }
@@ -319,12 +320,11 @@ impl JobBlueprint {
         }
         if !self.map_only {
             let bp = Arc::clone(&me);
-            builder =
-                builder.reducer(move || Box::new(CommonReducer::new(Arc::clone(&bp))));
+            builder = builder.reducer(move || Box::new(CommonReducer::new(Arc::clone(&bp))));
             if self.combiner.is_some() {
                 let bp = Arc::clone(&me);
-                builder = builder
-                    .combiner(move || Box::new(PartialAggCombiner::new(Arc::clone(&bp))));
+                builder =
+                    builder.combiner(move || Box::new(PartialAggCombiner::new(Arc::clone(&bp))));
             }
         }
         if let Some(n) = self.reduce_tasks {

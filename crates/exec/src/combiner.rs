@@ -131,7 +131,13 @@ mod tests {
 
     #[test]
     fn partial_round_trip_equals_direct() {
-        for func in [AggFunc::Count, AggFunc::Sum, AggFunc::Avg, AggFunc::Min, AggFunc::Max] {
+        for func in [
+            AggFunc::Count,
+            AggFunc::Sum,
+            AggFunc::Avg,
+            AggFunc::Min,
+            AggFunc::Max,
+        ] {
             let xs: Vec<Value> = (1..=6).map(Value::Int).collect();
             // direct
             let mut direct = func.new_state();

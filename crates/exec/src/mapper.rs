@@ -84,9 +84,9 @@ impl Mapper for CommonMapper {
         for b in &input.branches {
             let visible = match &b.predicate {
                 None => true,
-                Some(p) => p.eval_predicate(&row).unwrap_or_else(|e| {
-                    panic!("predicate failed in {}: {e}", self.blueprint.name)
-                }),
+                Some(p) => p
+                    .eval_predicate(&row)
+                    .unwrap_or_else(|e| panic!("predicate failed in {}: {e}", self.blueprint.name)),
             };
             if visible {
                 any = true;

@@ -141,7 +141,14 @@ impl Reducer for CommonReducer {
                     merge_partials,
                 } => {
                     let input = Self::source_rows(&streams, &op_outputs, op.inputs[0]);
-                    eval_agg(input, group_cols, aggs, having.as_ref(), *merge_partials, &mut work)
+                    eval_agg(
+                        input,
+                        group_cols,
+                        aggs,
+                        having.as_ref(),
+                        *merge_partials,
+                        &mut work,
+                    )
                 }
                 OpKind::Join {
                     kind,
@@ -218,8 +225,7 @@ fn eval_agg(
                 offset += width;
             }
         } else {
-            update_states(states, aggs, row)
-                .unwrap_or_else(|e| panic!("aggregation failed: {e}"));
+            update_states(states, aggs, row).unwrap_or_else(|e| panic!("aggregation failed: {e}"));
         }
     }
     let mut out = Vec::with_capacity(groups.len());
@@ -501,7 +507,11 @@ mod tests {
         );
         let lines = run_direct(
             &bp,
-            vec![tagged(0b10, 1, 10), tagged(0b01, 1, 20), tagged(0b01, 1, 30)],
+            vec![
+                tagged(0b10, 1, 10),
+                tagged(0b01, 1, 20),
+                tagged(0b01, 1, 30),
+            ],
         );
         assert_eq!(lines, vec!["1|2"]);
     }

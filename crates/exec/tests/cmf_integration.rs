@@ -4,7 +4,6 @@
 //! files, post-job computations) never changes results relative to
 //! dedicated jobs.
 
-
 use ysmart_exec::{
     EmitSpec, InputSpec, JobBlueprint, MapBranch, OpKind, PartialAgg, ROp, RSource, RowOp,
     StreamSpec,
@@ -124,8 +123,16 @@ fn shared_scan_equals_dedicated_scans() {
         key_cardinality: None,
     };
     let mut c2 = cluster_with_data(200);
-    let ja = run_job(&mut c2, &dedicated("a", pred_a, "out/a").to_jobspec().unwrap()).unwrap();
-    let jb = run_job(&mut c2, &dedicated("b", pred_b, "out/b").to_jobspec().unwrap()).unwrap();
+    let ja = run_job(
+        &mut c2,
+        &dedicated("a", pred_a, "out/a").to_jobspec().unwrap(),
+    )
+    .unwrap();
+    let jb = run_job(
+        &mut c2,
+        &dedicated("b", pred_b, "out/b").to_jobspec().unwrap(),
+    )
+    .unwrap();
 
     // Same rows (tagged lines 0|… and 1|… match the dedicated outputs).
     let merged_a: Vec<String> = sorted_lines(&c1, "out/merged")
@@ -344,7 +351,10 @@ fn short_circuit_output_invariant() {
     let plain = run_job(&mut c1, &mk(vec![], "out/plain").to_jobspec().unwrap()).unwrap();
     let mut c2 = cluster_with_data(140);
     let fast = run_job(&mut c2, &mk(vec![0, 1], "out/fast").to_jobspec().unwrap()).unwrap();
-    assert_eq!(sorted_lines(&c1, "out/plain"), sorted_lines(&c2, "out/fast"));
+    assert_eq!(
+        sorted_lines(&c1, "out/plain"),
+        sorted_lines(&c2, "out/fast")
+    );
     // The tag pre-pass costs a little on keys that do not skip, so allow a
     // small tolerance; net it must not be materially slower.
     assert!(fast.reduce_time_s <= plain.reduce_time_s * 1.05);

@@ -12,11 +12,11 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::engine::{run_job, Cluster};
+use crate::engine::{run_job_attempt, Cluster};
 use crate::error::MapRedError;
 use crate::hash::hash_row;
 use crate::job::JobSpec;
-use crate::metrics::{ChainMetrics, JobMetrics};
+use crate::metrics::ChainMetrics;
 
 /// A sequence of jobs executed in order; each job may read the outputs of
 /// earlier ones from HDFS.
@@ -61,22 +61,50 @@ pub struct ChainOutcome {
     pub final_output: String,
 }
 
+/// Whether a failed job attempt is worth retrying: injected faults
+/// ([`MapRedError::TooManyFailures`], [`MapRedError::ClusterLost`]) draw
+/// fresh randomness on the next attempt, and a [`MapRedError::DiskFull`]
+/// cluster may have been cleaned up. Missing inputs, user errors and time
+/// limits are permanent.
+fn retryable(e: &MapRedError) -> bool {
+    matches!(
+        e,
+        MapRedError::TooManyFailures { .. }
+            | MapRedError::ClusterLost { .. }
+            | MapRedError::DiskFull { .. }
+    )
+}
+
 /// Runs all jobs in order, charging inter-job scheduling costs.
+///
+/// When the cluster has a [`crate::config::RetryPolicy`], a job attempt
+/// that dies with a retryable error is retried after an exponential
+/// backoff, with the failed attempt's burned time and the backoff charged
+/// to the chain. Recovery is *checkpointed*: every finished job's output
+/// already sits in HDFS, so only the failed job re-runs — the chain resumes
+/// from where it died instead of restarting.
 ///
 /// # Errors
 ///
-/// Stops at the first failing job (disk full, time limit, missing input).
-/// The chain total is also checked against the cluster time limit.
+/// [`MapRedError::EmptyChain`] for a chain with no jobs; otherwise stops at
+/// the first failing job (disk full, time limit, missing input, injected
+/// faults) once retries — if any — are exhausted. The chain's cumulative
+/// time, including failed attempts and backoff, is also checked against the
+/// cluster time limit.
 pub fn run_chain(cluster: &mut Cluster, chain: &JobChain) -> Result<ChainOutcome, MapRedError> {
-    assert!(!chain.is_empty(), "empty job chain");
+    if chain.is_empty() {
+        return Err(MapRedError::EmptyChain);
+    }
     let mut metrics = ChainMetrics::default();
-    let mut gap_rng = cluster
-        .config
-        .contention
-        .map(|c| StdRng::seed_from_u64(c.seed ^ hash_row(&ysmart_rel::row![chain.jobs[0].name.as_str()])));
+    let mut gap_rng = cluster.config.contention.map(|c| {
+        StdRng::seed_from_u64(c.seed ^ hash_row(&ysmart_rel::row![chain.jobs[0].name.as_str()]))
+    });
     let mut elapsed = 0.0;
     let mut final_output = String::new();
-    for (i, job) in chain.jobs.iter().enumerate() {
+    let mut i = 0; // next job to run — the chain's recovery checkpoint
+    let mut attempt = 0; // attempt index of job `i`
+    while i < chain.jobs.len() {
+        let job = &chain.jobs[i];
         let mut delay = if i == 0 {
             0.0
         } else {
@@ -85,16 +113,39 @@ pub fn run_chain(cluster: &mut Cluster, chain: &JobChain) -> Result<ChainOutcome
         if let (Some(c), Some(rng)) = (cluster.config.contention, gap_rng.as_mut()) {
             delay += rng.gen::<f64>() * c.max_scheduling_gap_s;
         }
-        let mut m: JobMetrics = run_job(cluster, job)?;
-        m.startup_delay_s = delay;
-        elapsed += m.total_s();
+        match run_job_attempt(cluster, job, attempt) {
+            Ok(mut m) => {
+                m.startup_delay_s = delay;
+                elapsed += m.total_s();
+                final_output = job.output.clone();
+                metrics.jobs.push(m);
+                i += 1;
+                attempt = 0;
+            }
+            Err(fail) => {
+                metrics.failed_attempt_s += delay + fail.wasted_s;
+                elapsed += delay + fail.wasted_s;
+                let can_retry = cluster
+                    .config
+                    .retry
+                    .filter(|p| retryable(&fail.error) && attempt < p.max_retries);
+                let Some(policy) = can_retry else {
+                    return Err(fail.error);
+                };
+                let backoff = policy.backoff_s(attempt);
+                metrics.retries += 1;
+                metrics.backoff_delay_s += backoff;
+                elapsed += backoff;
+                attempt += 1;
+                // Outputs of jobs[..i] are already in HDFS; only job `i`
+                // re-runs.
+            }
+        }
         if let Some(limit) = cluster.config.time_limit_s {
             if elapsed > limit {
                 return Err(MapRedError::TimeLimitExceeded { limit_s: limit });
             }
         }
-        final_output = job.output.clone();
-        metrics.jobs.push(m);
     }
     Ok(ChainOutcome {
         metrics,
@@ -128,7 +179,10 @@ mod tests {
     impl Mapper for PassMapper {
         fn map(&mut self, line: &str, out: &mut MapOutput) {
             let (k, v) = line.split_once('|').unwrap();
-            out.emit(row![0i64], row![k.parse::<i64>().unwrap(), v.parse::<i64>().unwrap()]);
+            out.emit(
+                row![0i64],
+                row![k.parse::<i64>().unwrap(), v.parse::<i64>().unwrap()],
+            );
         }
     }
 
@@ -178,6 +232,42 @@ mod tests {
     }
 
     #[test]
+    fn empty_chain_is_an_error() {
+        let mut c = Cluster::new(ClusterConfig::default());
+        let e = run_chain(&mut c, &JobChain::new()).unwrap_err();
+        assert!(matches!(e, MapRedError::EmptyChain));
+    }
+
+    #[test]
+    fn chain_cumulative_time_limit_enforced() {
+        // Measure the unlimited chain, then cap it between the largest
+        // single job and the chain total: every job fits individually, only
+        // the cumulative check can fire.
+        let load = |c: &mut Cluster| {
+            c.load_table("nums", (0..100).map(|i| i.to_string()).collect());
+        };
+        let mut free = Cluster::new(ClusterConfig::default());
+        load(&mut free);
+        let metrics = run_chain(&mut free, &two_job_chain()).unwrap().metrics;
+        let total = metrics.total_s();
+        let biggest_job = metrics
+            .jobs
+            .iter()
+            .map(|j| j.map_time_s + j.reduce_time_s)
+            .fold(0.0, f64::max);
+        let limit = total * 0.99;
+        assert!(biggest_job < limit && limit < total, "cap must sit between");
+
+        let mut capped = Cluster::new(ClusterConfig {
+            time_limit_s: Some(limit),
+            ..ClusterConfig::default()
+        });
+        load(&mut capped);
+        let e = run_chain(&mut capped, &two_job_chain()).unwrap_err();
+        assert!(matches!(e, MapRedError::TimeLimitExceeded { .. }));
+    }
+
+    #[test]
     fn contention_adds_gaps_deterministically() {
         let run = |seed| {
             let mut c = Cluster::new(ClusterConfig {
@@ -190,7 +280,10 @@ mod tests {
                 ..ClusterConfig::default()
             });
             c.load_table("nums", (0..100).map(|i| i.to_string()).collect());
-            run_chain(&mut c, &two_job_chain()).unwrap().metrics.total_s()
+            run_chain(&mut c, &two_job_chain())
+                .unwrap()
+                .metrics
+                .total_s()
         };
         let a = run(7);
         let b = run(7);
@@ -228,7 +321,10 @@ mod tests {
         };
         let mut c2 = Cluster::new(base);
         c2.load_table("nums", (0..100).map(|i| i.to_string()).collect());
-        let two = run_chain(&mut c2, &two_job_chain()).unwrap().metrics.total_s();
+        let two = run_chain(&mut c2, &two_job_chain())
+            .unwrap()
+            .metrics
+            .total_s();
         assert!(two > one);
     }
 }

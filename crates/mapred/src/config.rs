@@ -49,8 +49,10 @@ pub struct ContentionModel {
 /// disk, co-located load), the framework schedules a duplicate and takes
 /// whichever finishes first. Stragglers here are sampled per task with a
 /// seeded RNG; with `speculative` enabled the straggler's effective time is
-/// capped near the normal task time (the backup wins), at the cost of the
-/// duplicated work being charged to the cluster.
+/// capped near the normal task time (the backup wins). The backup's
+/// duplicated work occupies otherwise-idle slots, so it is charged to
+/// [`crate::metrics::JobMetrics::speculative_slot_s`] (cluster slot-seconds)
+/// rather than to the job's wall clock.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StragglerModel {
     /// Probability that a task is a straggler.
@@ -72,6 +74,62 @@ pub struct FailureModel {
     pub probability: f64,
     /// RNG seed.
     pub seed: u64,
+}
+
+/// Seeded whole-node failure injector. During each job attempt every worker
+/// node dies independently with `probability` (a TaskTracker crash, as
+/// Hadoop's JobTracker detects via missed heartbeats). A dead node takes its
+/// completed map outputs with it — they live on the node's local disk, not
+/// in HDFS — so every task the node ran is re-executed on the survivors and
+/// reduce tasks re-fetch the re-executed share of the shuffle. All of that
+/// is charged in simulated time; results never change because the real
+/// computation is re-run identically. If *all* nodes die the attempt fails
+/// with [`crate::MapRedError::ClusterLost`] and only the chain-level
+/// [`RetryPolicy`] can recover it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeFailureModel {
+    /// Per-node, per-job-attempt death probability in `[0, 1)`.
+    pub probability: f64,
+    /// RNG seed (draws also vary with the job and the attempt index, so a
+    /// retried job sees fresh failures).
+    pub seed: u64,
+}
+
+/// Chain-level retry with exponential backoff. When a job attempt dies with
+/// a retryable error ([`crate::MapRedError::TooManyFailures`],
+/// [`crate::MapRedError::DiskFull`] or [`crate::MapRedError::ClusterLost`]),
+/// [`crate::chain::run_chain`] waits out the backoff in simulated time and
+/// re-runs *that job only*: outputs of earlier jobs already sit in HDFS, so
+/// the chain recovers from its last checkpoint instead of restarting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Retries allowed per job (beyond its first attempt).
+    pub max_retries: usize,
+    /// Backoff before the first retry, simulated seconds.
+    pub backoff_base_s: f64,
+    /// Multiplier applied to the backoff after each retry.
+    pub backoff_factor: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            backoff_base_s: 30.0,
+            backoff_factor: 2.0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff charged before retry number `retry` (0-based).
+    #[must_use]
+    pub fn backoff_s(&self, retry: usize) -> f64 {
+        self.backoff_base_s
+            * self
+                .backoff_factor
+                .powi(i32::try_from(retry).unwrap_or(i32::MAX))
+    }
 }
 
 /// The cluster and its cost model.
@@ -118,6 +176,10 @@ pub struct ClusterConfig {
     pub contention: Option<ContentionModel>,
     /// Task-failure injection, when modelled.
     pub failures: Option<FailureModel>,
+    /// Whole-node failure injection, when modelled.
+    pub node_failures: Option<NodeFailureModel>,
+    /// Chain-level retry with backoff, when enabled.
+    pub retry: Option<RetryPolicy>,
     /// Straggler injection (and speculative execution), when modelled.
     pub stragglers: Option<StragglerModel>,
     /// Wall-clock cap per query, simulated seconds (`None` = unlimited).
@@ -151,6 +213,8 @@ impl Default for ClusterConfig {
             inter_job_delay_s: 5.0,
             contention: None,
             failures: None,
+            node_failures: None,
+            retry: None,
             stragglers: None,
             time_limit_s: None,
             size_multiplier: 1.0,
@@ -231,6 +295,20 @@ impl ClusterConfig {
         ((raw as f64 * share).floor() as usize).max(1)
     }
 
+    /// Map slots left when only `survivors` nodes are alive (after the
+    /// contention slot share).
+    #[must_use]
+    pub fn surviving_map_slots(&self, survivors: usize) -> usize {
+        self.effective_slots(survivors * self.map_slots_per_node)
+    }
+
+    /// Reduce slots left when only `survivors` nodes are alive (after the
+    /// contention slot share).
+    #[must_use]
+    pub fn surviving_reduce_slots(&self, survivors: usize) -> usize {
+        self.effective_slots(survivors * self.reduce_slots_per_node)
+    }
+
     /// The number of reduce tasks a job should use.
     #[must_use]
     pub fn default_reduce_tasks(&self) -> usize {
@@ -282,6 +360,14 @@ mod tests {
             ..ClusterConfig::default()
         };
         assert_eq!(cfg.default_reduce_tasks(), 7);
+    }
+
+    #[test]
+    fn backoff_grows_exponentially() {
+        let p = RetryPolicy::default();
+        assert!((p.backoff_s(0) - 30.0).abs() < 1e-9);
+        assert!((p.backoff_s(1) - 60.0).abs() < 1e-9);
+        assert!((p.backoff_s(2) - 120.0).abs() < 1e-9);
     }
 
     #[test]

@@ -17,6 +17,15 @@
 //! 5. **Checks** — per-node spill volumes are checked against disk
 //!    capacity ([`MapRedError::DiskFull`]) and the job total against the
 //!    configured time limit.
+//!
+//! Fault tolerance: a [`crate::config::NodeFailureModel`] kills whole
+//! worker nodes during a job attempt. Map outputs live on local disks, so a
+//! dead node's tasks are re-executed on the survivors and reducers re-fetch
+//! that share of the shuffle — all charged in simulated time, never
+//! changing results. A job attempt that cannot finish (a task out of
+//! retries, disks full, every node dead) fails with an [`AttemptFailure`]
+//! carrying the simulated time it burned; [`crate::chain::run_chain`]
+//! retries it under the [`crate::config::RetryPolicy`].
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -66,11 +75,42 @@ impl Cluster {
     }
 }
 
+/// A failed job attempt: the error plus the simulated time the attempt
+/// burned before dying. [`crate::chain::run_chain`] charges that time to
+/// the chain when it retries the job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttemptFailure {
+    /// What killed the attempt.
+    pub error: MapRedError,
+    /// Simulated seconds the attempt ran before failing.
+    pub wasted_s: f64,
+}
+
+impl From<AttemptFailure> for MapRedError {
+    fn from(f: AttemptFailure) -> Self {
+        f.error
+    }
+}
+
+impl From<MapRedError> for AttemptFailure {
+    fn from(error: MapRedError) -> Self {
+        AttemptFailure {
+            error,
+            wasted_s: 0.0,
+        }
+    }
+}
+
 /// Internal per-map-task result.
 struct MapTaskResult {
     pairs: Vec<(Row, Row)>,
     /// 1 when this task straggled and was rescued by a backup task.
     speculative: usize,
+    /// Slot-seconds the speculative backup duplicated.
+    spec_slot_s: f64,
+    /// Task name when it exhausted its per-task retries (kills the attempt
+    /// after every task's time has been accounted).
+    fatal: Option<String>,
     /// Simulated records/bytes per real pair emitted by this task. Usually
     /// the global `size_multiplier`; 1.0 when a combiner collapsed the task
     /// to a handful of partial rows — such output is bounded by key
@@ -89,9 +129,31 @@ struct MapTaskResult {
 ///
 /// # Errors
 ///
-/// Missing inputs, disk-capacity overflow, time-limit violation, or user
-/// errors from mappers/reducers.
+/// Missing inputs, disk-capacity overflow, time-limit violation, injected
+/// faults that exhaust task retries, or loss of every worker node.
 pub fn run_job(cluster: &mut Cluster, spec: &JobSpec) -> Result<JobMetrics, MapRedError> {
+    run_job_attempt(cluster, spec, 0).map_err(MapRedError::from)
+}
+
+/// Mixes a job-attempt index into RNG seeds so a retried job sees fresh
+/// failure/straggler draws (attempt 0 leaves seeds unchanged).
+fn attempt_mix(attempt: usize) -> u64 {
+    (attempt as u64).wrapping_mul(0xA076_1D64_78BD_642F)
+}
+
+/// Executes one attempt of a job. `attempt` varies the injected-fault RNG
+/// draws, so the chain-level retry of a failed job is not doomed to repeat
+/// the exact same deaths.
+///
+/// # Errors
+///
+/// As [`run_job`], but failures carry the simulated time the attempt burned
+/// before dying ([`AttemptFailure`]).
+pub fn run_job_attempt(
+    cluster: &mut Cluster,
+    spec: &JobSpec,
+    attempt: usize,
+) -> Result<JobMetrics, AttemptFailure> {
     let cfg = cluster.config.clone();
     let mult = cfg.size_multiplier;
     let slowdown = cfg.contention.map_or(1.0, |c| c.task_slowdown);
@@ -139,34 +201,48 @@ pub fn run_job(cluster: &mut Cluster, spec: &JobSpec) -> Result<JobMetrics, MapR
         .unwrap_or(1)
         .min(tasks.len().max(1));
     let results: Vec<MapTaskResult> = if threads <= 1 || tasks.len() < 4 {
-        let mut out = Vec::with_capacity(tasks.len());
-        for (idx, (input_idx, lines)) in tasks.iter().enumerate() {
-            out.push(run_map_task(
-                &cfg, spec, job_hash, idx, *input_idx, lines, num_reducers, map_only, mult,
-                slowdown,
-            )?);
-        }
-        out
+        tasks
+            .iter()
+            .enumerate()
+            .map(|(idx, (input_idx, lines))| {
+                run_map_task(
+                    &cfg,
+                    spec,
+                    job_hash,
+                    attempt,
+                    idx,
+                    *input_idx,
+                    lines,
+                    num_reducers,
+                    map_only,
+                    mult,
+                    slowdown,
+                )
+            })
+            .collect()
     } else {
         let chunk = tasks.len().div_ceil(threads);
-        let task_slices: Vec<(usize, &[(usize, Vec<String>)])> = tasks
+        type TaskSlice<'a> = (usize, &'a [(usize, Vec<String>)]);
+        let task_slices: Vec<TaskSlice> = tasks
             .chunks(chunk)
             .enumerate()
             .map(|(i, c)| (i * chunk, c))
             .collect();
         let cfg_ref = &cfg;
-        let chunk_results: Vec<Result<Vec<MapTaskResult>, MapRedError>> =
-            crossbeam::thread::scope(|scope| {
-                let handles: Vec<_> = task_slices
-                    .into_iter()
-                    .map(|(base, slice)| {
-                        scope.spawn(move |_| {
-                            let mut out = Vec::with_capacity(slice.len());
-                            for (off, (input_idx, lines)) in slice.iter().enumerate() {
-                                out.push(run_map_task(
+        let chunk_results: Vec<Vec<MapTaskResult>> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = task_slices
+                .into_iter()
+                .map(|(base, slice)| {
+                    scope.spawn(move |_| {
+                        slice
+                            .iter()
+                            .enumerate()
+                            .map(|(off, (input_idx, lines))| {
+                                run_map_task(
                                     cfg_ref,
                                     spec,
                                     job_hash,
+                                    attempt,
                                     base + off,
                                     *input_idx,
                                     lines,
@@ -174,34 +250,88 @@ pub fn run_job(cluster: &mut Cluster, spec: &JobSpec) -> Result<JobMetrics, MapR
                                     map_only,
                                     mult,
                                     slowdown,
-                                )?);
-                            }
-                            Ok(out)
-                        })
+                                )
+                            })
+                            .collect()
                     })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("map task thread panicked"))
-                    .collect()
-            })
-            .expect("crossbeam scope");
-        let mut out = Vec::with_capacity(tasks.len());
-        for r in chunk_results {
-            out.extend(r?);
-        }
-        out
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("map task thread panicked"))
+                .collect()
+        })
+        .expect("crossbeam scope");
+        chunk_results.into_iter().flatten().collect()
     };
     let speculative_tasks: usize = results.iter().map(|r| r.speculative).sum();
 
-    let map_makespan = makespan(
-        results.iter().map(|r| r.time_s),
-        cfg.total_map_slots(),
-    );
+    let mut map_makespan = makespan(results.iter().map(|r| r.time_s), cfg.total_map_slots());
+
+    // A task out of per-task retries kills the attempt; the whole map
+    // phase's work up to that point is lost.
+    if let Some(task) = results.iter().find_map(|r| r.fatal.clone()) {
+        return Err(AttemptFailure {
+            error: MapRedError::TooManyFailures { task },
+            wasted_s: map_makespan,
+        });
+    }
+
+    // ---- node-loss injection ---------------------------------------------
+    // Per (job, attempt, node) seeded deaths. A dead node's map outputs are
+    // on its local disk and unreachable, so its tasks re-execute on the
+    // surviving slots after the original wave; the original runs are
+    // wasted work. `lost_map_frac` later charges the reducers' re-fetch.
+    let nodes = cfg.nodes.max(1);
+    let mut dead = vec![false; nodes];
+    let mut nodes_lost = 0usize;
+    let mut reexecuted_tasks = 0usize;
+    let mut wasted_s = 0.0f64;
+    let mut lost_map_frac = 0.0f64;
+    if let Some(model) = cfg.node_failures {
+        const SPLITMIX: u64 = 0x9E37_79B9_7F4A_7C15;
+        for (n, d) in dead.iter_mut().enumerate() {
+            let mut rng = StdRng::seed_from_u64(
+                model.seed
+                    ^ job_hash
+                    ^ attempt_mix(attempt)
+                    ^ (n as u64 + 0x0DE5).wrapping_mul(SPLITMIX),
+            );
+            *d = rng.gen::<f64>() < model.probability;
+            nodes_lost += usize::from(*d);
+        }
+        if nodes_lost == nodes {
+            return Err(AttemptFailure {
+                error: MapRedError::ClusterLost {
+                    job: spec.name.clone(),
+                    nodes,
+                },
+                wasted_s: map_makespan,
+            });
+        }
+        let lost_times: Vec<f64> = results
+            .iter()
+            .enumerate()
+            .filter(|(idx, _)| dead[idx % nodes])
+            .map(|(_, r)| r.time_s)
+            .collect();
+        if !lost_times.is_empty() {
+            reexecuted_tasks += lost_times.len();
+            wasted_s += lost_times.iter().sum::<f64>();
+            lost_map_frac = lost_times.len() as f64 / results.len() as f64;
+            map_makespan += makespan(
+                lost_times.into_iter(),
+                cfg.surviving_map_slots(nodes - nodes_lost),
+            );
+        }
+    }
 
     // ---- disk-capacity check on map spill --------------------------------
     let total_spill: u64 = results.iter().map(|r| r.spill_bytes).sum();
-    check_disk(&cfg, total_spill)?;
+    check_disk(&cfg, total_spill).map_err(|error| AttemptFailure {
+        error,
+        wasted_s: map_makespan,
+    })?;
 
     let mut metrics = JobMetrics {
         name: spec.name.clone(),
@@ -209,13 +339,17 @@ pub fn run_job(cluster: &mut Cluster, spec: &JobSpec) -> Result<JobMetrics, MapR
         hdfs_read_bytes: (hdfs_read_real as f64 * mult) as u64,
         local_spill_bytes: total_spill,
         map_in_records: (results.iter().map(|r| r.in_records).sum::<u64>() as f64 * mult) as u64,
-        map_out_records: (results.iter().map(|r| r.out_records).sum::<u64>() as f64 * mult)
-            as u64,
+        map_out_records: (results.iter().map(|r| r.out_records).sum::<u64>() as f64 * mult) as u64,
         map_tasks: results.len(),
         failed_attempts: results.iter().map(|r| r.failed_attempts).sum(),
+        speculative_tasks,
+        speculative_slot_s: results.iter().map(|r| r.spec_slot_s).sum(),
+        nodes_lost,
+        reexecuted_tasks,
+        wasted_s,
+        attempt,
         ..JobMetrics::default()
     };
-    metrics.speculative_tasks = speculative_tasks;
     let _ = metrics.local_spill_bytes;
 
     // ---- map-only completion ---------------------------------------------
@@ -235,7 +369,10 @@ pub fn run_job(cluster: &mut Cluster, spec: &JobSpec) -> Result<JobMetrics, MapR
             / (cfg.total_map_slots() as f64).max(1.0);
         metrics.hdfs_write_bytes = sim_out as u64;
         metrics.out_records = (lines.len() as f64 * mult) as u64;
-        check_time(&cfg, metrics.map_time_s)?;
+        check_time(&cfg, metrics.map_time_s).map_err(|error| AttemptFailure {
+            error,
+            wasted_s: metrics.map_time_s,
+        })?;
         cluster.hdfs.put(&spec.output, lines);
         return Ok(metrics);
     }
@@ -259,11 +396,15 @@ pub fn run_job(cluster: &mut Cluster, spec: &JobSpec) -> Result<JobMetrics, MapR
     let decompress_cpu = cfg.compression.map_or(0.0, |c| c.cpu_s_per_gb);
 
     let total_shuffle_sim: f64 = shuffle_sim_bytes.iter().sum::<f64>() * compress_ratio;
-    check_disk(&cfg, total_shuffle_sim as u64)?;
+    check_disk(&cfg, total_shuffle_sim as u64).map_err(|error| AttemptFailure {
+        error,
+        wasted_s: metrics.map_time_s,
+    })?;
 
     // ---- reduce phase ------------------------------------------------------
     let reducer_factory = spec.reducer.as_ref().expect("non-map-only");
     let mut reduce_speculative = 0usize;
+    let mut reduce_spec_slot_s = 0.0f64;
     let mut reduce_times: Vec<f64> = Vec::with_capacity(num_reducers);
     let mut all_lines: Vec<String> = Vec::new();
     let mut out_bytes = 0u64;
@@ -302,8 +443,7 @@ pub fn run_job(cluster: &mut Cluster, spec: &JobSpec) -> Result<JobMetrics, MapR
             / 1e6;
         let sim_out = task_out_bytes as f64 * mult;
         let write_s = cfg.net_seconds(sim_out * f64::from(cfg.replication));
-        let mut reduce_time =
-            (cfg.task_startup_s + fetch_s + merge_s + cpu_s + write_s) * slowdown;
+        let mut reduce_time = (cfg.task_startup_s + fetch_s + merge_s + cpu_s + write_s) * slowdown;
         if let Some(model) = cfg.stragglers {
             const SPLITMIX: u64 = 0x9E37_79B9_7F4A_7C15;
             let mut rng = StdRng::seed_from_u64(
@@ -313,36 +453,64 @@ pub fn run_job(cluster: &mut Cluster, spec: &JobSpec) -> Result<JobMetrics, MapR
                 let slowed = reduce_time * model.slowdown.max(1.0);
                 reduce_time = if model.speculative {
                     reduce_speculative += 1;
-                    slowed.min(reduce_time * 1.2)
+                    let capped = slowed.min(reduce_time * 1.2);
+                    reduce_spec_slot_s += capped;
+                    capped
                 } else {
                     slowed
                 };
             }
         }
+        if nodes_lost > 0 {
+            // Re-executed mappers' share of this partition is fetched again,
+            // after the map phase — no overlap discount.
+            reduce_time += cfg.net_seconds(sim_in * lost_map_frac);
+            if dead[p % nodes] {
+                // The reducer itself sat on a dead node: its first run is
+                // wasted and it restarts on a survivor.
+                wasted_s += reduce_time;
+                reexecuted_tasks += 1;
+                reduce_time *= 2.0;
+            }
+        }
         reduce_times.push(reduce_time);
         all_lines.extend(lines);
     }
-    metrics.reduce_time_s = makespan(reduce_times.into_iter(), cfg.total_reduce_slots());
+    let reduce_slots = if nodes_lost > 0 {
+        cfg.surviving_reduce_slots(nodes - nodes_lost)
+    } else {
+        cfg.total_reduce_slots()
+    };
+    metrics.reduce_time_s = makespan(reduce_times.into_iter(), reduce_slots);
     metrics.shuffle_bytes = total_shuffle_sim as u64;
     metrics.hdfs_write_bytes = (out_bytes as f64 * mult) as u64;
     metrics.out_records = (all_lines.len() as f64 * mult) as u64;
     metrics.reduce_tasks = num_reducers;
     metrics.speculative_tasks = speculative_tasks + reduce_speculative;
+    metrics.speculative_slot_s += reduce_spec_slot_s;
+    metrics.reexecuted_tasks = reexecuted_tasks;
+    metrics.wasted_s = wasted_s;
 
-    check_time(&cfg, metrics.map_time_s + metrics.reduce_time_s)?;
+    check_time(&cfg, metrics.map_time_s + metrics.reduce_time_s).map_err(|error| {
+        AttemptFailure {
+            error,
+            wasted_s: metrics.map_time_s + metrics.reduce_time_s,
+        }
+    })?;
     cluster.hdfs.put(&spec.output, all_lines);
     Ok(metrics)
 }
 
 /// Runs one map task: real record processing plus its simulated cost.
-/// Failure and straggler randomness is seeded per `(job, task index)` so
-/// results and times are identical however tasks are scheduled onto
-/// threads.
+/// Failure and straggler randomness is seeded per `(job, attempt, task
+/// index)` so results and times are identical however tasks are scheduled
+/// onto threads, while retried job attempts see fresh draws.
 #[allow(clippy::too_many_arguments)]
 fn run_map_task(
     cfg: &ClusterConfig,
     spec: &JobSpec,
     job_hash: u64,
+    attempt: usize,
     task_idx: usize,
     input_idx: usize,
     lines: &[String],
@@ -350,9 +518,11 @@ fn run_map_task(
     map_only: bool,
     mult: f64,
     slowdown: f64,
-) -> Result<MapTaskResult, MapRedError> {
+) -> MapTaskResult {
     const SPLITMIX: u64 = 0x9E37_79B9_7F4A_7C15;
-    let task_seed = |base: u64| base ^ job_hash ^ (task_idx as u64 + 1).wrapping_mul(SPLITMIX);
+    let task_seed = |base: u64| {
+        base ^ job_hash ^ attempt_mix(attempt) ^ (task_idx as u64 + 1).wrapping_mul(SPLITMIX)
+    };
 
     let input = &spec.inputs[input_idx];
     let mut mapper = (input.mapper)();
@@ -414,9 +584,8 @@ fn run_map_task(
     let sim_records = lines.len() as f64 * mult;
     let read_s = cfg.locality * cfg.disk_seconds(sim_in_bytes)
         + (1.0 - cfg.locality) * cfg.net_seconds(sim_in_bytes);
-    let cpu_s = (sim_records * cfg.map_cpu_us_per_record
-        + map_work as f64 * mult * cfg.work_cpu_us)
-        / 1e6;
+    let cpu_s =
+        (sim_records * cfg.map_cpu_us_per_record + map_work as f64 * mult * cfg.work_cpu_us) / 1e6;
     let sim_out_records = out_records as f64 * mult;
     let sort_s = if map_only || sim_out_records < 2.0 {
         0.0
@@ -440,23 +609,29 @@ fn run_map_task(
         (cfg.task_startup_s + read_s + cpu_s + sort_s + compress_s + spill_s) * slowdown;
 
     // Straggler model: a sampled straggler runs `slowdown`× slower; with
-    // speculative execution a backup task caps it near normal time.
+    // speculative execution a backup task caps it near normal time, and the
+    // backup's duplicated run is charged as cluster slot-seconds.
     let mut speculative = 0usize;
+    let mut spec_slot_s = 0.0f64;
     if let Some(model) = cfg.stragglers {
         let mut rng = StdRng::seed_from_u64(task_seed(model.seed));
         if rng.gen::<f64>() < model.probability {
             let slowed = base_time * model.slowdown.max(1.0);
             base_time = if model.speculative {
                 speculative = 1;
-                slowed.min(base_time * 1.2)
+                let capped = slowed.min(base_time * 1.2);
+                spec_slot_s = capped;
+                capped
             } else {
                 slowed
             };
         }
     }
 
-    // Failure injection: failed attempts waste half their run then retry.
+    // Failure injection: failed attempts waste half their run then retry;
+    // a task out of retries poisons the whole job attempt (`fatal`).
     let mut failed_attempts = 0;
+    let mut fatal = None;
     let mut time_s = base_time;
     if let Some(model) = cfg.failures {
         let mut rng = StdRng::seed_from_u64(task_seed(model.seed));
@@ -465,22 +640,23 @@ fn run_map_task(
             time_s += base_time * 0.5;
         }
         if failed_attempts + 1 >= MAX_ATTEMPTS && rng.gen::<f64>() < model.probability {
-            return Err(MapRedError::TooManyFailures {
-                task: format!("{}-m-{task_idx}", spec.name),
-            });
+            time_s += base_time * 0.5;
+            fatal = Some(format!("{}-m-{task_idx}", spec.name));
         }
     }
 
-    Ok(MapTaskResult {
+    MapTaskResult {
         pairs,
         speculative,
+        spec_slot_s,
+        fatal,
         weight,
         time_s,
         spill_bytes: spill_sim_bytes as u64,
         in_records: lines.len() as u64,
         out_records,
         failed_attempts,
-    })
+    }
 }
 
 /// Whether input `idx` has produced no task yet (empty files still get one
@@ -505,13 +681,17 @@ fn makespan(tasks: impl Iterator<Item = f64>, slots: usize) -> f64 {
     finish.into_iter().fold(0.0, f64::max)
 }
 
+/// Intermediate data is modelled as spread evenly over the cluster, so the
+/// check (and the error it reports) is in per-node load, not a per-node
+/// breakdown the model doesn't have.
 fn check_disk(cfg: &ClusterConfig, total_bytes: u64) -> Result<(), MapRedError> {
-    let per_node = total_bytes as f64 / cfg.nodes.max(1) as f64;
+    let nodes = cfg.nodes.max(1);
+    let per_node = total_bytes as f64 / nodes as f64;
     let capacity = cfg.disk_capacity_mb * 1e6;
     if per_node > capacity {
         return Err(MapRedError::DiskFull {
-            node: 0,
-            needed_bytes: per_node as u64,
+            nodes,
+            per_node_bytes: per_node as u64,
             capacity_bytes: capacity as u64,
         });
     }
@@ -756,10 +936,7 @@ mod tests {
         impl Mapper for NullKeyMapper {
             fn map(&mut self, line: &str, out: &mut MapOutput) {
                 let (_, v) = line.split_once('|').unwrap();
-                out.emit(
-                    Row::new(vec![Value::Null]),
-                    row![v.parse::<i64>().unwrap()],
-                );
+                out.emit(Row::new(vec![Value::Null]), row![v.parse::<i64>().unwrap()]);
             }
         }
         let mut c = cluster();

@@ -7,14 +7,17 @@ use std::fmt;
 pub enum MapRedError {
     /// An input path does not exist in HDFS.
     NoSuchFile(String),
-    /// A node's local disk overflowed while spilling intermediate data —
+    /// The per-node local disks overflowed while spilling intermediate data —
     /// the failure mode that stopped Pig's Q-CSA run in the paper (§VII-D).
+    /// The cost model spreads intermediate data evenly over the cluster, so
+    /// the overflow is reported as the modelled per-node load rather than a
+    /// fabricated node index.
     DiskFull {
-        /// Node index whose disk overflowed.
-        node: usize,
-        /// Bytes the job attempted to hold on that node's disk.
-        needed_bytes: u64,
-        /// The node's configured capacity.
+        /// Worker nodes the intermediate data is spread across.
+        nodes: usize,
+        /// Modelled bytes each node's disk would have to hold.
+        per_node_bytes: u64,
+        /// A node's configured capacity.
         capacity_bytes: u64,
     },
     /// A job exceeded the configured wall-clock cap (Fig. 11's one-hour
@@ -30,6 +33,17 @@ pub enum MapRedError {
         /// The task that kept failing.
         task: String,
     },
+    /// Every worker node died during one job attempt — nothing survives to
+    /// re-execute lost tasks, so the whole attempt is lost (the chain-level
+    /// [`crate::config::RetryPolicy`] can retry it).
+    ClusterLost {
+        /// The job whose attempt lost the cluster.
+        job: String,
+        /// Worker nodes that died.
+        nodes: usize,
+    },
+    /// [`crate::chain::run_chain`] was handed a chain with no jobs.
+    EmptyChain,
 }
 
 impl fmt::Display for MapRedError {
@@ -37,12 +51,12 @@ impl fmt::Display for MapRedError {
         match self {
             MapRedError::NoSuchFile(p) => write!(f, "no such file in HDFS: {p}"),
             MapRedError::DiskFull {
-                node,
-                needed_bytes,
+                nodes,
+                per_node_bytes,
                 capacity_bytes,
             } => write!(
                 f,
-                "local disk full on node {node}: needed {needed_bytes} bytes, capacity {capacity_bytes}"
+                "local disks full: {per_node_bytes} bytes per node across {nodes} nodes, capacity {capacity_bytes}"
             ),
             MapRedError::TimeLimitExceeded { limit_s } => {
                 write!(f, "job exceeded time limit of {limit_s} s")
@@ -51,6 +65,10 @@ impl fmt::Display for MapRedError {
             MapRedError::TooManyFailures { task } => {
                 write!(f, "task {task} failed too many times")
             }
+            MapRedError::ClusterLost { job, nodes } => {
+                write!(f, "all {nodes} worker nodes lost during job {job}")
+            }
+            MapRedError::EmptyChain => write!(f, "job chain has no jobs"),
         }
     }
 }
@@ -66,13 +84,18 @@ mod tests {
         for e in [
             MapRedError::NoSuchFile("x".into()),
             MapRedError::DiskFull {
-                node: 0,
-                needed_bytes: 10,
+                nodes: 2,
+                per_node_bytes: 10,
                 capacity_bytes: 5,
             },
             MapRedError::TimeLimitExceeded { limit_s: 3600.0 },
             MapRedError::User("boom".into()),
             MapRedError::TooManyFailures { task: "m-3".into() },
+            MapRedError::ClusterLost {
+                job: "j1".into(),
+                nodes: 4,
+            },
+            MapRedError::EmptyChain,
         ] {
             assert!(!e.to_string().is_empty());
         }

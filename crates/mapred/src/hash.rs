@@ -36,9 +36,7 @@ pub fn hash_value(state: u64, v: &Value) -> u64 {
 /// Stable hash of a key row.
 #[must_use]
 pub fn hash_row(row: &Row) -> u64 {
-    row.values()
-        .iter()
-        .fold(FNV_OFFSET, hash_value)
+    row.values().iter().fold(FNV_OFFSET, hash_value)
 }
 
 /// The reducer a key is routed to.

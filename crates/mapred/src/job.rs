@@ -129,7 +129,9 @@ pub struct JobInput {
 
 impl std::fmt::Debug for JobInput {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("JobInput").field("path", &self.path).finish()
+        f.debug_struct("JobInput")
+            .field("path", &self.path)
+            .finish()
     }
 }
 

@@ -30,7 +30,13 @@
 //!   and a contention model reproducing the Facebook production dynamics of
 //!   §VII-F;
 //! * tasks can be killed by a seeded failure injector and are re-executed,
-//!   like Hadoop's re-execution of tasks on TaskTracker failure.
+//!   like Hadoop's re-execution of tasks on TaskTracker failure;
+//! * whole worker nodes can die mid-job ([`NodeFailureModel`]), losing
+//!   their local map outputs: surviving nodes re-execute the lost tasks and
+//!   reducers re-fetch that share of the shuffle. Chains recover from
+//!   failed job attempts under a [`RetryPolicy`] with exponential backoff,
+//!   resuming from the last checkpointed job output in HDFS. Injected
+//!   faults change simulated time, never query results.
 
 pub mod chain;
 pub mod config;
@@ -42,15 +48,18 @@ pub mod job;
 pub mod metrics;
 
 pub use chain::{run_chain, ChainOutcome, JobChain};
-pub use config::{ClusterConfig, Compression, ContentionModel, FailureModel, StragglerModel};
-pub use engine::{run_job, Cluster};
+pub use config::{
+    ClusterConfig, Compression, ContentionModel, FailureModel, NodeFailureModel, RetryPolicy,
+    StragglerModel,
+};
+pub use engine::{run_job, run_job_attempt, AttemptFailure, Cluster};
 pub use error::MapRedError;
 pub use hdfs::Hdfs;
 pub use job::{
     Combiner, JobInput, JobSpec, MapOutput, Mapper, MapperFactory, ReduceOutput, Reducer,
     ReducerFactory,
 };
-pub use metrics::JobMetrics;
+pub use metrics::{ChainMetrics, JobMetrics};
 
 /// Convenience result alias.
 pub type Result<T> = std::result::Result<T, MapRedError>;

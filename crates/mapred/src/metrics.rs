@@ -40,6 +40,20 @@ pub struct JobMetrics {
     pub failed_attempts: usize,
     /// Straggler tasks rescued by speculative backup tasks.
     pub speculative_tasks: usize,
+    /// Cluster slot-seconds consumed by speculative backup tasks — the
+    /// duplicated work fills otherwise-idle slots, so it costs the cluster
+    /// but not the job's wall clock.
+    pub speculative_slot_s: f64,
+    /// Worker nodes that died during the successful attempt of this job.
+    pub nodes_lost: usize,
+    /// Tasks re-executed because their node died (map and reduce).
+    pub reexecuted_tasks: usize,
+    /// Simulated seconds of work thrown away on dead nodes (the original
+    /// runs of re-executed tasks). Already contained in the phase times;
+    /// tracked separately so recovery cost is visible.
+    pub wasted_s: f64,
+    /// Which attempt of this job succeeded (0 = first try).
+    pub attempt: usize,
 }
 
 impl JobMetrics {
@@ -69,16 +83,43 @@ impl fmt::Display for JobMetrics {
 /// Metrics for a whole chain of jobs (one translated query).
 #[derive(Debug, Clone, Default)]
 pub struct ChainMetrics {
-    /// Per-job metrics, in execution order.
+    /// Per-job metrics, in execution order (successful attempts only).
     pub jobs: Vec<JobMetrics>,
+    /// Job attempts that failed and were retried by the
+    /// [`crate::config::RetryPolicy`].
+    pub retries: usize,
+    /// Simulated seconds spent waiting out retry backoff.
+    pub backoff_delay_s: f64,
+    /// Simulated seconds of work lost to failed job attempts (each failed
+    /// attempt's elapsed time before it died).
+    pub failed_attempt_s: f64,
 }
 
 impl ChainMetrics {
     /// Total simulated time of the chain (jobs run sequentially, as the
-    /// paper's translated plans do).
+    /// paper's translated plans do), including recovery: backoff waits and
+    /// the time burned by failed job attempts.
     #[must_use]
     pub fn total_s(&self) -> f64 {
-        self.jobs.iter().map(JobMetrics::total_s).sum()
+        self.jobs.iter().map(JobMetrics::total_s).sum::<f64>()
+            + self.backoff_delay_s
+            + self.failed_attempt_s
+    }
+
+    /// Total recovery cost of the chain in simulated seconds: failed
+    /// attempts, backoff waits, and work re-executed after node deaths
+    /// within successful attempts.
+    #[must_use]
+    pub fn recovery_s(&self) -> f64 {
+        self.backoff_delay_s
+            + self.failed_attempt_s
+            + self.jobs.iter().map(|j| j.wasted_s).sum::<f64>()
+    }
+
+    /// Tasks re-executed because their node died, across all jobs.
+    #[must_use]
+    pub fn total_reexecuted_tasks(&self) -> usize {
+        self.jobs.iter().map(|j| j.reexecuted_tasks).sum()
     }
 
     /// Sum of bytes shuffled across all jobs.
@@ -110,8 +151,28 @@ mod tests {
         assert!((m.total_s() - 16.0).abs() < 1e-9);
         let chain = ChainMetrics {
             jobs: vec![m.clone(), m],
+            ..ChainMetrics::default()
         };
         assert!((chain.total_s() - 32.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn recovery_costs_add_up() {
+        let job = JobMetrics {
+            map_time_s: 10.0,
+            wasted_s: 4.0,
+            reexecuted_tasks: 3,
+            ..JobMetrics::default()
+        };
+        let chain = ChainMetrics {
+            jobs: vec![job],
+            retries: 2,
+            backoff_delay_s: 90.0,
+            failed_attempt_s: 25.0,
+        };
+        assert!((chain.total_s() - 125.0).abs() < 1e-9);
+        assert!((chain.recovery_s() - 119.0).abs() < 1e-9);
+        assert_eq!(chain.total_reexecuted_tasks(), 3);
     }
 
     #[test]

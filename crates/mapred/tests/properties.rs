@@ -5,8 +5,8 @@
 use proptest::prelude::*;
 use ysmart_mapred::hash::partition;
 use ysmart_mapred::{
-    run_job, Cluster, ClusterConfig, Combiner, Compression, FailureModel, JobSpec, MapOutput,
-    Mapper, ReduceOutput, Reducer,
+    run_chain, run_job, Cluster, ClusterConfig, Combiner, Compression, FailureModel, JobChain,
+    JobSpec, MapOutput, Mapper, NodeFailureModel, ReduceOutput, Reducer, RetryPolicy,
 };
 use ysmart_rel::{row, Row};
 
@@ -55,10 +55,28 @@ fn sum_job(reducers: usize, combiner: bool) -> JobSpec {
     b.build()
 }
 
-fn run_sum(pairs: &[(i64, i64)], config: ClusterConfig, reducers: usize, comb: bool) -> Vec<String> {
+fn run_sum(
+    pairs: &[(i64, i64)],
+    config: ClusterConfig,
+    reducers: usize,
+    comb: bool,
+) -> Vec<String> {
     let mut c = Cluster::new(config);
     c.load_table("t", pairs.iter().map(|(k, v)| format!("{k}|{v}")).collect());
     run_job(&mut c, &sum_job(reducers, comb)).unwrap();
+    let mut lines = c.hdfs.get("out/sum").unwrap().lines.clone();
+    lines.sort();
+    lines
+}
+
+/// As [`run_sum`] but through the chain runner, so injected faults that
+/// kill whole job attempts are recovered by the retry policy.
+fn run_sum_chain(pairs: &[(i64, i64)], config: ClusterConfig) -> Vec<String> {
+    let mut c = Cluster::new(config);
+    c.load_table("t", pairs.iter().map(|(k, v)| format!("{k}|{v}")).collect());
+    let mut chain = JobChain::new();
+    chain.push(sum_job(3, true));
+    run_chain(&mut c, &chain).unwrap();
     let mut lines = c.hdfs.get("out/sum").unwrap().lines.clone();
     lines.sort();
     lines
@@ -99,14 +117,16 @@ proptest! {
         prop_assert_eq!(got, expected_sums(&pairs));
     }
 
-    /// Cost-model knobs never affect results: compression, failures, block
-    /// size, multipliers, contention.
+    /// Cost-model knobs never affect results: compression, task failures,
+    /// node deaths, block size, multipliers. Faults run through the chain
+    /// runner so attempts killed outright are retried with fresh draws.
     #[test]
     fn cost_model_never_changes_results(
         pairs in prop::collection::vec((-10i64..10, -50i64..50), 1..100),
         block_kb in 1u32..64,
         mult in 1.0f64..1e6,
         failures in any::<bool>(),
+        node_failures in any::<bool>(),
         compress in any::<bool>(),
     ) {
         let base = run_sum(&pairs, ClusterConfig::default(), 3, true);
@@ -115,9 +135,16 @@ proptest! {
             size_multiplier: mult,
             compression: compress.then(Compression::default),
             failures: failures.then_some(FailureModel { probability: 0.3, seed: 11 }),
+            node_failures: node_failures
+                .then_some(NodeFailureModel { probability: 0.3, seed: 13 }),
+            retry: Some(RetryPolicy {
+                max_retries: 16,
+                backoff_base_s: 1.0,
+                backoff_factor: 2.0,
+            }),
             ..ClusterConfig::default()
         };
-        let got = run_sum(&pairs, cfg, 3, true);
+        let got = run_sum_chain(&pairs, cfg);
         prop_assert_eq!(got, base);
     }
 

@@ -159,7 +159,10 @@ fn build_query(catalog: &Catalog, arena: &mut PlanArena, query: &Query) -> Resul
             refs.is_some()
         });
         pending = rest;
-        if on.iter().all(|c| equi_between(c, &current, &right).is_none()) {
+        if on
+            .iter()
+            .all(|c| equi_between(c, &current, &right).is_none())
+        {
             return Err(PlanError::Unsupported(format!(
                 "no equi-join predicate between {{{}}} and {{{}}}",
                 join_names(&current),
@@ -176,11 +179,12 @@ fn build_query(catalog: &Catalog, arena: &mut PlanArena, query: &Query) -> Resul
 
     // ---- SELECT / GROUP BY / HAVING -------------------------------------
     let select_items = expand_wildcards(&query.select, &current.schema);
-    let has_aggs = select_items
-        .iter()
-        .any(|(e, _)| e.contains_aggregate())
+    let has_aggs = select_items.iter().any(|(e, _)| e.contains_aggregate())
         || !query.group_by.is_empty()
-        || query.having.as_ref().is_some_and(AstExpr::contains_aggregate);
+        || query
+            .having
+            .as_ref()
+            .is_some_and(AstExpr::contains_aggregate);
 
     let mut rel = if has_aggs {
         build_aggregate(arena, current, &select_items, query)?
@@ -209,7 +213,11 @@ fn build_query(catalog: &Catalog, arena: &mut PlanArena, query: &Query) -> Resul
             let expr = resolve_scalar(ast, &rel.schema)?;
             keys.push(SortKey {
                 expr,
-                order: if *asc { SortOrder::Asc } else { SortOrder::Desc },
+                order: if *asc {
+                    SortOrder::Asc
+                } else {
+                    SortOrder::Desc
+                },
             });
         }
         let schema = rel.schema.clone();
@@ -551,7 +559,13 @@ fn infer_type(expr: &Expr, schema: &Schema) -> DataType {
 
 /// A name for a projected expression: its alias, the column's own name for
 /// bare columns, or a synthesised `colN`.
-fn output_field(ast: &AstExpr, alias: &Option<String>, schema: &Schema, idx: usize, expr: &Expr) -> Field {
+fn output_field(
+    ast: &AstExpr,
+    alias: &Option<String>,
+    schema: &Schema,
+    idx: usize,
+    expr: &Expr,
+) -> Field {
     if let Some(a) = alias {
         return Field::unqualified(a, infer_type(expr, schema));
     }
@@ -590,7 +604,11 @@ fn build_projection(
         return Ok(input);
     }
     let schema = Schema::new(fields);
-    let node = arena.add(Operator::Project { exprs }, schema.clone(), vec![input.node]);
+    let node = arena.add(
+        Operator::Project { exprs },
+        schema.clone(),
+        vec![input.node],
+    );
     Ok(Rel {
         node,
         schema,
@@ -638,7 +656,11 @@ fn build_aggregate(
             }
         }
         let schema = Schema::new(fields);
-        let node = arena.add(Operator::Project { exprs }, schema.clone(), vec![input.node]);
+        let node = arena.add(
+            Operator::Project { exprs },
+            schema.clone(),
+            vec![input.node],
+        );
         (
             Rel {
                 node,
@@ -660,9 +682,8 @@ fn build_aggregate(
 
     // Collect aggregate calls from SELECT and HAVING, deduplicated.
     let mut aggs: Vec<(AggFunc, Option<Expr>)> = Vec::new();
-    let mut collect = |ast: &AstExpr| -> Result<(), PlanError> {
-        collect_aggs(ast, &child.schema, &mut aggs)
-    };
+    let mut collect =
+        |ast: &AstExpr| -> Result<(), PlanError> { collect_aggs(ast, &child.schema, &mut aggs) };
     for (ast, _) in select {
         collect(ast)?;
     }
@@ -805,10 +826,7 @@ fn collect_aggs(
             arg,
         } => {
             let rf = agg_func(*func, *distinct);
-            let ra = arg
-                .as_ref()
-                .map(|a| resolve_scalar(a, child))
-                .transpose()?;
+            let ra = arg.as_ref().map(|a| resolve_scalar(a, child)).transpose()?;
             if !out.iter().any(|(f, a)| *f == rf && *a == ra) {
                 out.push((rf, ra));
             }
@@ -868,10 +886,7 @@ fn rewrite_post_agg(
             arg,
         } => {
             let rf = agg_func(*func, *distinct);
-            let ra = arg
-                .as_ref()
-                .map(|a| resolve_scalar(a, child))
-                .transpose()?;
+            let ra = arg.as_ref().map(|a| resolve_scalar(a, child)).transpose()?;
             let pos = aggs
                 .iter()
                 .position(|(f, a)| *f == rf && *a == ra)
@@ -952,7 +967,10 @@ mod tests {
         );
         c.add_table(
             "part",
-            Schema::of("part", &[("p_partkey", DataType::Int), ("p_name", DataType::Str)]),
+            Schema::of(
+                "part",
+                &[("p_partkey", DataType::Int), ("p_name", DataType::Str)],
+            ),
         );
         c.add_table(
             "orders",
@@ -1006,9 +1024,7 @@ mod tests {
 
     #[test]
     fn comma_join_extracts_equi_keys() {
-        let p = plan_of(
-            "SELECT l_extendedprice FROM lineitem, part WHERE p_partkey = l_partkey",
-        );
+        let p = plan_of("SELECT l_extendedprice FROM lineitem, part WHERE p_partkey = l_partkey");
         assert_eq!(count_ops(&p, "Join"), 1);
         let join = p
             .ids()
@@ -1047,11 +1063,8 @@ mod tests {
 
     #[test]
     fn cross_join_rejected() {
-        let e = build_plan(
-            &catalog(),
-            &parse("SELECT uid FROM clicks, part").unwrap(),
-        )
-        .unwrap_err();
+        let e =
+            build_plan(&catalog(), &parse("SELECT uid FROM clicks, part").unwrap()).unwrap_err();
         assert!(matches!(e, PlanError::Unsupported(_)));
     }
 
@@ -1087,7 +1100,12 @@ mod tests {
         }
         // Output field names: uid, ts1, ts2.
         let root = p.node(p.root());
-        let names: Vec<&str> = root.schema.fields().iter().map(|f| f.name.as_str()).collect();
+        let names: Vec<&str> = root
+            .schema
+            .fields()
+            .iter()
+            .map(|f| f.name.as_str())
+            .collect();
         assert_eq!(names, vec!["uid", "ts1", "ts2"]);
     }
 
@@ -1115,9 +1133,7 @@ mod tests {
 
     #[test]
     fn having_resolves_aggregates_and_aliases() {
-        let p = plan_of(
-            "SELECT cid, count(*) AS n FROM clicks GROUP BY cid HAVING count(*) > 10",
-        );
+        let p = plan_of("SELECT cid, count(*) AS n FROM clicks GROUP BY cid HAVING count(*) > 10");
         let agg = p
             .ids()
             .find(|&id| matches!(p.node(id).op, Operator::Aggregate { .. }))

@@ -59,7 +59,10 @@ mod tests {
     #[test]
     fn add_and_lookup_case_insensitive() {
         let mut c = Catalog::new();
-        c.add_table("Lineitem", Schema::of("lineitem", &[("l_orderkey", DataType::Int)]));
+        c.add_table(
+            "Lineitem",
+            Schema::of("lineitem", &[("l_orderkey", DataType::Int)]),
+        );
         assert!(c.contains("LINEITEM"));
         assert_eq!(c.table("lineitem").unwrap().len(), 1);
     }

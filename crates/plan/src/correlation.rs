@@ -122,12 +122,11 @@ pub fn analyze_with_stats(plan: &Plan, stats: Option<&Statistics>) -> Correlatio
         let pk = match &plan.node(id).op {
             Operator::Join { .. } => join_pk(plan, &prov, id),
             Operator::Sort { .. } => sort_pk(plan, &prov, id),
-            Operator::Distinct => PartitionKey::new(
-                prov.columns(plan.node(id).children[0]).to_vec(),
-            ),
+            Operator::Distinct => {
+                PartitionKey::new(prov.columns(plan.node(id).children[0]).to_vec())
+            }
             Operator::Aggregate { .. } => {
-                let (positions, pk) =
-                    choose_agg_pk(plan, &prov, id, &shuffle_ids, &chosen, stats);
+                let (positions, pk) = choose_agg_pk(plan, &prov, id, &shuffle_ids, &chosen, stats);
                 chosen_positions.insert(id, positions);
                 pk
             }
@@ -288,9 +287,7 @@ fn choose_agg_pk(
         // candidates prefer the one with the higher estimated key
         // cardinality (more reduce parallelism, less skew). Without
         // statistics, ties keep the earlier (larger-subset) candidate.
-        let cardinality = stats
-            .and_then(|s| s.pk_cardinality(&cand))
-            .unwrap_or(0);
+        let cardinality = stats.and_then(|s| s.pk_cardinality(&cand)).unwrap_or(0);
         let better = match &best {
             None => true,
             Some((s, c, _)) => score > *s || (score == *s && cardinality > *c),
@@ -368,13 +365,19 @@ mod tests {
         );
         c.add_table(
             "part",
-            Schema::of("part", &[("p_partkey", DataType::Int), ("p_name", DataType::Str)]),
+            Schema::of(
+                "part",
+                &[("p_partkey", DataType::Int), ("p_name", DataType::Str)],
+            ),
         );
         c.add_table(
             "orders",
             Schema::of(
                 "orders",
-                &[("o_orderkey", DataType::Int), ("o_orderstatus", DataType::Str)],
+                &[
+                    ("o_orderkey", DataType::Int),
+                    ("o_orderstatus", DataType::Str),
+                ],
             ),
         );
         c
@@ -463,7 +466,9 @@ mod tests {
             let pk = &report.info(*a).pk;
             assert_eq!(pk.columns.len(), 1, "AGG {a} chose {pk}");
             assert!(
-                pk.columns[0].cols.contains(&("clicks".into(), "uid".into())),
+                pk.columns[0]
+                    .cols
+                    .contains(&("clicks".into(), "uid".into())),
                 "AGG {a} chose {pk}"
             );
         }
@@ -483,7 +488,9 @@ mod tests {
         // And both joins partition by uid.
         for j in find_ops(&plan, "Join") {
             let pk = &report.info(j).pk;
-            assert!(pk.columns[0].cols.contains(&("clicks".into(), "uid".into())));
+            assert!(pk.columns[0]
+                .cols
+                .contains(&("clicks".into(), "uid".into())));
         }
     }
 

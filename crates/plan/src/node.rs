@@ -396,7 +396,8 @@ mod tests {
                 right_keys: vec![0],
                 residual: None,
             },
-            Schema::of("t", &[("k", DataType::Int)]).concat(&Schema::of("u", &[("k", DataType::Int)])),
+            Schema::of("t", &[("k", DataType::Int)])
+                .concat(&Schema::of("u", &[("k", DataType::Int)])),
             vec![l, r],
         );
         let plan = a.finish(j);

@@ -92,11 +92,7 @@ impl fmt::Display for PkColumn {
         if self.cols.is_empty() {
             return f.write_str("<computed>");
         }
-        let names: Vec<String> = self
-            .cols
-            .iter()
-            .map(|(t, c)| format!("{t}.{c}"))
-            .collect();
+        let names: Vec<String> = self.cols.iter().map(|(t, c)| format!("{t}.{c}")).collect();
         f.write_str(&names.join("≡"))
     }
 }
@@ -136,7 +132,11 @@ impl PartitionKey {
         self.matches_by(other, PkColumn::matches_table)
     }
 
-    fn matches_by(&self, other: &PartitionKey, col_match: fn(&PkColumn, &PkColumn) -> bool) -> bool {
+    fn matches_by(
+        &self,
+        other: &PartitionKey,
+        col_match: fn(&PkColumn, &PkColumn) -> bool,
+    ) -> bool {
         if self.columns.is_empty()
             || other.columns.is_empty()
             || self.columns.len() != other.columns.len()
@@ -442,7 +442,9 @@ mod tests {
         assert!(ts1.matches_table(ts2));
         assert!(!ts1.matches_value(ts2));
         // c1.uid vs c2.uid: joined on uid, so value-equal too.
-        assert!(prov.column(plan_root, 0).matches_value(prov.column(plan_root, 2)));
+        assert!(prov
+            .column(plan_root, 0)
+            .matches_value(prov.column(plan_root, 2)));
     }
 
     #[test]
@@ -537,17 +539,17 @@ mod tests {
         );
         let p = a.add(
             Operator::Project {
-                exprs: vec![Expr::col(1), Expr::binary(ysmart_rel::BinOp::Add, Expr::col(0), Expr::lit(1i64))],
+                exprs: vec![
+                    Expr::col(1),
+                    Expr::binary(ysmart_rel::BinOp::Add, Expr::col(0), Expr::lit(1i64)),
+                ],
             },
             Schema::of("", &[("v", DataType::Int), ("kplus", DataType::Int)]),
             vec![f],
         );
         let plan = a.finish(p);
         let prov = Provenance::compute(&plan);
-        assert!(prov
-            .column(p, 0)
-            .cols
-            .contains(&("t".into(), "v".into())));
+        assert!(prov.column(p, 0).cols.contains(&("t".into(), "v".into())));
         assert!(prov.column(p, 1).is_opaque());
     }
 }

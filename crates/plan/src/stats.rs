@@ -125,8 +125,7 @@ mod tests {
     #[test]
     fn scan_counts_rows_and_distincts() {
         let rows = vec![row![1i64, "a"], row![1i64, "b"], row![2i64, "b"]];
-        let stats =
-            Statistics::scan_table(&["k".to_string(), "s".to_string()], &rows);
+        let stats = Statistics::scan_table(&["k".to_string(), "s".to_string()], &rows);
         assert_eq!(stats.rows, 3);
         assert_eq!(stats.distinct["k"], 2);
         assert_eq!(stats.distinct["s"], 2);
@@ -134,10 +133,7 @@ mod tests {
 
     #[test]
     fn nulls_not_counted_as_distinct() {
-        let rows = vec![
-            Row::new(vec![Value::Null]),
-            Row::new(vec![Value::Int(1)]),
-        ];
+        let rows = vec![Row::new(vec![Value::Null]), Row::new(vec![Value::Int(1)])];
         let stats = Statistics::scan_table(&["k".to_string()], &rows);
         assert_eq!(stats.distinct["k"], 1);
     }

@@ -35,13 +35,11 @@ fn arb_sql() -> impl Strategy<Value = String> {
         // filtered projection
         (-50i64..50).prop_map(|c| format!("SELECT k, v FROM t WHERE v > {c}")),
         // grouped aggregation
-        (agg.clone(), -50i64..50).prop_map(|(a, c)| format!(
-            "SELECT g, {a} FROM t WHERE v > {c} GROUP BY g"
-        )),
+        (agg.clone(), -50i64..50)
+            .prop_map(|(a, c)| format!("SELECT g, {a} FROM t WHERE v > {c} GROUP BY g")),
         // join + aggregation
-        (agg, jt).prop_map(|(a, j)| format!(
-            "SELECT t.k, {a} FROM t {j} u ON t.k = u.k GROUP BY t.k"
-        )),
+        (agg, jt)
+            .prop_map(|(a, j)| format!("SELECT t.k, {a} FROM t {j} u ON t.k = u.k GROUP BY t.k")),
         // self-join
         (0i64..5).prop_map(|c| format!(
             "SELECT t1.k, count(*) FROM t AS t1, t AS t2 \
@@ -54,9 +52,7 @@ fn arb_sql() -> impl Strategy<Value = String> {
              WHERE s.g = u.k AND s.total > {c}"
         )),
         // distinct + order + limit
-        (1u64..20).prop_map(|n| format!(
-            "SELECT DISTINCT g FROM t ORDER BY g DESC LIMIT {n}"
-        )),
+        (1u64..20).prop_map(|n| format!("SELECT DISTINCT g FROM t ORDER BY g DESC LIMIT {n}")),
     ]
 }
 

@@ -223,8 +223,7 @@ impl Ctx<'_> {
             }
             Operator::Sort { keys } => {
                 let mut input = self.eval(node.children[0])?;
-                self.row_ops += (input.len() as f64
-                    * (input.len().max(2) as f64).log2()) as u64;
+                self.row_ops += (input.len() as f64 * (input.len().max(2) as f64).log2()) as u64;
                 sort_rows(keys, &mut input);
                 Ok(input)
             }
@@ -371,10 +370,7 @@ mod tests {
             "t".to_string(),
             vec![row![1i64, 10i64], row![1i64, 20i64], row![2i64, 30i64]],
         );
-        tables.insert(
-            "u".to_string(),
-            vec![row![1i64, "a"], row![3i64, "b"]],
-        );
+        tables.insert("u".to_string(), vec![row![1i64, "a"], row![3i64, "b"]]);
         (cat, tables)
     }
 
@@ -434,8 +430,11 @@ mod tests {
     #[test]
     fn cost_counters_populate() {
         let (cat, tables) = setup();
-        let plan = build_plan(&cat, &parse("SELECT k, count(*) FROM t GROUP BY k").unwrap())
-            .unwrap();
+        let plan = build_plan(
+            &cat,
+            &parse("SELECT k, count(*) FROM t GROUP BY k").unwrap(),
+        )
+        .unwrap();
         let out = oracle_execute(&plan, &tables).unwrap();
         assert!(out.row_ops > 0);
         assert!(out.bytes_scanned > 0);

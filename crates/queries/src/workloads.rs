@@ -26,7 +26,10 @@ impl Workload {
     /// # Errors
     ///
     /// Row/schema mismatches (a generator bug).
-    pub fn load_into(&self, engine: &mut ysmart_core::YSmart) -> Result<(), ysmart_core::CoreError> {
+    pub fn load_into(
+        &self,
+        engine: &mut ysmart_core::YSmart,
+    ) -> Result<(), ysmart_core::CoreError> {
         for (name, rows) in &self.tables {
             engine.load_table(name, rows)?;
         }

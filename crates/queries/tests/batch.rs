@@ -23,7 +23,10 @@ fn catalog() -> Catalog {
     );
     c.add_table(
         "users",
-        Schema::of("users", &[("uid", DataType::Int), ("region", DataType::Int)]),
+        Schema::of(
+            "users",
+            &[("uid", DataType::Int), ("region", DataType::Int)],
+        ),
     );
     c
 }
@@ -136,6 +139,9 @@ fn hive_batch_does_not_share() {
     for (i, sql) in [q1, q2].iter().enumerate() {
         let mut got = batch.queries[i].0.clone();
         got.sort();
-        assert!(rows_approx_equal(&got, &individual(sql), false), "member {i}");
+        assert!(
+            rows_approx_equal(&got, &individual(sql), false),
+            "member {i}"
+        );
     }
 }

@@ -100,13 +100,22 @@ fn null_join_keys_do_not_match() {
     // but LEFT OUTER must still emit them padded.
     let t = vec![
         row![1i64, 0i64, 10i64, "a"],
-        Row::new(vec![Value::Null, Value::Int(0), Value::Int(99), Value::Str("n".into())]),
+        Row::new(vec![
+            Value::Null,
+            Value::Int(0),
+            Value::Int(99),
+            Value::Str("n".into()),
+        ]),
     ];
     let u = vec![
         row![1i64, "x"],
         Row::new(vec![Value::Null, Value::Str("nn".into())]),
     ];
-    check("SELECT t.k, v, w FROM t JOIN u ON t.k = u.k", t.clone(), u.clone());
+    check(
+        "SELECT t.k, v, w FROM t JOIN u ON t.k = u.k",
+        t.clone(),
+        u.clone(),
+    );
     check(
         "SELECT t.k, v, w FROM t LEFT OUTER JOIN u ON t.k = u.k",
         t.clone(),
@@ -122,8 +131,18 @@ fn null_join_keys_do_not_match() {
 #[test]
 fn null_group_keys_group_together() {
     let t = vec![
-        Row::new(vec![Value::Int(1), Value::Null, Value::Int(5), Value::Str("a".into())]),
-        Row::new(vec![Value::Int(2), Value::Null, Value::Int(7), Value::Str("b".into())]),
+        Row::new(vec![
+            Value::Int(1),
+            Value::Null,
+            Value::Int(5),
+            Value::Str("a".into()),
+        ]),
+        Row::new(vec![
+            Value::Int(2),
+            Value::Null,
+            Value::Int(7),
+            Value::Str("b".into()),
+        ]),
         row![3i64, 1i64, 9i64, "c"],
     ];
     check("SELECT g, count(*), sum(v) FROM t GROUP BY g", t, vec![]);
@@ -132,7 +151,12 @@ fn null_group_keys_group_together() {
 #[test]
 fn nulls_ignored_by_aggregates() {
     let t = vec![
-        Row::new(vec![Value::Int(1), Value::Int(0), Value::Null, Value::Str("a".into())]),
+        Row::new(vec![
+            Value::Int(1),
+            Value::Int(0),
+            Value::Null,
+            Value::Str("a".into()),
+        ]),
         row![1i64, 0i64, 10i64, "b"],
     ];
     check(
@@ -173,11 +197,7 @@ fn three_level_nesting() {
 
 #[test]
 fn string_keys_join_and_group() {
-    check(
-        "SELECT s, count(*) FROM t GROUP BY s",
-        t_rows(),
-        vec![],
-    );
+    check("SELECT s, count(*) FROM t GROUP BY s", t_rows(), vec![]);
     check(
         "SELECT t.s, u.w FROM t JOIN u ON t.k = u.k WHERE u.w <> 'z'",
         t_rows(),

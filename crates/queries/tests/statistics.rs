@@ -14,8 +14,8 @@ fn catalog() -> Catalog {
         Schema::of(
             "t",
             &[
-                ("lo", DataType::Int),   // low cardinality
-                ("hi", DataType::Int),   // high cardinality
+                ("lo", DataType::Int), // low cardinality
+                ("hi", DataType::Int), // high cardinality
                 ("v", DataType::Int),
             ],
         ),

@@ -8,7 +8,9 @@ use std::collections::BTreeMap;
 use ysmart_core::{Strategy, YSmart};
 use ysmart_datagen::{ClicksSpec, TpchSpec};
 use ysmart_mapred::ClusterConfig;
-use ysmart_queries::{clicks_workloads, oracle_execute, rows_approx_equal, tpch_workloads, Workload};
+use ysmart_queries::{
+    clicks_workloads, oracle_execute, rows_approx_equal, tpch_workloads, Workload,
+};
 use ysmart_rel::Row;
 
 fn check_workload(w: &Workload) {
@@ -83,9 +85,8 @@ fn job_counts_match_paper() {
         seed: 2,
         ..ClicksSpec::default()
     });
-    let find = |ws: &[Workload], n: &str| -> Workload {
-        ws.iter().find(|w| w.name == n).unwrap().clone()
-    };
+    let find =
+        |ws: &[Workload], n: &str| -> Workload { ws.iter().find(|w| w.name == n).unwrap().clone() };
 
     // Q17: Hive four jobs, YSmart two (§VII-D: "For Q17 by Hive, there are
     // four jobs").

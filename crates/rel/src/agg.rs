@@ -164,10 +164,7 @@ impl AggState {
                     *a = Some(next);
                 }
             }
-            (
-                AggState::Avg { sum: s1, count: c1 },
-                AggState::Avg { sum: s2, count: c2 },
-            ) => {
+            (AggState::Avg { sum: s1, count: c1 }, AggState::Avg { sum: s2, count: c2 }) => {
                 *s1 += s2;
                 *c1 += c2;
             }
@@ -252,10 +249,7 @@ mod tests {
 
     #[test]
     fn count_ignores_nulls() {
-        let v = run(
-            AggFunc::Count,
-            &[Value::Int(1), Value::Null, Value::Int(2)],
-        );
+        let v = run(AggFunc::Count, &[Value::Int(1), Value::Null, Value::Int(2)]);
         assert_eq!(v, Value::Int(2));
     }
 
@@ -299,7 +293,13 @@ mod tests {
 
     #[test]
     fn merge_equals_sequential_update() {
-        for func in [AggFunc::Count, AggFunc::Sum, AggFunc::Avg, AggFunc::Min, AggFunc::Max] {
+        for func in [
+            AggFunc::Count,
+            AggFunc::Sum,
+            AggFunc::Avg,
+            AggFunc::Min,
+            AggFunc::Max,
+        ] {
             let xs: Vec<Value> = (1..=10).map(Value::Int).collect();
             let mut a = func.new_state();
             let mut b = func.new_state();

@@ -134,7 +134,10 @@ mod tests {
     fn wrong_field_count() {
         assert!(matches!(
             decode_line("1|2", &schema()),
-            Err(RelError::FieldCount { expected: 4, found: 2 })
+            Err(RelError::FieldCount {
+                expected: 4,
+                found: 2
+            })
         ));
     }
 

@@ -50,7 +50,10 @@ impl fmt::Display for RelError {
                 write!(f, "type mismatch in {op}: {lhs} vs {rhs}")
             }
             RelError::ColumnOutOfBounds { index, width } => {
-                write!(f, "column index {index} out of bounds for row of width {width}")
+                write!(
+                    f,
+                    "column index {index} out of bounds for row of width {width}"
+                )
             }
             RelError::UnknownColumn(name) => write!(f, "unknown column `{name}`"),
             RelError::AmbiguousColumn(name) => write!(f, "ambiguous column `{name}`"),

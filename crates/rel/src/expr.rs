@@ -242,10 +242,7 @@ impl Expr {
     #[must_use]
     pub fn substitute(&self, exprs: &[Expr]) -> Expr {
         match self {
-            Expr::Column(i) => exprs
-                .get(*i)
-                .cloned()
-                .unwrap_or(Expr::Literal(Value::Null)),
+            Expr::Column(i) => exprs.get(*i).cloned().unwrap_or(Expr::Literal(Value::Null)),
             Expr::Literal(v) => Expr::Literal(v.clone()),
             Expr::Binary { op, lhs, rhs } => Expr::Binary {
                 op: *op,
@@ -452,14 +449,16 @@ mod tests {
     #[test]
     fn conjunction_folds() {
         assert!(Expr::conjunction(vec![]).is_none());
-        let c = Expr::conjunction(vec![Expr::lit(true), Expr::lit(true), Expr::lit(false)])
-            .unwrap();
+        let c =
+            Expr::conjunction(vec![Expr::lit(true), Expr::lit(true), Expr::lit(false)]).unwrap();
         assert_eq!(c.eval(&row![0i64]).unwrap(), Value::Bool(false));
     }
 
     #[test]
     fn referenced_columns_sorted_dedup() {
-        let e = Expr::col(3).eq(Expr::col(1)).and(Expr::col(3).eq(Expr::lit(1i64)));
+        let e = Expr::col(3)
+            .eq(Expr::col(1))
+            .and(Expr::col(3).eq(Expr::lit(1i64)));
         assert_eq!(e.referenced_columns(), vec![1, 3]);
     }
 

@@ -199,7 +199,11 @@ mod tests {
     fn sample() -> Schema {
         Schema::of(
             "t",
-            &[("a", DataType::Int), ("b", DataType::Str), ("c", DataType::Float)],
+            &[
+                ("a", DataType::Int),
+                ("b", DataType::Str),
+                ("c", DataType::Float),
+            ],
         )
     }
 

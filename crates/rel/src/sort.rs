@@ -91,7 +91,10 @@ mod tests {
     fn multi_key() {
         let mut rows = vec![row![1i64, 2i64], row![1i64, 1i64], row![0i64, 9i64]];
         sort_rows(&[SortKey::asc(0), SortKey::desc(1)], &mut rows);
-        assert_eq!(rows, vec![row![0i64, 9i64], row![1i64, 2i64], row![1i64, 1i64]]);
+        assert_eq!(
+            rows,
+            vec![row![0i64, 9i64], row![1i64, 2i64], row![1i64, 1i64]]
+        );
     }
 
     #[test]

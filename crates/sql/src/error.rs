@@ -23,9 +23,7 @@ impl ParseError {
         let clamped = offset.min(source.len());
         let prefix = &source[..clamped];
         let line = prefix.bytes().filter(|&b| b == b'\n').count() + 1;
-        let column = prefix
-            .rfind('\n')
-            .map_or(clamped + 1, |nl| clamped - nl);
+        let column = prefix.rfind('\n').map_or(clamped + 1, |nl| clamped - nl);
         ParseError {
             message: message.into(),
             offset,

@@ -211,7 +211,8 @@ impl<'a> Lexer<'a> {
             {
                 self.pos += 1;
             }
-            if self.bytes.get(self.pos) == Some(&b'-') && self.bytes.get(self.pos + 1) == Some(&b'-')
+            if self.bytes.get(self.pos) == Some(&b'-')
+                && self.bytes.get(self.pos + 1) == Some(&b'-')
             {
                 while self.bytes.get(self.pos).is_some_and(|&b| b != b'\n') {
                     self.pos += 1;

@@ -22,7 +22,9 @@ pub mod error;
 pub mod lexer;
 pub mod parser;
 
-pub use ast::{AstExpr, FromItem, Join, JoinType, Literal, Query, SelectItem, TableRef, TableSource};
+pub use ast::{
+    AstExpr, FromItem, Join, JoinType, Literal, Query, SelectItem, TableRef, TableSource,
+};
 pub use error::ParseError;
 pub use lexer::{Lexer, Token, TokenKind};
 pub use parser::Parser;

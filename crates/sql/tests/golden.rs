@@ -82,10 +82,7 @@ fn whitespace_and_case_insensitive() {
 
 #[test]
 fn comments_anywhere() {
-    let q = parse(
-        "SELECT a -- project a\nFROM t -- the table\nWHERE a > 1 -- filter",
-    )
-    .unwrap();
+    let q = parse("SELECT a -- project a\nFROM t -- the table\nWHERE a > 1 -- filter").unwrap();
     assert!(q.where_clause.is_some());
 }
 

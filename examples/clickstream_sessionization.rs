@@ -46,7 +46,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for info in &report.nodes {
         println!("  node {} partitions by {}", info.id, info.pk);
     }
-    println!("  transit-correlated pairs: {:?}", report.transit_correlated);
+    println!(
+        "  transit-correlated pairs: {:?}",
+        report.transit_correlated
+    );
     println!("  job-flow edges (parent→child): {:?}", report.job_flow);
 
     for strategy in [Strategy::Hive, Strategy::YSmart] {
@@ -59,7 +62,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         for j in &outcome.metrics.jobs {
             println!("  {j}");
         }
-        println!("  answer: {:?}", outcome.rows.first().map(ToString::to_string));
+        println!(
+            "  answer: {:?}",
+            outcome.rows.first().map(ToString::to_string)
+        );
     }
     Ok(())
 }

@@ -52,7 +52,11 @@ fn main() {
     run(w, isolated, "isolated 747-node cluster, 1 TB");
 
     // The production profile with co-running workloads.
-    run(w, ClusterConfig::facebook(1), "production cluster (contention)");
+    run(
+        w,
+        ClusterConfig::facebook(1),
+        "production cluster (contention)",
+    );
 
     // Fault tolerance: 5% of task attempts fail and re-execute.
     let mut flaky = ClusterConfig::facebook(1);

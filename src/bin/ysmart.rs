@@ -79,10 +79,12 @@ fn parse_args() -> Result<Args, String> {
                 };
             }
             "--target-gb" => {
-                args.target_gb =
-                    Some(it.next().ok_or("--target-gb needs a number")?.parse().map_err(
-                        |_| "bad --target-gb value".to_string(),
-                    )?);
+                args.target_gb = Some(
+                    it.next()
+                        .ok_or("--target-gb needs a number")?
+                        .parse()
+                        .map_err(|_| "bad --target-gb value".to_string())?,
+                );
             }
             "--explain" => args.explain = true,
             "--plan" => args.plan = true,
@@ -138,12 +140,15 @@ fn run() -> Result<(), String> {
         let ddl = std::fs::read_to_string(catalog_file)
             .map_err(|e| format!("cannot read {catalog_file}: {e}"))?;
         let catalog = Catalog::parse_ddl(&ddl).map_err(|e| e.to_string())?;
-        let dir = args.data.as_ref().ok_or("--data is required with --catalog")?;
+        let dir = args
+            .data
+            .as_ref()
+            .ok_or("--data is required with --catalog")?;
         let mut tables = Vec::new();
         for (name, _) in catalog.iter() {
             let path = format!("{dir}/{name}.tbl");
-            let text = std::fs::read_to_string(&path)
-                .map_err(|e| format!("cannot read {path}: {e}"))?;
+            let text =
+                std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
             let lines: Vec<String> = text.lines().map(str::to_string).collect();
             tables.push((name.to_string(), lines));
         }
@@ -152,9 +157,7 @@ fn run() -> Result<(), String> {
 
     let sql = match args.sql {
         Some(s) => s,
-        None if args.demo => {
-            "SELECT cid, count(*) AS clicks FROM clicks GROUP BY cid".to_string()
-        }
+        None if args.demo => "SELECT cid, count(*) AS clicks FROM clicks GROUP BY cid".to_string(),
         None => return Err("no SQL query given".into()),
     };
 

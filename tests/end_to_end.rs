@@ -165,7 +165,10 @@ fn intermediate_materialisation_visible_in_hdfs() {
         .paths()
         .filter(|p| p.starts_with("tmp/"))
         .count();
-    assert_eq!(tmp_files, 3, "Hive's 4-job chain materialises 3 intermediates");
+    assert_eq!(
+        tmp_files, 3,
+        "Hive's 4-job chain materialises 3 intermediates"
+    );
 }
 
 /// Errors carry enough structure to report the paper's DNF cases.

@@ -1,0 +1,263 @@
+//! Vendored offline stand-in for the `proptest` crate.
+//!
+//! Implements the strategy/macro subset the workspace uses: `proptest!`,
+//! `prop_assert!`/`prop_assert_eq!`, `prop_oneof!`, `prop_compose!`,
+//! `Just`, `any`, range and `&str`-pattern strategies, and the
+//! `prop::{collection, option, sample}` helpers. Cases are generated from
+//! a deterministic per-(test, case-index) seed; there is no shrinking —
+//! a failing case reports its index and replays identically.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{any, ArbitraryAny, BoxedStrategy, Just, Map, Strategy, Union};
+pub use test_runner::{ProptestConfig, TestCaseError, TestCaseResult, TestRng};
+
+/// Collection / option / sample strategy constructors (`prop::...`).
+pub mod prop {
+    /// Strategies over collections.
+    pub mod collection {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        use std::ops::Range;
+
+        /// `Vec` strategy with a length drawn from `len`.
+        pub struct VecStrategy<S> {
+            element: S,
+            len: Range<usize>,
+        }
+
+        impl<S: Clone> Clone for VecStrategy<S> {
+            fn clone(&self) -> Self {
+                VecStrategy {
+                    element: self.element.clone(),
+                    len: self.len.clone(),
+                }
+            }
+        }
+
+        /// Vectors of `element` values with length in `len`.
+        pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, len }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn gen_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let n = if self.len.start + 1 >= self.len.end {
+                    self.len.start
+                } else {
+                    rng.gen_int_range(self.len.start as i128, self.len.end as i128) as usize
+                };
+                (0..n).map(|_| self.element.gen_value(rng)).collect()
+            }
+        }
+    }
+
+    /// Strategies over `Option`.
+    pub mod option {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+
+        /// `Option` strategy: `None` half the time.
+        pub struct OptionStrategy<S>(S);
+
+        impl<S: Clone> Clone for OptionStrategy<S> {
+            fn clone(&self) -> Self {
+                OptionStrategy(self.0.clone())
+            }
+        }
+
+        /// `Some(inner)` or `None`, evenly.
+        pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+            OptionStrategy(inner)
+        }
+
+        impl<S: Strategy> Strategy for OptionStrategy<S> {
+            type Value = Option<S::Value>;
+            fn gen_value(&self, rng: &mut TestRng) -> Option<S::Value> {
+                if rng.gen_u64() >> 63 == 1 {
+                    Some(self.0.gen_value(rng))
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Strategies sampling from explicit value sets.
+    pub mod sample {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+
+        /// Uniform choice from a fixed list.
+        #[derive(Clone)]
+        pub struct Select<T: Clone>(Vec<T>);
+
+        /// One of `options`, uniformly (must be non-empty).
+        pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+            assert!(!options.is_empty(), "select() needs at least one option");
+            Select(options)
+        }
+
+        impl<T: Clone> Strategy for Select<T> {
+            type Value = T;
+            fn gen_value(&self, rng: &mut TestRng) -> T {
+                self.0[rng.gen_index(self.0.len())].clone()
+            }
+        }
+    }
+}
+
+/// Everything a property test module needs, in one import.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_compose, prop_oneof, proptest};
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...)` body runs
+/// over `cases` generated inputs as a `#[test]`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        #[test]
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            $crate::test_runner::run_cases(&config, stringify!($name), |rng| {
+                $(let $arg = $crate::strategy::Strategy::gen_value(&$strat, rng);)+
+                let body_result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                body_result
+            });
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// Asserts inside a property body (early-returns a case failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` != `{:?}`", left, right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(*left == *right, $($fmt)+);
+    }};
+}
+
+/// Uniform choice among strategies producing one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// Declares a named strategy-building function from component strategies.
+#[macro_export]
+macro_rules! prop_compose {
+    ($(#[$meta:meta])*
+     $vis:vis fn $name:ident($($fnarg:ident : $fnty:ty),* $(,)?)
+        ($($var:pat in $strat:expr),+ $(,)?)
+        -> $out:ty $body:block) => {
+        $(#[$meta])*
+        $vis fn $name($($fnarg : $fnty),*) -> impl $crate::strategy::Strategy<Value = $out> {
+            $crate::strategy::Strategy::prop_map(
+                ($($strat,)+),
+                move |($($var,)+)| $body,
+            )
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    prop_compose! {
+        fn small_pair(limit: i64)(a in 0i64..10, b in 0i64..10) -> (i64, i64) {
+            (a.min(limit), b.min(limit))
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+        fn addition_commutes(a in -100i64..100, b in -100i64..100) {
+            prop_assert_eq!(a + b, b + a);
+        }
+
+        fn composed_and_sampled(
+            p in small_pair(5),
+            word in "[a-z]{1,4}",
+            pick in prop::sample::select(vec![1u32, 2, 3]),
+            maybe in prop::option::of(0u8..4),
+            v in prop::collection::vec(any::<bool>(), 0..6),
+            mixed in prop_oneof![Just(-1i64), 0i64..10],
+        ) {
+            prop_assert!(p.0 <= 5 && p.1 <= 5);
+            prop_assert!(!word.is_empty() && word.len() <= 4);
+            prop_assert!((1..=3).contains(&pick));
+            if let Some(x) = maybe {
+                prop_assert!(x < 4);
+            }
+            prop_assert!(v.len() < 6);
+            prop_assert!(mixed == -1 || (0..10).contains(&mixed));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failures_panic_with_case_index() {
+        crate::test_runner::run_cases(
+            &ProptestConfig {
+                cases: 4,
+                max_shrink_iters: 0,
+            },
+            "always_fails",
+            |_rng| Err(TestCaseError("boom".into())),
+        );
+    }
+}

@@ -1,0 +1,341 @@
+//! Value-generation strategies (no shrinking: failures replay
+//! deterministically instead of minimising).
+
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+use crate::test_runner::TestRng;
+
+/// A recipe for generating values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn gen_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map {
+            source: self,
+            map: f,
+        }
+    }
+
+    /// Type-erases the strategy (used by `prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).gen_value(rng)
+    }
+}
+
+/// A boxed, type-erased strategy.
+pub struct BoxedStrategy<V>(Box<dyn Strategy<Value = V>>);
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn gen_value(&self, rng: &mut TestRng) -> V {
+        self.0.gen_value(rng)
+    }
+}
+
+/// Uniform choice among boxed alternatives (`prop_oneof!`).
+pub struct Union<V> {
+    arms: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> Union<V> {
+    /// A union over `arms` (must be non-empty).
+    #[must_use]
+    pub fn new(arms: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn gen_value(&self, rng: &mut TestRng) -> V {
+        let i = rng.gen_index(self.arms.len());
+        self.arms[i].gen_value(rng)
+    }
+}
+
+/// Always generates a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn gen_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The [`Strategy::prop_map`] adapter.
+pub struct Map<S, F> {
+    source: S,
+    map: F,
+}
+
+impl<S: Clone, F: Clone> Clone for Map<S, F> {
+    fn clone(&self) -> Self {
+        Map {
+            source: self.source.clone(),
+            map: self.map.clone(),
+        }
+    }
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn gen_value(&self, rng: &mut TestRng) -> O {
+        (self.map)(self.source.gen_value(rng))
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                rng.gen_int_range(self.start as i128, self.end as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                rng.gen_int_range(*self.start() as i128, *self.end() as i128 + 1) as $t
+            }
+        }
+    )*};
+}
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                self.start + (rng.gen_f64() as $t) * (self.end - self.start)
+            }
+        }
+    )*};
+}
+float_range_strategy!(f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($S:ident . $idx:tt),+))*) => {$(
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+            fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.gen_value(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (S0.0)
+    (S0.0, S1.1)
+    (S0.0, S1.1, S2.2)
+    (S0.0, S1.1, S2.2, S3.3)
+    (S0.0, S1.1, S2.2, S3.3, S4.4)
+    (S0.0, S1.1, S2.2, S3.3, S4.4, S5.5)
+}
+
+/// `any::<T>()` — the full-range strategy of a primitive type.
+pub struct ArbitraryAny<T>(PhantomData<T>);
+
+impl<T> Clone for ArbitraryAny<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for ArbitraryAny<T> {}
+
+/// Full-range values of a primitive type.
+#[must_use]
+pub fn any<T>() -> ArbitraryAny<T>
+where
+    ArbitraryAny<T>: Strategy<Value = T>,
+{
+    ArbitraryAny(PhantomData)
+}
+
+impl Strategy for ArbitraryAny<bool> {
+    type Value = bool;
+    fn gen_value(&self, rng: &mut TestRng) -> bool {
+        rng.gen_u64() >> 63 == 1
+    }
+}
+
+macro_rules! any_int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for ArbitraryAny<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                rng.gen_u64() as $t
+            }
+        }
+    )*};
+}
+any_int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for ArbitraryAny<f64> {
+    type Value = f64;
+    fn gen_value(&self, rng: &mut TestRng) -> f64 {
+        // Finite, sign-symmetric spread; full bit-pattern floats (NaN, inf)
+        // would poison comparisons the workspace properties rely on.
+        (rng.gen_f64() - 0.5) * 2e12
+    }
+}
+
+/// Pattern strategy: `&str` is interpreted as a tiny regex subset —
+/// a sequence of `[class]` or literal atoms, each with an optional
+/// `{n}`/`{min,max}` repetition (covers the workspace's generators such as
+/// `"[a-zA-Z0-9 _.-]{0,20}"`).
+impl Strategy for &str {
+    type Value = String;
+    fn gen_value(&self, rng: &mut TestRng) -> String {
+        gen_from_pattern(self, rng)
+    }
+}
+
+fn parse_class(chars: &[char], mut i: usize) -> (Vec<char>, usize) {
+    let mut set = Vec::new();
+    while i < chars.len() && chars[i] != ']' {
+        if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+            let (lo, hi) = (chars[i], chars[i + 2]);
+            assert!(lo <= hi, "bad char range in pattern");
+            for c in lo..=hi {
+                set.push(c);
+            }
+            i += 3;
+        } else {
+            set.push(chars[i]);
+            i += 1;
+        }
+    }
+    assert!(i < chars.len(), "unterminated [class] in pattern");
+    (set, i + 1)
+}
+
+fn parse_repeat(chars: &[char], mut i: usize) -> (usize, usize, usize) {
+    if i >= chars.len() || chars[i] != '{' {
+        return (1, 1, i);
+    }
+    i += 1;
+    let mut digits = String::new();
+    let mut min = None;
+    while i < chars.len() && chars[i] != '}' {
+        if chars[i] == ',' {
+            min = Some(digits.parse::<usize>().expect("bad repeat bound"));
+            digits.clear();
+        } else {
+            digits.push(chars[i]);
+        }
+        i += 1;
+    }
+    assert!(i < chars.len(), "unterminated {{}} in pattern");
+    let last = digits.parse::<usize>().expect("bad repeat bound");
+    match min {
+        Some(lo) => (lo, last, i + 1),
+        None => (last, last, i + 1),
+    }
+}
+
+fn gen_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut out = String::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let (set, next) = if chars[i] == '[' {
+            parse_class(&chars, i + 1)
+        } else {
+            (vec![chars[i]], i + 1)
+        };
+        let (lo, hi, next) = parse_repeat(&chars, next);
+        let n = if lo == hi {
+            lo
+        } else {
+            rng.gen_int_range(lo as i128, hi as i128 + 1) as usize
+        };
+        for _ in 0..n {
+            out.push(set[rng.gen_index(set.len())]);
+        }
+        i = next;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::new(42)
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = rng();
+        for _ in 0..500 {
+            let v = (-5i64..5).gen_value(&mut r);
+            assert!((-5..5).contains(&v));
+            let f = (-1000.0f64..1000.0).gen_value(&mut r);
+            assert!((-1000.0..1000.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn pattern_generates_matching_strings() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = "[a-z]{0,12}".gen_value(&mut r);
+            assert!(s.len() <= 12);
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+            let t = "[a-zA-Z0-9 _.-]{0,20}".gen_value(&mut r);
+            assert!(t.len() <= 20);
+            assert!(t
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || " _.-".contains(c)));
+        }
+    }
+
+    #[test]
+    fn map_union_just_compose() {
+        let mut r = rng();
+        let s = Union::new(vec![
+            Just(0i64).boxed(),
+            (10i64..20).prop_map(|x| x * 2).boxed(),
+        ]);
+        let mut saw_zero = false;
+        let mut saw_big = false;
+        for _ in 0..200 {
+            match s.gen_value(&mut r) {
+                0 => saw_zero = true,
+                v if (20..40).contains(&v) => saw_big = true,
+                v => panic!("unexpected {v}"),
+            }
+        }
+        assert!(saw_zero && saw_big);
+    }
+}

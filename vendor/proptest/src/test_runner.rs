@@ -1,0 +1,95 @@
+//! Case runner: deterministic RNG, config, and the failure type the
+//! `prop_assert*` macros early-return with.
+
+/// Runner configuration (the subset the workspace sets).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+    /// Accepted for upstream compatibility; this runner never shrinks.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+/// A failed property case (carries the formatted assertion message).
+#[derive(Debug)]
+pub struct TestCaseError(pub String);
+
+/// What a property body evaluates to.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// The deterministic generator handed to strategies (splitmix64 stream).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A generator at `seed`.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Next 64 random bits.
+    pub fn gen_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.gen_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[lo, hi)` (both as i128 so every primitive
+    /// integer range fits).
+    pub fn gen_int_range(&mut self, lo: i128, hi: i128) -> i128 {
+        assert!(lo < hi, "cannot sample empty range");
+        let span = (hi - lo) as u128;
+        lo + ((u128::from(self.gen_u64()) * span) >> 64) as i128
+    }
+
+    /// Uniform index in `[0, n)`.
+    pub fn gen_index(&mut self, n: usize) -> usize {
+        self.gen_int_range(0, n as i128) as usize
+    }
+}
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Runs `cases` generated cases of one property; panics on the first
+/// failure with its case index (re-run is deterministic — no shrinking).
+pub fn run_cases<F>(config: &ProptestConfig, test_name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> TestCaseResult,
+{
+    let base = fnv1a(test_name);
+    for i in 0..config.cases {
+        let mut rng = TestRng::new(base ^ u64::from(i).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        if let Err(TestCaseError(msg)) = case(&mut rng) {
+            panic!(
+                "proptest `{test_name}` failed at case {i}/{}: {msg}",
+                config.cases
+            );
+        }
+    }
+}
