@@ -1,0 +1,207 @@
+//! Real wall-clock benchmark of the fig10 workload suite.
+//!
+//! Unlike the figure harnesses, which report *simulated* cluster seconds,
+//! this binary measures how long the repo itself takes to execute the
+//! fig10 queries for real — the number that bounds every figure sweep.
+//! Only translation + execution is timed; data generation, table loading
+//! and oracle verification stay outside the timed region.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench [--record-baseline] [--iterations N] [--out PATH] [--smoke]
+//! ```
+//!
+//! Results go to `BENCH_wallclock.json`. The first recorded run (via
+//! `--record-baseline`) pins `baseline_s`; later runs keep that baseline
+//! and update `current_s`/`speedup`, so the perf trajectory of the
+//! execution engine is visible across PRs. `--smoke` runs one query at a
+//! tiny scale and writes nothing — a CI liveness check.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use ysmart_core::{Strategy, YSmart};
+use ysmart_datagen::{ClicksSpec, TpchSpec};
+use ysmart_mapred::ClusterConfig;
+use ysmart_queries::{
+    clicks_workloads, oracle_execute, rows_approx_equal, tpch_workloads, Workload,
+};
+
+/// One benchmarked case: a workload executed under every strategy.
+struct Case {
+    workload: Workload,
+    config: ClusterConfig,
+    target_gb: f64,
+}
+
+fn fig10_cases() -> Vec<Case> {
+    let config = ClusterConfig::small_local();
+    let tpch = tpch_workloads(&TpchSpec {
+        scale: 1.0,
+        seed: 2024,
+    });
+    let mut cases = Vec::new();
+    for name in ["q17", "q18", "q21"] {
+        let w = tpch.iter().find(|w| w.name == name).expect("workload");
+        cases.push(Case {
+            workload: w.clone(),
+            config: config.clone(),
+            target_gb: 10.0,
+        });
+    }
+    let clicks = clicks_workloads(&ClicksSpec {
+        users: 120,
+        clicks_per_user: 40,
+        seed: 2024,
+        ..ClicksSpec::default()
+    });
+    let mut csa_config = config;
+    csa_config.disk_capacity_mb = 65_000.0;
+    let w = clicks.iter().find(|w| w.name == "q-csa").expect("workload");
+    cases.push(Case {
+        workload: w.clone(),
+        config: csa_config,
+        target_gb: 20.0,
+    });
+    cases
+}
+
+const STRATEGIES: [Strategy; 3] = [Strategy::YSmart, Strategy::Hive, Strategy::Pig];
+
+/// Executes every strategy of one case, returning wall-clock seconds spent
+/// inside `execute_sql` (engine build and table loading are not timed).
+/// DNF outcomes (the paper's Pig disk-full case) still count the time the
+/// engine spent reaching them.
+fn run_case(case: &Case, verify: bool) -> f64 {
+    let mut elapsed = 0.0;
+    for strategy in STRATEGIES {
+        let mut engine = YSmart::new(case.workload.catalog.clone(), case.config.clone());
+        case.workload.load_into(&mut engine).expect("load");
+        let real_bytes = engine.cluster.hdfs.total_bytes().max(1);
+        engine.cluster.config.size_multiplier = (case.target_gb * 1e9) / real_bytes as f64;
+        let start = Instant::now();
+        let out = engine.execute_sql(&case.workload.sql, strategy);
+        elapsed += start.elapsed().as_secs_f64();
+        if verify {
+            if let Ok(out) = &out {
+                let tables: BTreeMap<String, Vec<ysmart_rel::Row>> = case
+                    .workload
+                    .tables
+                    .iter()
+                    .map(|(n, r)| ((*n).to_string(), r.clone()))
+                    .collect();
+                let plan = engine.plan(&case.workload.sql).expect("plan");
+                let expected = oracle_execute(&plan, &tables).expect("oracle");
+                assert!(
+                    rows_approx_equal(&out.rows, &expected.rows, case.workload.ordered),
+                    "{} under {strategy}: result does not match the oracle",
+                    case.workload.name
+                );
+            }
+        }
+    }
+    elapsed
+}
+
+/// Reads `"key": <number>` out of a hand-written JSON file.
+fn read_json_number(text: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = text.find(&needle)? + needle.len();
+    let rest = text[at..].trim_start();
+    let end = rest
+        .find(|c: char| {
+            c != '-' && c != '+' && c != '.' && c != 'e' && c != 'E' && !c.is_ascii_digit()
+        })
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn smoke() {
+    let tpch = tpch_workloads(&TpchSpec {
+        scale: 0.05,
+        seed: 2024,
+    });
+    let w = tpch.iter().find(|w| w.name == "q17").expect("workload");
+    let case = Case {
+        workload: w.clone(),
+        config: ClusterConfig::small_local(),
+        target_gb: 0.1,
+    };
+    let s = run_case(&case, true);
+    println!("smoke: q17 @0.1GB all strategies in {s:.3}s wall-clock (verified)");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--smoke") {
+        smoke();
+        return;
+    }
+    let record_baseline = args.iter().any(|a| a == "--record-baseline");
+    let iterations: usize = args
+        .iter()
+        .position(|a| a == "--iterations")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3);
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_wallclock.json".to_string());
+
+    let cases = fig10_cases();
+    // Untimed verified pass: a fast engine that returns wrong rows would
+    // make every number below meaningless.
+    for case in &cases {
+        run_case(case, true);
+    }
+
+    let mut per_iter: Vec<f64> = Vec::with_capacity(iterations);
+    let mut per_query: Vec<(String, f64)> = cases
+        .iter()
+        .map(|c| (c.workload.name.to_string(), f64::INFINITY))
+        .collect();
+    for iter in 0..iterations {
+        let mut total = 0.0;
+        for (case, slot) in cases.iter().zip(per_query.iter_mut()) {
+            let s = run_case(case, false);
+            slot.1 = slot.1.min(s);
+            total += s;
+        }
+        println!("iteration {}: {total:.3}s", iter + 1);
+        per_iter.push(total);
+    }
+    let current_s = per_iter.iter().copied().fold(f64::INFINITY, f64::min);
+
+    let baseline_s = if record_baseline {
+        current_s
+    } else {
+        std::fs::read_to_string(&out_path)
+            .ok()
+            .and_then(|t| read_json_number(&t, "baseline_s"))
+            .unwrap_or(current_s)
+    };
+    let speedup = baseline_s / current_s;
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"suite\": \"fig10\",");
+    let _ = writeln!(json, "  \"iterations\": {iterations},");
+    let _ = writeln!(json, "  \"baseline_s\": {baseline_s:.4},");
+    let _ = writeln!(json, "  \"current_s\": {current_s:.4},");
+    let _ = writeln!(json, "  \"speedup\": {speedup:.3},");
+    json.push_str("  \"queries\": {\n");
+    for (i, (name, s)) in per_query.iter().enumerate() {
+        let comma = if i + 1 < per_query.len() { "," } else { "" };
+        let _ = writeln!(json, "    \"{name}\": {s:.4}{comma}");
+    }
+    json.push_str("  }\n}\n");
+    std::fs::write(&out_path, &json).expect("write BENCH_wallclock.json");
+    println!(
+        "fig10 suite wall-clock: {current_s:.3}s (baseline {baseline_s:.3}s, speedup {speedup:.2}x) -> {out_path}"
+    );
+}

@@ -235,14 +235,10 @@ impl YSmart {
             chain.push(bp.to_jobspec()?);
         }
         let outcome = run_chain(&mut self.cluster, &chain)?;
-        let lines = self
-            .cluster
-            .hdfs
-            .get(&translation.output_path)?
-            .lines
-            .clone();
-        let mut rows = Vec::with_capacity(lines.len());
-        for line in &lines {
+        // Decode straight off the in-HDFS lines — no clone of the output.
+        let file = self.cluster.hdfs.get(&translation.output_path)?;
+        let mut rows = Vec::with_capacity(file.lines.len());
+        for line in &file.lines {
             rows.push(decode_line(line, &translation.output_schema)?);
         }
         Ok(QueryOutcome {

@@ -97,7 +97,7 @@ impl PartialAggCombiner {
 
 impl Combiner for PartialAggCombiner {
     fn combine(&mut self, _key: &Row, values: &[Row]) -> Vec<Row> {
-        let spec = self.spec().clone();
+        let spec = self.spec();
         let mut groups: BTreeMap<Vec<Value>, Vec<AggState>> = BTreeMap::new();
         for row in values {
             let group: Vec<Value> = spec

@@ -17,8 +17,8 @@
 use std::sync::Arc;
 
 use ysmart_mapred::{MapOutput, Mapper};
-use ysmart_rel::codec::decode_line;
-use ysmart_rel::{Row, Value};
+use ysmart_rel::codec::{decode_line, decode_line_projected};
+use ysmart_rel::{Expr, Row, Value};
 
 use crate::blueprint::JobBlueprint;
 
@@ -30,6 +30,46 @@ pub struct CommonMapper {
     tagged: bool,
     /// Bits of streams not fed by this input — always forbidden.
     foreign_mask: u64,
+    /// Key expressions as column indices when all are plain references —
+    /// evaluated by direct indexing instead of walking expression trees.
+    plain_keys: Option<Vec<usize>>,
+    /// Per input column: whether any predicate, key expression or carried
+    /// value reads it. `None` when every column is needed. Unneeded fields
+    /// are skipped at decode time (left NULL) — a scan-side projection.
+    needed_cols: Option<Vec<bool>>,
+    /// Raw-row column indices of the emitted value when it is a plain,
+    /// duplicate-free column list (tagged mode: `value_cols`; direct and
+    /// map-only modes: stream 0's projection composed through
+    /// `value_cols`). The decoded row is dead once the value is built, so
+    /// these columns are *moved* out of it instead of cloned — `None`
+    /// falls back to the expression-evaluating path.
+    value_move: Option<Vec<usize>>,
+}
+
+fn plain_cols(exprs: &[Expr]) -> Option<Vec<usize>> {
+    exprs
+        .iter()
+        .map(|e| match e {
+            Expr::Column(i) => Some(*i),
+            _ => None,
+        })
+        .collect()
+}
+
+/// `cols` usable as a move source: each raw column taken at most once.
+fn duplicate_free(cols: &[usize]) -> bool {
+    let mut sorted = cols.to_vec();
+    sorted.sort_unstable();
+    sorted.windows(2).all(|w| w[0] != w[1])
+}
+
+/// Builds a row by moving the given columns out of `row` (which must not
+/// repeat a column — the second take would see a NULL).
+fn take_cols(row: Row, cols: &[usize]) -> Row {
+    let mut vals = row.into_values();
+    cols.iter()
+        .map(|&c| std::mem::replace(&mut vals[c], Value::Null))
+        .collect()
 }
 
 impl CommonMapper {
@@ -37,20 +77,59 @@ impl CommonMapper {
     #[must_use]
     pub fn new(blueprint: Arc<JobBlueprint>, input_idx: usize) -> Self {
         let tagged = blueprint.tagged();
-        let mine: u64 = blueprint.inputs[input_idx]
-            .branches
-            .iter()
-            .fold(0, |m, b| m | (1 << b.stream));
+        let input = &blueprint.inputs[input_idx];
+        let mine: u64 = input.branches.iter().fold(0, |m, b| m | (1 << b.stream));
         let all: u64 = if blueprint.streams.len() >= 64 {
             u64::MAX
         } else {
             (1 << blueprint.streams.len()) - 1
+        };
+        let plain_keys = plain_cols(&input.key_exprs);
+        let mut needed = vec![false; input.schema.len()];
+        let mut mark = |c: usize| {
+            if let Some(slot) = needed.get_mut(c) {
+                *slot = true;
+            }
+        };
+        for b in &input.branches {
+            if let Some(p) = &b.predicate {
+                p.for_each_column(&mut mark);
+            }
+        }
+        for e in &input.key_exprs {
+            e.for_each_column(&mut mark);
+        }
+        // Stream projections and the pad read the *carried* row, whose
+        // columns are exactly `value_cols` of the raw row.
+        for &c in &input.value_cols {
+            mark(c);
+        }
+        let needed_cols = if needed.iter().all(|&n| n) {
+            None
+        } else {
+            Some(needed)
+        };
+        let value_move = if tagged {
+            duplicate_free(&input.value_cols).then(|| input.value_cols.clone())
+        } else {
+            // Stream 0's projection runs map-side: compose it through
+            // `value_cols` back to raw column indices.
+            plain_cols(&blueprint.streams[0].projection)
+                .and_then(|p| {
+                    p.iter()
+                        .map(|&i| input.value_cols.get(i).copied())
+                        .collect::<Option<Vec<usize>>>()
+                })
+                .filter(|raw| duplicate_free(raw))
         };
         CommonMapper {
             blueprint,
             input_idx,
             tagged,
             foreign_mask: all & !mine,
+            plain_keys,
+            needed_cols,
+            value_move,
         }
     }
 }
@@ -72,7 +151,11 @@ impl Mapper for CommonMapper {
                 rest
             }
         };
-        let row = match decode_line(payload, &input.schema) {
+        let row = match &self.needed_cols {
+            Some(needed) => decode_line_projected(payload, &input.schema, needed),
+            None => decode_line(payload, &input.schema),
+        };
+        let row = match row {
             Ok(r) => r,
             Err(e) => panic!("undecodable record for {}: {e}", self.blueprint.name),
         };
@@ -97,46 +180,75 @@ impl Mapper for CommonMapper {
         if !any {
             return;
         }
-        let key: Row = input
-            .key_exprs
-            .iter()
-            .map(|e| {
-                e.eval(&row)
-                    .unwrap_or_else(|err| panic!("key expr failed: {err}"))
-            })
-            .collect();
+        let key: Row = match &self.plain_keys {
+            Some(cols) => cols
+                .iter()
+                .map(|&c| {
+                    row.get(c)
+                        .cloned()
+                        .unwrap_or_else(|err| panic!("key expr failed: {err}"))
+                })
+                .collect(),
+            None => input
+                .key_exprs
+                .iter()
+                .map(|e| {
+                    e.eval(&row)
+                        .unwrap_or_else(|err| panic!("key expr failed: {err}"))
+                })
+                .collect(),
+        };
 
         if self.blueprint.map_only {
             // Apply stream 0's projection map-side and emit the final row.
-            let carried = row.project(&input.value_cols);
-            let projected: Row = self.blueprint.streams[0]
-                .projection
-                .iter()
-                .map(|e| {
-                    e.eval(&carried)
-                        .unwrap_or_else(|err| panic!("projection failed: {err}"))
-                })
-                .collect();
+            let projected: Row = match &self.value_move {
+                Some(cols) => take_cols(row, cols),
+                None => {
+                    let carried = row.project(&input.value_cols);
+                    self.blueprint.streams[0]
+                        .projection
+                        .iter()
+                        .map(|e| {
+                            e.eval(&carried)
+                                .unwrap_or_else(|err| panic!("projection failed: {err}"))
+                        })
+                        .collect()
+                }
+            };
             out.emit(key, projected);
             return;
         }
 
-        let carried = row.project(&input.value_cols);
         let value = if self.tagged {
-            let mut vals = Vec::with_capacity(carried.len() + 1);
+            let mut vals = Vec::with_capacity(input.value_cols.len() + 1);
             vals.push(Value::Int(forbidden as i64));
-            vals.extend(carried.into_values());
+            match &self.value_move {
+                Some(cols) => {
+                    let mut raw = row.into_values();
+                    vals.extend(
+                        cols.iter()
+                            .map(|&c| std::mem::replace(&mut raw[c], Value::Null)),
+                    );
+                }
+                None => vals.extend(row.project(&input.value_cols).into_values()),
+            }
             Row::new(vals)
         } else {
             // Direct mode: project for the single stream map-side.
-            self.blueprint.streams[0]
-                .projection
-                .iter()
-                .map(|e| {
-                    e.eval(&carried)
-                        .unwrap_or_else(|err| panic!("projection failed: {err}"))
-                })
-                .collect()
+            match &self.value_move {
+                Some(cols) => take_cols(row, cols),
+                None => {
+                    let carried = row.project(&input.value_cols);
+                    self.blueprint.streams[0]
+                        .projection
+                        .iter()
+                        .map(|e| {
+                            e.eval(&carried)
+                                .unwrap_or_else(|err| panic!("projection failed: {err}"))
+                        })
+                        .collect()
+                }
+            }
         };
         out.emit(key, self.pad(value));
     }
@@ -208,10 +320,9 @@ mod tests {
         let mut m = CommonMapper::new(bp, 0);
         let mut out = MapOutput::default();
         m.map("7|42", &mut out);
-        assert_eq!(out.pairs().len(), 1);
-        let (k, v) = &out.pairs()[0];
-        assert_eq!(k, &ysmart_rel::row![7i64]);
-        assert_eq!(v, &ysmart_rel::row![7i64, 42i64]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.keys()[0], ysmart_rel::row![7i64]);
+        assert_eq!(out.values()[0], ysmart_rel::row![7i64, 42i64]);
     }
 
     #[test]
@@ -226,7 +337,7 @@ mod tests {
         let mut m = CommonMapper::new(bp, 0);
         let mut out = MapOutput::default();
         m.map("7|42", &mut out);
-        assert!(out.pairs().is_empty());
+        assert!(out.is_empty());
     }
 
     #[test]
@@ -252,13 +363,13 @@ mod tests {
         m.map("1|5", &mut out);
         m.map("1|1000", &mut out); // only stream 0
         let tags: Vec<i64> = out
-            .pairs()
+            .values()
             .iter()
-            .map(|(_, v)| v.get(0).unwrap().as_int().unwrap())
+            .map(|v| v.get(0).unwrap().as_int().unwrap())
             .collect();
         assert_eq!(tags, vec![0b00, 0b01, 0b10]);
         // The shared scan emitted one pair per record, not one per branch.
-        assert_eq!(out.pairs().len(), 3);
+        assert_eq!(out.len(), 3);
         assert_eq!(out.work(), 3, "one extra branch evaluation per record");
     }
 
@@ -317,7 +428,7 @@ mod tests {
         let mut m0 = CommonMapper::new(Arc::clone(&bp), 0);
         let mut out = MapOutput::default();
         m0.map("1|2", &mut out);
-        let tag = out.pairs()[0].1.get(0).unwrap().as_int().unwrap();
+        let tag = out.values()[0].get(0).unwrap().as_int().unwrap();
         assert_eq!(tag, 0b10, "stream 1 must not see input 0's pairs");
     }
 

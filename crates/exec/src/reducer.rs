@@ -16,7 +16,7 @@ use std::sync::Arc;
 
 use ysmart_mapred::{ReduceOutput, Reducer};
 use ysmart_plan::JoinKind;
-use ysmart_rel::codec::encode_line;
+use ysmart_rel::codec::{encode_line, encode_line_into};
 use ysmart_rel::{AggState, Expr, Row, Value};
 
 use crate::blueprint::{EmitSpec, JobBlueprint, OpKind, RSource};
@@ -28,6 +28,20 @@ use crate::rowop::apply_chain;
 pub struct CommonReducer {
     blueprint: Arc<JobBlueprint>,
     tagged: bool,
+    /// Per stream: the projection's column indices when every expression is
+    /// a plain column reference — the overwhelmingly common case, dispatched
+    /// without materialising a carried row or walking the expression tree.
+    plain_projections: Vec<Option<Vec<usize>>>,
+    /// Per-stream dispatch buffers, cleared and refilled for every key
+    /// group instead of reallocated — reduce tasks see thousands of groups.
+    streams: Vec<Vec<Row>>,
+}
+
+/// One operator's output: owned rows, or an alias back to its input when
+/// the op passed rows through untouched (no copy per key group).
+enum OpRows {
+    Owned(Vec<Row>),
+    Alias(RSource),
 }
 
 impl CommonReducer {
@@ -35,17 +49,41 @@ impl CommonReducer {
     #[must_use]
     pub fn new(blueprint: Arc<JobBlueprint>) -> Self {
         let tagged = blueprint.tagged();
-        CommonReducer { blueprint, tagged }
+        let plain_projections = blueprint
+            .streams
+            .iter()
+            .map(|spec| {
+                spec.projection
+                    .iter()
+                    .map(|e| match e {
+                        Expr::Column(i) => Some(*i),
+                        _ => None,
+                    })
+                    .collect()
+            })
+            .collect();
+        let streams = vec![Vec::new(); blueprint.streams.len()];
+        CommonReducer {
+            blueprint,
+            tagged,
+            plain_projections,
+            streams,
+        }
     }
 
     fn source_rows<'a>(
-        streams: &'a [Vec<Row>],
-        op_outputs: &'a [Vec<Row>],
-        src: RSource,
+        streams: &'a [&'a [Row]],
+        op_outputs: &'a [OpRows],
+        mut src: RSource,
     ) -> &'a [Row] {
-        match src {
-            RSource::Stream(s) => &streams[s],
-            RSource::Op(o) => &op_outputs[o],
+        loop {
+            match src {
+                RSource::Stream(s) => return streams[s],
+                RSource::Op(o) => match &op_outputs[o] {
+                    OpRows::Owned(rows) => return rows,
+                    OpRows::Alias(a) => src = *a,
+                },
+            }
         }
     }
 }
@@ -54,7 +92,9 @@ impl Reducer for CommonReducer {
     fn reduce(&mut self, _key: &Row, values: &[Row], out: &mut ReduceOutput) {
         let bp = &self.blueprint;
         // ---- Algorithm 1: one pass over the values, dispatch by tag ------
-        let mut streams: Vec<Vec<Row>> = vec![Vec::new(); bp.streams.len()];
+        for s in &mut self.streams {
+            s.clear();
+        }
         // Strip the Pig-style serialisation pad before any processing.
         let unpadded: Vec<Row>;
         let values: &[Row] = if bp.pad_bytes > 0 {
@@ -93,45 +133,73 @@ impl Reducer for CommonReducer {
         if self.tagged {
             for v in values {
                 let tag = v.get(0).ok().and_then(Value::as_int).unwrap_or(0) as u64;
-                let carried = Row::new(v.values()[1..].to_vec());
+                let vals = &v.values()[1..];
+                // Materialised only for streams with computed projections.
+                let mut carried: Option<Row> = None;
                 for (s, spec) in bp.streams.iter().enumerate() {
                     if tag & (1 << s) != 0 {
                         continue; // inverted tag: this stream must not see it
                     }
                     out.add_work(1);
-                    let projected: Row = spec
-                        .projection
-                        .iter()
-                        .map(|e| {
-                            e.eval(&carried)
-                                .unwrap_or_else(|err| panic!("stream projection failed: {err}"))
-                        })
-                        .collect();
-                    streams[s].push(projected);
+                    let projected: Row = match &self.plain_projections[s] {
+                        Some(cols) => cols
+                            .iter()
+                            .map(|&c| {
+                                vals.get(c).cloned().unwrap_or_else(|| {
+                                    panic!("stream projection failed: column {c} out of range")
+                                })
+                            })
+                            .collect(),
+                        None => {
+                            let carried = carried.get_or_insert_with(|| Row::new(vals.to_vec()));
+                            spec.projection
+                                .iter()
+                                .map(|e| {
+                                    e.eval(carried).unwrap_or_else(|err| {
+                                        panic!("stream projection failed: {err}")
+                                    })
+                                })
+                                .collect()
+                        }
+                    };
+                    self.streams[s].push(projected);
                 }
             }
-        } else {
-            // Direct mode: values are already the single stream's rows.
-            streams[0] = values.to_vec();
         }
+        // Direct mode: the single stream's rows ARE the group slice — view
+        // it in place instead of copying every value row.
+        let stream_views: Vec<&[Row]> = if self.tagged {
+            self.streams.iter().map(Vec::as_slice).collect()
+        } else {
+            let mut views: Vec<&[Row]> = vec![&[]; bp.streams.len()];
+            views[0] = values;
+            views
+        };
 
         // Direct-mode short-circuit (single stream): empty groups never
         // reach the reducer, so only the tagged path above can skip keys;
         // this residual check keeps semantics for hand-built blueprints.
         for &s in &bp.short_circuit_streams {
-            if streams[s].is_empty() {
+            if stream_views[s].is_empty() {
                 return;
             }
         }
 
         // ---- evaluate the per-key operator DAG ----------------------------
-        let mut op_outputs: Vec<Vec<Row>> = Vec::with_capacity(bp.ops.len());
+        let mut op_outputs: Vec<OpRows> = Vec::with_capacity(bp.ops.len());
         for op in &bp.ops {
             let mut work = 0u64;
             let rows = match &op.kind {
                 OpKind::Pass => {
-                    let input = Self::source_rows(&streams, &op_outputs, op.inputs[0]);
+                    let input = Self::source_rows(&stream_views, &op_outputs, op.inputs[0]);
                     work += input.len() as u64;
+                    if op.transforms.is_empty() {
+                        // Untransformed pass-through: alias the input rather
+                        // than copying every row of the group.
+                        out.add_work(work);
+                        op_outputs.push(OpRows::Alias(op.inputs[0]));
+                        continue;
+                    }
                     input.to_vec()
                 }
                 OpKind::Agg {
@@ -140,7 +208,7 @@ impl Reducer for CommonReducer {
                     having,
                     merge_partials,
                 } => {
-                    let input = Self::source_rows(&streams, &op_outputs, op.inputs[0]);
+                    let input = Self::source_rows(&stream_views, &op_outputs, op.inputs[0]);
                     eval_agg(
                         input,
                         group_cols,
@@ -156,8 +224,8 @@ impl Reducer for CommonReducer {
                     left_width,
                     right_width,
                 } => {
-                    let left = Self::source_rows(&streams, &op_outputs, op.inputs[0]);
-                    let right = Self::source_rows(&streams, &op_outputs, op.inputs[1]);
+                    let left = Self::source_rows(&stream_views, &op_outputs, op.inputs[0]);
+                    let right = Self::source_rows(&stream_views, &op_outputs, op.inputs[1]);
                     eval_join(
                         left,
                         right,
@@ -172,20 +240,24 @@ impl Reducer for CommonReducer {
             let rows = apply_chain(&op.transforms, rows, &mut work)
                 .unwrap_or_else(|e| panic!("transform failed in {}: {e}", bp.name));
             out.add_work(work);
-            op_outputs.push(rows);
+            op_outputs.push(OpRows::Owned(rows));
         }
 
         // ---- emit only the final source(s) (§VI-B) -------------------------
         match &bp.emit {
             EmitSpec::Single(src) => {
-                for row in Self::source_rows(&streams, &op_outputs, *src) {
+                for row in Self::source_rows(&stream_views, &op_outputs, *src) {
                     out.emit_line(encode_line(row));
                 }
             }
             EmitSpec::Tagged(srcs) => {
+                use std::fmt::Write as _;
                 for (tag, src) in srcs.iter().enumerate() {
-                    for row in Self::source_rows(&streams, &op_outputs, *src) {
-                        out.emit_line(format!("{tag}|{}", encode_line(row)));
+                    for row in Self::source_rows(&stream_views, &op_outputs, *src) {
+                        let mut line = String::new();
+                        write!(line, "{tag}|").expect("write to String");
+                        encode_line_into(row, &mut line);
+                        out.emit_line(line);
                     }
                 }
             }
@@ -202,16 +274,7 @@ fn eval_agg(
     merge_partials: bool,
     work: &mut u64,
 ) -> Vec<Row> {
-    let mut groups: BTreeMap<Vec<Value>, Vec<AggState>> = BTreeMap::new();
-    for row in input {
-        *work += 1;
-        let group: Vec<Value> = group_cols
-            .iter()
-            .map(|&c| row.get(c).cloned().unwrap_or(Value::Null))
-            .collect();
-        let states = groups
-            .entry(group)
-            .or_insert_with(|| aggs.iter().map(|(f, _)| f.new_state()).collect());
+    let update = |states: &mut [AggState], row: &Row| {
         if merge_partials {
             // Partial fields follow the group columns in combiner layout.
             let mut offset = group_cols.len();
@@ -227,9 +290,34 @@ fn eval_agg(
         } else {
             update_states(states, aggs, row).unwrap_or_else(|e| panic!("aggregation failed: {e}"));
         }
-    }
-    let mut out = Vec::with_capacity(groups.len());
-    for (group, states) in groups {
+    };
+    let finished: Vec<(Vec<Value>, Vec<AggState>)> = if group_cols.is_empty() && !input.is_empty() {
+        // Single group (the reduce key is the whole GROUP BY): no per-row
+        // group vector, no map. Empty input still yields no groups, as the
+        // map-based path does.
+        let mut states: Vec<AggState> = aggs.iter().map(|(f, _)| f.new_state()).collect();
+        for row in input {
+            *work += 1;
+            update(&mut states, row);
+        }
+        vec![(Vec::new(), states)]
+    } else {
+        let mut groups: BTreeMap<Vec<Value>, Vec<AggState>> = BTreeMap::new();
+        for row in input {
+            *work += 1;
+            let group: Vec<Value> = group_cols
+                .iter()
+                .map(|&c| row.get(c).cloned().unwrap_or(Value::Null))
+                .collect();
+            let states = groups
+                .entry(group)
+                .or_insert_with(|| aggs.iter().map(|(f, _)| f.new_state()).collect());
+            update(states, row);
+        }
+        groups.into_iter().collect()
+    };
+    let mut out = Vec::with_capacity(finished.len());
+    for (group, states) in finished {
         let mut vals = group;
         for s in &states {
             vals.push(s.finish());

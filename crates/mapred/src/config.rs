@@ -187,6 +187,12 @@ pub struct ClusterConfig {
     /// Every real byte/record processed stands for this many simulated
     /// ones, so a megabyte-scale dataset can model a 10 GB/1 TB run.
     pub size_multiplier: f64,
+    /// Real OS threads used to execute map and reduce tasks (`None` = all
+    /// available cores). This knob only controls the harness's wall-clock
+    /// parallelism; simulated times, results and metrics are identical for
+    /// every setting — `Some(1)` forces the serial path for determinism
+    /// tests.
+    pub exec_threads: Option<usize>,
     /// Number of reduce tasks per job (Hadoop default: ~0.95 × reduce
     /// slots). `None` derives it from the cluster size.
     pub reduce_tasks: Option<usize>,
@@ -218,6 +224,7 @@ impl Default for ClusterConfig {
             stragglers: None,
             time_limit_s: None,
             size_multiplier: 1.0,
+            exec_threads: None,
             reduce_tasks: None,
         }
     }

@@ -6,14 +6,22 @@
 //!    block size (in *simulated* bytes, so `size_multiplier` controls task
 //!    counts the way real data volume would).
 //! 2. **Map** — each task runs a fresh mapper over its real records,
-//!    partitions output by [`crate::hash::partition`], sorts each partition,
-//!    applies the combiner, and is charged read + CPU + sort + spill time.
-//!    Failed attempts (seeded injection) are re-executed.
+//!    partitions output by [`crate::hash::partition`], sorts its run by
+//!    `(partition, key, value)`, applies the combiner, and is charged
+//!    read + CPU + sort + spill time. Failed attempts (seeded injection)
+//!    are re-executed.
 //! 3. **Schedule** — task times are packed onto the cluster's map slots by
 //!    list scheduling; the map phase lasts until the last task finishes.
-//! 4. **Shuffle + Reduce** — each reduce task fetches its partition over
-//!    the network, merges, groups by key and streams groups through a fresh
-//!    reducer; output lines are written to HDFS with replication cost.
+//! 4. **Shuffle + Reduce** — each map task's sorted run is split into
+//!    per-partition segments; a reduce task k-way-merges its segments
+//!    (Hadoop's merge-based shuffle — no global re-sort) and streams each
+//!    key group through a fresh reducer as a borrowed slice of the merged
+//!    value column. Output lines are written to HDFS with replication cost.
+//!
+//! Both task phases run on real OS threads
+//! ([`crate::config::ClusterConfig::exec_threads`] caps them); all
+//! injected-fault randomness is seeded per task index, so results, metrics
+//! and simulated times are bit-identical for any thread count.
 //! 5. **Checks** — per-node spill volumes are checked against disk
 //!    capacity ([`MapRedError::DiskFull`]) and the job total against the
 //!    configured time limit.
@@ -26,6 +34,8 @@
 //! retries, disks full, every node dead) fails with an [`AttemptFailure`]
 //! carrying the simulated time it burned; [`crate::chain::run_chain`]
 //! retries it under the [`crate::config::RetryPolicy`].
+
+use std::collections::BinaryHeap;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -101,9 +111,12 @@ impl From<MapRedError> for AttemptFailure {
     }
 }
 
-/// Internal per-map-task result.
+/// Internal per-map-task result. The map output is a *sorted run* already
+/// cut into per-partition segments, in ascending partition order — each
+/// segment's parallel key/value columns are sorted by `(key, value)`.
+/// Map-only tasks carry their whole output as one pseudo-segment.
 struct MapTaskResult {
-    pairs: Vec<(Row, Row)>,
+    runs: Vec<(u32, PartitionRun)>,
     /// 1 when this task straggled and was rescued by a backup task.
     speculative: usize,
     /// Slot-seconds the speculative backup duplicated.
@@ -159,24 +172,28 @@ pub fn run_job_attempt(
     let slowdown = cfg.contention.map_or(1.0, |c| c.task_slowdown);
 
     // ---- split ----------------------------------------------------------
+    // Splits are contiguous line ranges, so tasks borrow slices of the
+    // files already in HDFS — no copy of the input per job. The borrows
+    // end before the job's output is written back.
     let block_real_bytes = (cfg.hdfs_block_mb * 1e6 / mult).max(1.0);
-    let mut tasks: Vec<(usize, Vec<String>)> = Vec::new(); // (input idx, lines)
+    let mut tasks: Vec<(usize, &[String])> = Vec::new(); // (input idx, lines)
     let mut hdfs_read_real: u64 = 0;
     for (input_idx, input) in spec.inputs.iter().enumerate() {
-        let file = cluster.hdfs.get(&input.path)?.clone();
+        let file = cluster.hdfs.get(&input.path)?;
         hdfs_read_real += file.bytes();
-        let mut chunk: Vec<String> = Vec::new();
+        let lines = &file.lines;
+        let mut start = 0;
         let mut chunk_bytes = 0.0;
-        for line in file.lines {
+        for (i, line) in lines.iter().enumerate() {
             chunk_bytes += line.len() as f64 + 1.0;
-            chunk.push(line);
             if chunk_bytes >= block_real_bytes {
-                tasks.push((input_idx, std::mem::take(&mut chunk)));
+                tasks.push((input_idx, &lines[start..=i]));
+                start = i + 1;
                 chunk_bytes = 0.0;
             }
         }
-        if !chunk.is_empty() || file_is_empty_input(&tasks, input_idx) {
-            tasks.push((input_idx, chunk));
+        if start < lines.len() || file_is_empty_input(&tasks, input_idx) {
+            tasks.push((input_idx, &lines[start..]));
         }
     }
 
@@ -196,10 +213,7 @@ pub fn run_job_attempt(
     });
     let map_only = spec.reducer.is_none();
 
-    let threads = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
-        .min(tasks.len().max(1));
+    let threads = exec_threads(&cfg).min(tasks.len().max(1));
     let results: Vec<MapTaskResult> = if threads <= 1 || tasks.len() < 4 {
         tasks
             .iter()
@@ -222,7 +236,7 @@ pub fn run_job_attempt(
             .collect()
     } else {
         let chunk = tasks.len().div_ceil(threads);
-        type TaskSlice<'a> = (usize, &'a [(usize, Vec<String>)]);
+        type TaskSlice<'a> = (usize, &'a [(usize, &'a [String])]);
         let task_slices: Vec<TaskSlice> = tasks
             .chunks(chunk)
             .enumerate()
@@ -350,17 +364,18 @@ pub fn run_job_attempt(
         attempt,
         ..JobMetrics::default()
     };
-    let _ = metrics.local_spill_bytes;
 
     // ---- map-only completion ---------------------------------------------
     if map_only {
         let mut lines = Vec::new();
         let mut out_bytes = 0u64;
         for r in &results {
-            for (_, v) in &r.pairs {
-                let line = encode_line(v);
-                out_bytes += line.len() as u64 + 1;
-                lines.push(line);
+            for (_, seg) in &r.runs {
+                for v in &seg.values {
+                    let line = encode_line(v);
+                    out_bytes += line.len() as u64 + 1;
+                    lines.push(line);
+                }
             }
         }
         let sim_out = out_bytes as f64 * mult;
@@ -378,19 +393,25 @@ pub fn run_job_attempt(
     }
 
     // ---- shuffle ----------------------------------------------------------
-    let mut partitions: Vec<Vec<(Row, Row)>> = vec![Vec::new(); num_reducers];
+    // Map tasks emitted per-partition sorted segments, so the shuffle is
+    // pure *distribution*: whole segments move (Vec pointer copies, no
+    // per-pair work) to the reduce tasks that k-way merge them. Tasks are
+    // consumed in task order, preserving the merge tie-break order.
+    let mut part_runs: Vec<Vec<PartitionRun>> = (0..num_reducers).map(|_| Vec::new()).collect();
     let mut shuffle_sim_bytes = vec![0.0f64; num_reducers];
     let mut shuffle_sim_records = vec![0.0f64; num_reducers];
     for r in results {
-        for (k, v) in r.pairs {
-            let p = partition(&k, num_reducers);
-            shuffle_sim_bytes[p] += (k.size_bytes() + v.size_bytes() + 2) as f64 * r.weight;
-            shuffle_sim_records[p] += r.weight;
-            partitions[p].push((k, v));
+        let weight = r.weight;
+        for (p, seg) in r.runs {
+            let p = p as usize;
+            let mut bytes = 0.0f64;
+            for (k, v) in seg.keys.iter().zip(&seg.values) {
+                bytes += (k.size_bytes() + v.size_bytes() + 2) as f64;
+            }
+            shuffle_sim_bytes[p] += bytes * weight;
+            shuffle_sim_records[p] += seg.keys.len() as f64 * weight;
+            part_runs[p].push(seg);
         }
-    }
-    for p in &mut partitions {
-        p.sort();
     }
     let compress_ratio = cfg.compression.map_or(1.0, |c| c.ratio);
     let decompress_cpu = cfg.compression.map_or(0.0, |c| c.cpu_s_per_gb);
@@ -402,79 +423,88 @@ pub fn run_job_attempt(
     })?;
 
     // ---- reduce phase ------------------------------------------------------
+    // Reduce tasks are independent given the split shuffle segments, so the
+    // real work runs on scoped threads like the map phase; the straggler /
+    // node-loss RNG is seeded per partition index, and all accumulation
+    // below happens in partition order after the join, so results, metrics
+    // and times are identical to the serial path.
     let reducer_factory = spec.reducer.as_ref().expect("non-map-only");
+    let reduce_ctx = ReduceCtx {
+        cfg: &cfg,
+        job_hash,
+        mult,
+        slowdown,
+        compress_ratio,
+        decompress_cpu,
+        nodes_lost,
+        lost_map_frac,
+        nodes,
+        dead: &dead,
+        shuffle_sim_bytes: &shuffle_sim_bytes,
+        shuffle_sim_records: &shuffle_sim_records,
+    };
+    let reduce_threads = exec_threads(&cfg).min(num_reducers.max(1));
+    let reduce_results: Vec<ReduceTaskResult> = if reduce_threads <= 1 || num_reducers < 2 {
+        part_runs
+            .into_iter()
+            .enumerate()
+            .map(|(p, runs)| run_reduce_task(&reduce_ctx, reducer_factory, p, runs))
+            .collect()
+    } else {
+        let chunk = num_reducers.div_ceil(reduce_threads);
+        let task_slices: Vec<(usize, Vec<Vec<PartitionRun>>)> = {
+            let mut slices = Vec::new();
+            let mut base = 0;
+            let mut iter = part_runs.into_iter();
+            while base < num_reducers {
+                let take: Vec<Vec<PartitionRun>> = iter.by_ref().take(chunk).collect();
+                if take.is_empty() {
+                    break;
+                }
+                let len = take.len();
+                slices.push((base, take));
+                base += len;
+            }
+            slices
+        };
+        let ctx_ref = &reduce_ctx;
+        let chunk_results: Vec<Vec<ReduceTaskResult>> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = task_slices
+                .into_iter()
+                .map(|(base, slice)| {
+                    scope.spawn(move |_| {
+                        slice
+                            .into_iter()
+                            .enumerate()
+                            .map(|(off, runs)| {
+                                run_reduce_task(ctx_ref, reducer_factory, base + off, runs)
+                            })
+                            .collect()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("reduce task thread panicked"))
+                .collect()
+        })
+        .expect("crossbeam scope");
+        chunk_results.into_iter().flatten().collect()
+    };
+
     let mut reduce_speculative = 0usize;
     let mut reduce_spec_slot_s = 0.0f64;
     let mut reduce_times: Vec<f64> = Vec::with_capacity(num_reducers);
     let mut all_lines: Vec<String> = Vec::new();
     let mut out_bytes = 0u64;
-    for (p, pairs) in partitions.into_iter().enumerate() {
-        let mut reducer = reducer_factory();
-        let mut out = ReduceOutput::default();
-        let real_records = pairs.len() as f64;
-        let mut i = 0;
-        while i < pairs.len() {
-            let mut j = i + 1;
-            while j < pairs.len() && pairs[j].0 == pairs[i].0 {
-                j += 1;
-            }
-            let values: Vec<Row> = pairs[i..j].iter().map(|(_, v)| v.clone()).collect();
-            reducer.reduce(&pairs[i].0, &values, &mut out);
-            i = j;
-        }
-        let reduce_work = out.work();
-        let lines = out.into_lines();
-        let task_out_bytes: u64 = lines.iter().map(|l| l.len() as u64 + 1).sum();
-        out_bytes += task_out_bytes;
-
-        let sim_in = shuffle_sim_bytes[p] * compress_ratio;
-        let sim_raw_in = shuffle_sim_bytes[p];
-        let sim_records = shuffle_sim_records[p];
-        // Reduce-side work units scale with the same per-pair weights.
-        let work_scale = if real_records > 0.0 {
-            sim_records / real_records
-        } else {
-            0.0
-        };
-        let fetch_s = cfg.net_seconds(sim_in) * (1.0 - cfg.shuffle_overlap);
-        let merge_s = cfg.disk_seconds(sim_in) + sim_raw_in / 1e9 * decompress_cpu;
-        let cpu_s = (sim_records * cfg.reduce_cpu_us_per_record
-            + reduce_work as f64 * work_scale * cfg.work_cpu_us)
-            / 1e6;
-        let sim_out = task_out_bytes as f64 * mult;
-        let write_s = cfg.net_seconds(sim_out * f64::from(cfg.replication));
-        let mut reduce_time = (cfg.task_startup_s + fetch_s + merge_s + cpu_s + write_s) * slowdown;
-        if let Some(model) = cfg.stragglers {
-            const SPLITMIX: u64 = 0x9E37_79B9_7F4A_7C15;
-            let mut rng = StdRng::seed_from_u64(
-                model.seed ^ job_hash ^ (p as u64 + 0x5151).wrapping_mul(SPLITMIX),
-            );
-            if rng.gen::<f64>() < model.probability {
-                let slowed = reduce_time * model.slowdown.max(1.0);
-                reduce_time = if model.speculative {
-                    reduce_speculative += 1;
-                    let capped = slowed.min(reduce_time * 1.2);
-                    reduce_spec_slot_s += capped;
-                    capped
-                } else {
-                    slowed
-                };
-            }
-        }
-        if nodes_lost > 0 {
-            // Re-executed mappers' share of this partition is fetched again,
-            // after the map phase — no overlap discount.
-            reduce_time += cfg.net_seconds(sim_in * lost_map_frac);
-            if dead[p % nodes] {
-                // The reducer itself sat on a dead node: its first run is
-                // wasted and it restarts on a survivor.
-                wasted_s += reduce_time;
-                reexecuted_tasks += 1;
-                reduce_time *= 2.0;
-            }
-        }
-        reduce_times.push(reduce_time);
-        all_lines.extend(lines);
+    for r in reduce_results {
+        reduce_speculative += r.speculative;
+        reduce_spec_slot_s += r.spec_slot_s;
+        wasted_s += r.wasted_s;
+        reexecuted_tasks += r.reexecuted;
+        out_bytes += r.out_bytes;
+        reduce_times.push(r.time_s);
+        all_lines.extend(r.lines);
     }
     let reduce_slots = if nodes_lost > 0 {
         cfg.surviving_reduce_slots(nodes - nodes_lost)
@@ -527,53 +557,105 @@ fn run_map_task(
     let input = &spec.inputs[input_idx];
     let mut mapper = (input.mapper)();
     let mut out = MapOutput::default();
+    // One pair per line at most — reserve once, never regrow mid-task.
+    out.reserve(lines.len());
     let mut in_bytes = 0u64;
     for line in lines {
         in_bytes += line.len() as u64 + 1;
         mapper.map(line, &mut out);
     }
     let map_work = out.work();
-    let mut pairs = out.into_pairs();
-    let out_records = pairs.len() as u64;
-    // Sort by (partition, key, value) — Hadoop's sort-based shuffle.
+    let (mut keys, mut values) = out.into_columns();
+    let out_records = keys.len() as u64;
+    // Sort the run by (partition, key, value) — Hadoop's sort-based
+    // shuffle — then cut it into per-partition segments straight off the
+    // sorted permutation. Each key is hashed to its partition once (not
+    // once per comparison) and each pair is moved exactly once; the
+    // shuffle later hands whole segments to reduce tasks without
+    // re-splitting anything.
+    let mut runs: Vec<(u32, PartitionRun)> = Vec::new();
     if !map_only {
-        pairs.sort_by(|a, b| {
-            let pa = partition(&a.0, num_reducers);
-            let pb = partition(&b.0, num_reducers);
-            pa.cmp(&pb).then_with(|| a.cmp(b))
+        let parts: Vec<u32> = keys
+            .iter()
+            .map(|k| partition(k, num_reducers) as u32)
+            .collect();
+        let mut idx: Vec<u32> = (0..keys.len() as u32).collect();
+        // Unstable is safe: ties are fully equal (partition, key, value)
+        // triples, so any ordering of them yields the same run.
+        idx.sort_unstable_by(|&a, &b| {
+            let (a, b) = (a as usize, b as usize);
+            parts[a]
+                .cmp(&parts[b])
+                .then_with(|| (&keys[a], &values[a]).cmp(&(&keys[b], &values[b])))
         });
+        let mut start = 0usize;
+        while start < idx.len() {
+            let p = parts[idx[start] as usize];
+            let mut end = start + 1;
+            while end < idx.len() && parts[idx[end] as usize] == p {
+                end += 1;
+            }
+            let mut seg = PartitionRun {
+                keys: Vec::with_capacity(end - start),
+                values: Vec::with_capacity(end - start),
+            };
+            for &i in &idx[start..end] {
+                let i = i as usize;
+                seg.keys.push(std::mem::take(&mut keys[i]));
+                seg.values.push(std::mem::take(&mut values[i]));
+            }
+            runs.push((p, seg));
+            start = end;
+        }
+    } else {
+        // Map-only output is written as-is; keep it as one pseudo-segment.
+        runs.push((0, PartitionRun { keys, values }));
     }
-    let raw_out_bytes: u64 = pairs
-        .iter()
-        .map(|(k, v)| (k.size_bytes() + v.size_bytes() + 2) as u64)
-        .sum();
-    // Combiner per key group.
+    let pair_bytes = |(k, v): (&Row, &Row)| -> u64 { (k.size_bytes() + v.size_bytes() + 2) as u64 };
+    let seg_bytes =
+        |seg: &PartitionRun| -> u64 { seg.keys.iter().zip(&seg.values).map(pair_bytes).sum() };
+    let raw_out_bytes: u64 = runs.iter().map(|(_, seg)| seg_bytes(seg)).sum();
+    // Combiner per key group — groups are contiguous borrowed slices of the
+    // sorted value column; only the combiner's (usually single) output rows
+    // are materialised, and the group key is moved, not cloned, into the
+    // last of them.
     let mut combined_bytes = raw_out_bytes;
     if let (Some(cf), false) = (&spec.combiner, map_only) {
         let mut combiner = cf();
-        let mut new_pairs: Vec<(Row, Row)> = Vec::new();
-        let mut i = 0;
-        while i < pairs.len() {
-            let mut j = i + 1;
-            while j < pairs.len() && pairs[j].0 == pairs[i].0 {
-                j += 1;
+        combined_bytes = 0;
+        for (_, seg) in &mut runs {
+            let mut new_keys: Vec<Row> = Vec::new();
+            let mut new_values: Vec<Row> = Vec::new();
+            let mut i = 0;
+            while i < seg.keys.len() {
+                let mut j = i + 1;
+                while j < seg.keys.len() && seg.keys[j] == seg.keys[i] {
+                    j += 1;
+                }
+                let mut combined = combiner.combine(&seg.keys[i], &seg.values[i..j]);
+                // Keep the run sorted within the key group, as the shuffle
+                // merge requires of its inputs.
+                combined.sort();
+                let n = combined.len();
+                for (m, v) in combined.into_iter().enumerate() {
+                    new_keys.push(if m + 1 == n {
+                        std::mem::take(&mut seg.keys[i])
+                    } else {
+                        seg.keys[i].clone()
+                    });
+                    new_values.push(v);
+                }
+                i = j;
             }
-            let key = pairs[i].0.clone();
-            let values: Vec<Row> = pairs[i..j].iter().map(|(_, v)| v.clone()).collect();
-            for v in combiner.combine(&key, &values) {
-                new_pairs.push((key.clone(), v));
-            }
-            i = j;
+            seg.keys = new_keys;
+            seg.values = new_values;
+            combined_bytes += seg_bytes(seg);
         }
-        pairs = new_pairs;
-        combined_bytes = pairs
-            .iter()
-            .map(|(k, v)| (k.size_bytes() + v.size_bytes() + 2) as u64)
-            .sum();
     }
 
     // Cardinality-bounded combiner output does not scale with volume.
-    let weight = if spec.combiner.is_some() && pairs.len() <= 4 {
+    let total_pairs: usize = runs.iter().map(|(_, seg)| seg.keys.len()).sum();
+    let weight = if spec.combiner.is_some() && total_pairs <= 4 {
         1.0
     } else {
         mult
@@ -646,7 +728,7 @@ fn run_map_task(
     }
 
     MapTaskResult {
-        pairs,
+        runs,
         speculative,
         spec_slot_s,
         fatal,
@@ -659,9 +741,227 @@ fn run_map_task(
     }
 }
 
+/// One partition's contiguous segment of one map task's sorted run —
+/// parallel key/value columns, sorted by `(key, value)`.
+struct PartitionRun {
+    keys: Vec<Row>,
+    values: Vec<Row>,
+}
+
+/// Read-only context shared by every reduce task of one job attempt.
+struct ReduceCtx<'a> {
+    cfg: &'a ClusterConfig,
+    job_hash: u64,
+    mult: f64,
+    slowdown: f64,
+    compress_ratio: f64,
+    decompress_cpu: f64,
+    nodes_lost: usize,
+    lost_map_frac: f64,
+    nodes: usize,
+    dead: &'a [bool],
+    shuffle_sim_bytes: &'a [f64],
+    shuffle_sim_records: &'a [f64],
+}
+
+/// Internal per-reduce-task result.
+struct ReduceTaskResult {
+    time_s: f64,
+    lines: Vec<String>,
+    out_bytes: u64,
+    speculative: usize,
+    spec_slot_s: f64,
+    /// Simulated seconds wasted because this reducer's node died.
+    wasted_s: f64,
+    /// 1 when this reducer re-executed after a node death.
+    reexecuted: usize,
+}
+
+/// K-way merge of per-task sorted runs into one sorted pair of key/value
+/// columns. Equal `(key, value)` pairs are taken from the lowest run (task)
+/// index first — exactly the order the previous global stable sort
+/// produced — so key groups reach the reducer in an order independent of
+/// how the merge is scheduled.
+fn merge_runs(mut runs: Vec<PartitionRun>) -> (Vec<Row>, Vec<Row>) {
+    runs.retain(|r| !r.keys.is_empty());
+    if runs.len() <= 1 {
+        return runs
+            .pop()
+            .map_or((Vec::new(), Vec::new()), |r| (r.keys, r.values));
+    }
+    // Tournament merge over a min-heap of run heads: every pair is moved
+    // exactly once, with O(log k) comparisons per pop — the run index in
+    // the heap order breaks ties toward the earliest task.
+    let total = runs.iter().map(|r| r.keys.len()).sum();
+    let mut keys = Vec::with_capacity(total);
+    let mut values = Vec::with_capacity(total);
+    let mut pos = vec![0usize; runs.len()];
+    let mut heap = BinaryHeap::with_capacity(runs.len());
+    for (i, r) in runs.iter_mut().enumerate() {
+        heap.push(MergeHead {
+            key: std::mem::take(&mut r.keys[0]),
+            value: std::mem::take(&mut r.values[0]),
+            run: i as u32,
+        });
+        pos[i] = 1;
+    }
+    while let Some(MergeHead { key, value, run }) = heap.pop() {
+        keys.push(key);
+        values.push(value);
+        let r = &mut runs[run as usize];
+        let p = pos[run as usize];
+        if p < r.keys.len() {
+            pos[run as usize] = p + 1;
+            heap.push(MergeHead {
+                key: std::mem::take(&mut r.keys[p]),
+                value: std::mem::take(&mut r.values[p]),
+                run,
+            });
+        }
+    }
+    (keys, values)
+}
+
+/// One run's current head inside the merge heap. The `Ord` impl is
+/// *reversed* (`BinaryHeap` is a max-heap) so the smallest
+/// `(key, value, run)` triple pops first: equal pairs surface in task
+/// order, exactly like the global stable sort the merge replaced.
+struct MergeHead {
+    key: Row,
+    value: Row,
+    run: u32,
+}
+
+impl PartialEq for MergeHead {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+
+impl Eq for MergeHead {}
+
+impl PartialOrd for MergeHead {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for MergeHead {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (&other.key, &other.value, other.run).cmp(&(&self.key, &self.value, self.run))
+    }
+}
+
+/// Runs one reduce task: merges its shuffle segments, streams each key
+/// group through a fresh reducer as a borrowed slice of the merged value
+/// column, and charges the task's simulated cost. Straggler and node-loss
+/// randomness is seeded per partition index, so times are identical
+/// however tasks are scheduled onto threads.
+fn run_reduce_task(
+    ctx: &ReduceCtx<'_>,
+    reducer_factory: &crate::job::ReducerFactory,
+    p: usize,
+    runs: Vec<PartitionRun>,
+) -> ReduceTaskResult {
+    let cfg = ctx.cfg;
+    let (keys, values) = merge_runs(runs);
+    let mut reducer = reducer_factory();
+    let mut out = ReduceOutput::default();
+    let real_records = keys.len() as f64;
+    let mut i = 0;
+    while i < keys.len() {
+        let mut j = i + 1;
+        while j < keys.len() && keys[j] == keys[i] {
+            j += 1;
+        }
+        reducer.reduce(&keys[i], &values[i..j], &mut out);
+        i = j;
+    }
+    let reduce_work = out.work();
+    let lines = out.into_lines();
+    let out_bytes: u64 = lines.iter().map(|l| l.len() as u64 + 1).sum();
+
+    let sim_in = ctx.shuffle_sim_bytes[p] * ctx.compress_ratio;
+    let sim_raw_in = ctx.shuffle_sim_bytes[p];
+    let sim_records = ctx.shuffle_sim_records[p];
+    // Reduce-side work units scale with the same per-pair weights.
+    let work_scale = if real_records > 0.0 {
+        sim_records / real_records
+    } else {
+        0.0
+    };
+    let fetch_s = cfg.net_seconds(sim_in) * (1.0 - cfg.shuffle_overlap);
+    let merge_s = cfg.disk_seconds(sim_in) + sim_raw_in / 1e9 * ctx.decompress_cpu;
+    let cpu_s = (sim_records * cfg.reduce_cpu_us_per_record
+        + reduce_work as f64 * work_scale * cfg.work_cpu_us)
+        / 1e6;
+    let sim_out = out_bytes as f64 * ctx.mult;
+    let write_s = cfg.net_seconds(sim_out * f64::from(cfg.replication));
+    let mut time_s = (cfg.task_startup_s + fetch_s + merge_s + cpu_s + write_s) * ctx.slowdown;
+    let mut speculative = 0usize;
+    let mut spec_slot_s = 0.0f64;
+    if let Some(model) = cfg.stragglers {
+        const SPLITMIX: u64 = 0x9E37_79B9_7F4A_7C15;
+        let mut rng = StdRng::seed_from_u64(
+            model.seed ^ ctx.job_hash ^ (p as u64 + 0x5151).wrapping_mul(SPLITMIX),
+        );
+        if rng.gen::<f64>() < model.probability {
+            let slowed = time_s * model.slowdown.max(1.0);
+            time_s = if model.speculative {
+                speculative = 1;
+                let capped = slowed.min(time_s * 1.2);
+                spec_slot_s = capped;
+                capped
+            } else {
+                slowed
+            };
+        }
+    }
+    let mut wasted_s = 0.0f64;
+    let mut reexecuted = 0usize;
+    if ctx.nodes_lost > 0 {
+        // Re-executed mappers' share of this partition is fetched again,
+        // after the map phase — no overlap discount.
+        time_s += cfg.net_seconds(sim_in * ctx.lost_map_frac);
+        if ctx.dead[p % ctx.nodes] {
+            // The reducer itself sat on a dead node: its first run is
+            // wasted and it restarts on a survivor.
+            wasted_s = time_s;
+            reexecuted = 1;
+            time_s *= 2.0;
+        }
+    }
+    ReduceTaskResult {
+        time_s,
+        lines,
+        out_bytes,
+        speculative,
+        spec_slot_s,
+        wasted_s,
+        reexecuted,
+    }
+}
+
+/// Real OS threads used for task execution: the
+/// [`ClusterConfig::exec_threads`] override, or every available core.
+fn exec_threads(cfg: &ClusterConfig) -> usize {
+    // `available_parallelism` reads /sys on Linux — cache it, this runs
+    // twice per job.
+    static CORES: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    cfg.exec_threads
+        .unwrap_or_else(|| {
+            *CORES.get_or_init(|| {
+                std::thread::available_parallelism()
+                    .map(std::num::NonZeroUsize::get)
+                    .unwrap_or(1)
+            })
+        })
+        .max(1)
+}
+
 /// Whether input `idx` has produced no task yet (empty files still get one
 /// task so their output path exists).
-fn file_is_empty_input(tasks: &[(usize, Vec<String>)], idx: usize) -> bool {
+fn file_is_empty_input(tasks: &[(usize, &[String])], idx: usize) -> bool {
     !tasks.iter().any(|(i, _)| *i == idx)
 }
 

@@ -12,16 +12,31 @@
 use ysmart_rel::Row;
 
 /// Key/value pairs emitted by a mapper, with byte and work accounting.
+///
+/// Keys and values live in *parallel vectors* rather than a `Vec<(Row,
+/// Row)>`: after the map-side sort a key group's values are a contiguous
+/// `&[Row]` slice, so [`Reducer::reduce`] and [`Combiner::combine`] receive
+/// borrowed group slices without any per-group cloning.
 #[derive(Debug, Default)]
 pub struct MapOutput {
-    pairs: Vec<(Row, Row)>,
+    keys: Vec<Row>,
+    values: Vec<Row>,
     work: u64,
 }
 
 impl MapOutput {
+    /// Pre-reserves room for `additional` more pairs. The engine calls
+    /// this with the task's line count (a mapper emits at most one pair
+    /// per input line), so the parallel vectors never regrow mid-task.
+    pub fn reserve(&mut self, additional: usize) {
+        self.keys.reserve(additional);
+        self.values.reserve(additional);
+    }
+
     /// Emits one key/value pair.
     pub fn emit(&mut self, key: Row, value: Row) {
-        self.pairs.push((key, value));
+        self.keys.push(key);
+        self.values.push(value);
     }
 
     /// Charges extra CPU work units (≈ one record operation each) beyond
@@ -37,16 +52,34 @@ impl MapOutput {
         self.work
     }
 
-    /// The pairs emitted so far.
+    /// Number of pairs emitted so far.
     #[must_use]
-    pub fn pairs(&self) -> &[(Row, Row)] {
-        &self.pairs
+    pub fn len(&self) -> usize {
+        self.keys.len()
     }
 
-    /// Consumes the buffer.
+    /// Whether nothing has been emitted.
     #[must_use]
-    pub fn into_pairs(self) -> Vec<(Row, Row)> {
-        self.pairs
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// The keys emitted so far, parallel to [`MapOutput::values`].
+    #[must_use]
+    pub fn keys(&self) -> &[Row] {
+        &self.keys
+    }
+
+    /// The values emitted so far, parallel to [`MapOutput::keys`].
+    #[must_use]
+    pub fn values(&self) -> &[Row] {
+        &self.values
+    }
+
+    /// Consumes the buffer into its parallel key/value columns.
+    #[must_use]
+    pub fn into_columns(self) -> (Vec<Row>, Vec<Row>) {
+        (self.keys, self.values)
     }
 }
 
@@ -296,10 +329,15 @@ mod tests {
     #[test]
     fn map_output_accumulates() {
         let mut out = MapOutput::default();
+        assert!(out.is_empty());
         out.emit(row![1i64], row!["a"]);
         out.emit(row![2i64], row!["b"]);
-        assert_eq!(out.pairs().len(), 2);
-        assert_eq!(out.into_pairs().len(), 2);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out.keys(), &[row![1i64], row![2i64]]);
+        assert_eq!(out.values(), &[row!["a"], row!["b"]]);
+        let (keys, values) = out.into_columns();
+        assert_eq!(keys.len(), 2);
+        assert_eq!(values.len(), 2);
     }
 
     #[test]

@@ -24,16 +24,50 @@ pub const SEPARATOR: char = '|';
 #[must_use]
 pub fn encode_line(row: &Row) -> String {
     let mut out = String::new();
+    encode_line_into(row, &mut out);
+    out
+}
+
+/// Appends a row's `|`-separated encoding to an existing buffer — lets
+/// callers prefix a tag (or reuse an allocation) without a second pass.
+pub fn encode_line_into(row: &Row, out: &mut String) {
+    use std::fmt::Write as _;
     for (i, v) in row.values().iter().enumerate() {
         if i > 0 {
             out.push(SEPARATOR);
         }
+        // Int/Str/Bool bypass the `Formatter` machinery; Float keeps the
+        // `Display` logic so the textual form (and round-trip) is unchanged.
         match v {
             Value::Null => {}
-            other => out.push_str(&other.to_string()),
+            Value::Str(s) => out.push_str(s),
+            Value::Int(n) => push_i64(out, *n),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            other @ Value::Float(_) => write!(out, "{other}").expect("write to String"),
         }
     }
-    out
+}
+
+/// Appends an `i64` in decimal without going through `core::fmt`.
+fn push_i64(out: &mut String, v: i64) {
+    // 20 bytes covers `-9223372036854775808`.
+    let mut buf = [0u8; 20];
+    let mut pos = buf.len();
+    // Work in the negative domain so `i64::MIN` needs no special case.
+    let mut n = if v > 0 { -v } else { v };
+    loop {
+        pos -= 1;
+        buf[pos] = b'0' + (-(n % 10)) as u8;
+        n /= 10;
+        if n == 0 {
+            break;
+        }
+    }
+    if v < 0 {
+        pos -= 1;
+        buf[pos] = b'-';
+    }
+    out.push_str(std::str::from_utf8(&buf[pos..]).expect("ascii digits"));
 }
 
 /// Decodes a `|`-separated line into a row, typed by `schema`.
@@ -44,16 +78,55 @@ pub fn encode_line(row: &Row) -> String {
 /// schema width; [`RelError::Decode`] when a field cannot be parsed as its
 /// declared type.
 pub fn decode_line(line: &str, schema: &Schema) -> Result<Row, RelError> {
-    let parts: Vec<&str> = line.split(SEPARATOR).collect();
-    if parts.len() != schema.len() {
-        return Err(RelError::FieldCount {
-            expected: schema.len(),
-            found: parts.len(),
+    // Stream the split directly — no intermediate Vec<&str> per line.
+    let mut fields = line.split(SEPARATOR);
+    let mut values = Vec::with_capacity(schema.len());
+    let field_count_err = |found: usize| RelError::FieldCount {
+        expected: schema.len(),
+        found,
+    };
+    for field in schema.fields() {
+        let text = fields.next().ok_or_else(|| field_count_err(values.len()))?;
+        values.push(decode_field(text, field.data_type)?);
+    }
+    let extra = fields.count();
+    if extra > 0 {
+        return Err(field_count_err(schema.len() + extra));
+    }
+    Ok(Row::new(values))
+}
+
+/// Decodes a line like [`decode_line`], but parses only the fields marked
+/// in `needed`; the rest become NULL placeholders so the row keeps its
+/// schema width (and column indices) without paying for values no operator
+/// reads. The field count is still validated against the schema.
+///
+/// # Errors
+///
+/// As [`decode_line`], except parse errors in unneeded fields go
+/// undetected (they are never parsed).
+pub fn decode_line_projected(
+    line: &str,
+    schema: &Schema,
+    needed: &[bool],
+) -> Result<Row, RelError> {
+    let mut fields = line.split(SEPARATOR);
+    let mut values = Vec::with_capacity(schema.len());
+    let field_count_err = |found: usize| RelError::FieldCount {
+        expected: schema.len(),
+        found,
+    };
+    for (i, field) in schema.fields().iter().enumerate() {
+        let text = fields.next().ok_or_else(|| field_count_err(values.len()))?;
+        values.push(if needed.get(i).copied().unwrap_or(true) {
+            decode_field(text, field.data_type)?
+        } else {
+            Value::Null
         });
     }
-    let mut values = Vec::with_capacity(parts.len());
-    for (text, field) in parts.iter().zip(schema.fields()) {
-        values.push(decode_field(text, field.data_type)?);
+    let extra = fields.count();
+    if extra > 0 {
+        return Err(field_count_err(schema.len() + extra));
     }
     Ok(Row::new(values))
 }
@@ -152,5 +225,12 @@ mod tests {
     #[test]
     fn bad_bool() {
         assert!(decode_field("yes", DataType::Bool).is_err());
+    }
+
+    #[test]
+    fn int_encoding_extremes() {
+        for n in [0i64, -1, 1, 42, -42, i64::MAX, i64::MIN] {
+            assert_eq!(encode_line(&row![n]), n.to_string());
+        }
     }
 }

@@ -6,6 +6,7 @@
 //! `AND`/`OR` follow Kleene logic, and a predicate only passes when it
 //! evaluates to definite `true`.
 
+use std::borrow::Cow;
 use std::fmt;
 
 use crate::error::RelError;
@@ -186,23 +187,30 @@ impl Expr {
     /// Propagates type mismatches, out-of-bounds columns and division by
     /// zero from the value layer.
     pub fn eval(&self, row: &Row) -> Result<Value, RelError> {
+        self.eval_cow(row).map(Cow::into_owned)
+    }
+
+    /// The borrowing evaluator behind [`Expr::eval`]: column references and
+    /// literals are returned as borrows, so a comparison like `#2 = 'F'`
+    /// never clones the operand strings. Only computed results are owned.
+    fn eval_cow<'a>(&'a self, row: &'a Row) -> Result<Cow<'a, Value>, RelError> {
         match self {
-            Expr::Column(i) => row.get(*i).cloned(),
-            Expr::Literal(v) => Ok(v.clone()),
+            Expr::Column(i) => row.get(*i).map(Cow::Borrowed),
+            Expr::Literal(v) => Ok(Cow::Borrowed(v)),
             Expr::Binary { op, lhs, rhs } => {
-                let l = lhs.eval(row)?;
+                let l = lhs.eval_cow(row)?;
                 // Kleene AND/OR can short-circuit on a definite side.
                 match op {
-                    BinOp::And | BinOp::Or => eval_logic(*op, &l, || rhs.eval(row)),
+                    BinOp::And | BinOp::Or => eval_logic(*op, &l, || rhs.eval(row)).map(Cow::Owned),
                     _ => {
-                        let r = rhs.eval(row)?;
-                        eval_binary(*op, &l, &r)
+                        let r = rhs.eval_cow(row)?;
+                        eval_binary(*op, &l, &r).map(Cow::Owned)
                     }
                 }
             }
             Expr::Unary { op, operand } => {
-                let v = operand.eval(row)?;
-                eval_unary(*op, &v)
+                let v = operand.eval_cow(row)?;
+                eval_unary(*op, &v).map(Cow::Owned)
             }
         }
     }
@@ -210,7 +218,21 @@ impl Expr {
     /// Evaluates the expression as a predicate: `true` only on definite SQL
     /// `TRUE` (NULL/unknown does not pass, per SQL semantics).
     pub fn eval_predicate(&self, row: &Row) -> Result<bool, RelError> {
-        Ok(self.eval(row)?.as_bool().unwrap_or(false))
+        Ok(self.eval_cow(row)?.as_bool().unwrap_or(false))
+    }
+
+    /// Calls `f` with every column index the expression references — how
+    /// executors compute the columns a record scan actually needs.
+    pub fn for_each_column(&self, f: &mut impl FnMut(usize)) {
+        match self {
+            Expr::Column(i) => f(*i),
+            Expr::Literal(_) => {}
+            Expr::Binary { lhs, rhs, .. } => {
+                lhs.for_each_column(f);
+                rhs.for_each_column(f);
+            }
+            Expr::Unary { operand, .. } => operand.for_each_column(f),
+        }
     }
 
     /// All column indexes referenced by the expression.

@@ -64,8 +64,9 @@ impl Row {
     /// Concatenates two rows (join output).
     #[must_use]
     pub fn concat(&self, other: &Row) -> Row {
-        let mut values = self.values.clone();
-        values.extend(other.values.iter().cloned());
+        let mut values = Vec::with_capacity(self.values.len() + other.values.len());
+        values.extend_from_slice(&self.values);
+        values.extend_from_slice(&other.values);
         Row { values }
     }
 

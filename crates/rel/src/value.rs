@@ -290,7 +290,15 @@ impl fmt::Display for Value {
             Value::Int(i) => write!(f, "{i}"),
             Value::Float(x) => {
                 if x.fract() == 0.0 && x.abs() < 1e15 {
-                    write!(f, "{x:.1}")
+                    // Same text as `{x:.1}`, but through the integer
+                    // formatter — fixed-precision float formatting takes
+                    // the exact (Dragon4) path, which dwarfs everything
+                    // else when most aggregates are whole numbers.
+                    if x.is_sign_negative() && *x == 0.0 {
+                        f.write_str("-0.0")
+                    } else {
+                        write!(f, "{}.0", *x as i64)
+                    }
                 } else {
                     write!(f, "{x}")
                 }
