@@ -11,7 +11,9 @@
 //!
 //! Every run is verified against the relational oracle: faults may change
 //! simulated time, never answers. Results are averaged over seeds and
-//! written to `results/faults.txt`.
+//! written to `results/faults.txt`. Pass `--smoke` for a reduced sweep
+//! (CI-sized: fewer rates/seeds, smaller scale) that still verifies every
+//! run against the oracle.
 
 use ysmart_bench::{execute_verified, fmt_secs};
 use ysmart_core::{FaultOptions, Strategy, YSmart};
@@ -20,6 +22,7 @@ use ysmart_mapred::{ClusterConfig, RetryPolicy};
 use ysmart_queries::clicks_workloads;
 
 const RATES: [f64; 4] = [0.0, 0.1, 0.25, 0.5];
+const SMOKE_RATES: [f64; 2] = [0.0, 0.25];
 const SEEDS: u64 = 5;
 const TARGET_GB: f64 = 10.0;
 
@@ -32,6 +35,12 @@ struct Cell {
 }
 
 fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (rates, seeds, target_gb): (&[f64], u64, f64) = if smoke {
+        (&SMOKE_RATES, 2, 1.0)
+    } else {
+        (&RATES, SEEDS, TARGET_GB)
+    };
     let mut report = String::new();
     let mut emit = |line: &str| {
         println!("{line}");
@@ -41,7 +50,7 @@ fn main() {
 
     emit("=== Recovery cost under node failures (not in the paper) ===");
     emit(&format!(
-        "q-csa, {TARGET_GB} GB, 11-node EC2 cluster; averages over {SEEDS} seeds"
+        "q-csa, {target_gb} GB, 11-node EC2 cluster; averages over {seeds} seeds"
     ));
 
     let clicks = clicks_workloads(&ClicksSpec {
@@ -64,7 +73,7 @@ fn main() {
         emit(&format!("--- {sys} ({jobs} jobs) ---"));
         emit("  p(node dies)      total   recovery  retries  re-exec  nodes lost");
         let mut baseline = None;
-        for rate in RATES {
+        for rate in rates.iter().copied() {
             let mut acc = Cell {
                 total_s: 0.0,
                 recovery_s: 0.0,
@@ -72,7 +81,7 @@ fn main() {
                 reexecuted: 0,
                 nodes_lost: 0,
             };
-            for seed in 0..SEEDS {
+            for seed in 0..seeds {
                 let mut config = ClusterConfig::ec2(10);
                 let mut faults = if rate > 0.0 {
                     FaultOptions::injected(rate, seed)
@@ -87,18 +96,19 @@ fn main() {
                         max_retries: 24,
                         backoff_base_s: 10.0,
                         backoff_factor: 1.5,
+                        ..RetryPolicy::default()
                     });
                 }
                 faults.apply(&mut config);
                 let out =
-                    execute_verified(w, strategy, &config, TARGET_GB).expect("verified execution");
+                    execute_verified(w, strategy, &config, target_gb).expect("verified execution");
                 acc.total_s += out.total_s();
                 acc.recovery_s += out.metrics.recovery_s();
                 acc.retries += out.metrics.retries;
                 acc.reexecuted += out.metrics.total_reexecuted_tasks();
                 acc.nodes_lost += out.metrics.jobs.iter().map(|j| j.nodes_lost).sum::<usize>();
             }
-            let n = SEEDS as f64;
+            let n = seeds as f64;
             let overhead = baseline
                 .map(|b: f64| {
                     format!(

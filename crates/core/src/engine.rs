@@ -197,7 +197,8 @@ impl YSmart {
         for bp in &translation.blueprints {
             chain.push(bp.to_jobspec()?);
         }
-        let outcome = run_chain(&mut self.cluster, &chain)?;
+        let outcome =
+            run_chain(&mut self.cluster, &chain).map_err(ysmart_mapred::MapRedError::from)?;
         let mut queries_out = Vec::with_capacity(translation.outputs.len());
         for loc in &translation.outputs {
             let lines = self.cluster.hdfs.get(&loc.path)?.lines.clone();
@@ -234,7 +235,8 @@ impl YSmart {
         for bp in &translation.blueprints {
             chain.push(bp.to_jobspec()?);
         }
-        let outcome = run_chain(&mut self.cluster, &chain)?;
+        let outcome =
+            run_chain(&mut self.cluster, &chain).map_err(ysmart_mapred::MapRedError::from)?;
         // Decode straight off the in-HDFS lines — no clone of the output.
         let file = self.cluster.hdfs.get(&translation.output_path)?;
         let mut rows = Vec::with_capacity(file.lines.len());

@@ -12,7 +12,11 @@
 //!
 //! Evaluation errors abort the job through a panic carrying the expression
 //! error; the workloads are typed by the planner, so this is a programming
-//! error rather than a data error.
+//! error rather than a data error. *Decode* errors are a data problem —
+//! torn or corrupted records — so they are counted via
+//! [`MapOutput::record_bad`] and the record is skipped, mirroring Hadoop's
+//! skipping mode; the engine enforces the
+//! `ClusterConfig::skip_bad_records` budget.
 
 use std::sync::Arc;
 
@@ -157,7 +161,13 @@ impl Mapper for CommonMapper {
         };
         let row = match row {
             Ok(r) => r,
-            Err(e) => panic!("undecodable record for {}: {e}", self.blueprint.name),
+            // A record that won't decode is corrupt input, not a planner
+            // bug: count it and move on (the engine enforces the
+            // skip-budget and fails the job past it).
+            Err(_) => {
+                out.record_bad();
+                return;
+            }
         };
         // Evaluate each branch's selection; charge one work unit per
         // branch beyond the first (the shared-scan overhead).
@@ -433,8 +443,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "undecodable record")]
-    fn bad_record_panics() {
+    fn bad_record_is_counted_and_skipped() {
         let bp = blueprint(
             vec![MapBranch {
                 stream: 0,
@@ -445,5 +454,8 @@ mod tests {
         let mut m = CommonMapper::new(bp, 0);
         let mut out = MapOutput::default();
         m.map("not-a-number|x", &mut out);
+        m.map("7|42", &mut out);
+        assert_eq!(out.bad_records(), 1, "torn record counted, not fatal");
+        assert_eq!(out.len(), 1, "good record still processed");
     }
 }

@@ -61,17 +61,52 @@ pub struct ChainOutcome {
     pub final_output: String,
 }
 
+/// A failed chain: the error plus the *partial* metrics of everything that
+/// ran before the failure — completed jobs, retries, backoff waits and
+/// burned failed-attempt time. A chain that dies three jobs in still
+/// reports what those jobs cost.
+#[derive(Debug, Clone)]
+pub struct ChainFailure {
+    /// What stopped the chain.
+    pub error: MapRedError,
+    /// Metrics accumulated up to the failure.
+    pub metrics: ChainMetrics,
+}
+
+impl From<ChainFailure> for MapRedError {
+    fn from(f: ChainFailure) -> Self {
+        f.error
+    }
+}
+
+impl std::fmt::Display for ChainFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "chain failed after {} completed jobs: {}",
+            self.metrics.jobs.len(),
+            self.error
+        )
+    }
+}
+
+impl std::error::Error for ChainFailure {}
+
 /// Whether a failed job attempt is worth retrying: injected faults
-/// ([`MapRedError::TooManyFailures`], [`MapRedError::ClusterLost`]) draw
-/// fresh randomness on the next attempt, and a [`MapRedError::DiskFull`]
-/// cluster may have been cleaned up. Missing inputs, user errors and time
-/// limits are permanent.
-fn retryable(e: &MapRedError) -> bool {
+/// ([`MapRedError::TooManyFailures`], [`MapRedError::ClusterLost`]) and
+/// at-rest corruption ([`MapRedError::CorruptBlock`] — a re-replicated
+/// block re-samples the flip) draw fresh randomness on the next attempt,
+/// and a [`MapRedError::DiskFull`] cluster may have been cleaned up.
+/// Missing inputs, user errors, time limits and over-budget bad records
+/// are permanent.
+#[must_use]
+pub fn retryable(e: &MapRedError) -> bool {
     matches!(
         e,
         MapRedError::TooManyFailures { .. }
             | MapRedError::ClusterLost { .. }
             | MapRedError::DiskFull { .. }
+            | MapRedError::CorruptBlock { .. }
     )
 }
 
@@ -90,10 +125,14 @@ fn retryable(e: &MapRedError) -> bool {
 /// the first failing job (disk full, time limit, missing input, injected
 /// faults) once retries — if any — are exhausted. The chain's cumulative
 /// time, including failed attempts and backoff, is also checked against the
-/// cluster time limit.
-pub fn run_chain(cluster: &mut Cluster, chain: &JobChain) -> Result<ChainOutcome, MapRedError> {
+/// cluster time limit. Failures come wrapped in a [`ChainFailure`] carrying
+/// the partial [`ChainMetrics`] of everything that ran first.
+pub fn run_chain(cluster: &mut Cluster, chain: &JobChain) -> Result<ChainOutcome, ChainFailure> {
     if chain.is_empty() {
-        return Err(MapRedError::EmptyChain);
+        return Err(ChainFailure {
+            error: MapRedError::EmptyChain,
+            metrics: ChainMetrics::default(),
+        });
     }
     let mut metrics = ChainMetrics::default();
     let mut gap_rng = cluster.config.contention.map(|c| {
@@ -130,7 +169,10 @@ pub fn run_chain(cluster: &mut Cluster, chain: &JobChain) -> Result<ChainOutcome
                     .retry
                     .filter(|p| retryable(&fail.error) && attempt < p.max_retries);
                 let Some(policy) = can_retry else {
-                    return Err(fail.error);
+                    return Err(ChainFailure {
+                        error: fail.error,
+                        metrics,
+                    });
                 };
                 let backoff = policy.backoff_s(attempt);
                 metrics.retries += 1;
@@ -143,7 +185,10 @@ pub fn run_chain(cluster: &mut Cluster, chain: &JobChain) -> Result<ChainOutcome
         }
         if let Some(limit) = cluster.config.time_limit_s {
             if elapsed > limit {
-                return Err(MapRedError::TimeLimitExceeded { limit_s: limit });
+                return Err(ChainFailure {
+                    error: MapRedError::TimeLimitExceeded { limit_s: limit },
+                    metrics,
+                });
             }
         }
     }
@@ -235,7 +280,8 @@ mod tests {
     fn empty_chain_is_an_error() {
         let mut c = Cluster::new(ClusterConfig::default());
         let e = run_chain(&mut c, &JobChain::new()).unwrap_err();
-        assert!(matches!(e, MapRedError::EmptyChain));
+        assert!(matches!(e.error, MapRedError::EmptyChain));
+        assert!(e.metrics.jobs.is_empty());
     }
 
     #[test]
@@ -264,7 +310,9 @@ mod tests {
         });
         load(&mut capped);
         let e = run_chain(&mut capped, &two_job_chain()).unwrap_err();
-        assert!(matches!(e, MapRedError::TimeLimitExceeded { .. }));
+        assert!(matches!(e.error, MapRedError::TimeLimitExceeded { .. }));
+        // The partial metrics report what ran before the cap fired.
+        assert!(!e.metrics.jobs.is_empty());
     }
 
     #[test]

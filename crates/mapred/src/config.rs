@@ -97,7 +97,8 @@ pub struct NodeFailureModel {
 
 /// Chain-level retry with exponential backoff. When a job attempt dies with
 /// a retryable error ([`crate::MapRedError::TooManyFailures`],
-/// [`crate::MapRedError::DiskFull`] or [`crate::MapRedError::ClusterLost`]),
+/// [`crate::MapRedError::DiskFull`], [`crate::MapRedError::ClusterLost`] or
+/// [`crate::MapRedError::CorruptBlock`]),
 /// [`crate::chain::run_chain`] waits out the backoff in simulated time and
 /// re-runs *that job only*: outputs of earlier jobs already sit in HDFS, so
 /// the chain recovers from its last checkpoint instead of restarting.
@@ -109,6 +110,10 @@ pub struct RetryPolicy {
     pub backoff_base_s: f64,
     /// Multiplier applied to the backoff after each retry.
     pub backoff_factor: f64,
+    /// Ceiling on any single backoff wait, simulated seconds. Without a cap
+    /// the exponential grows without bound (`30 × 2¹⁰` is already over
+    /// 8 hours) and a long retry series spends its whole budget waiting.
+    pub max_backoff_s: f64,
 }
 
 impl Default for RetryPolicy {
@@ -117,18 +122,90 @@ impl Default for RetryPolicy {
             max_retries: 3,
             backoff_base_s: 30.0,
             backoff_factor: 2.0,
+            max_backoff_s: 600.0,
         }
     }
 }
 
 impl RetryPolicy {
-    /// Backoff charged before retry number `retry` (0-based).
+    /// Backoff charged before retry number `retry` (0-based), capped at
+    /// [`RetryPolicy::max_backoff_s`].
     #[must_use]
     pub fn backoff_s(&self, retry: usize) -> f64 {
-        self.backoff_base_s
+        let raw = self.backoff_base_s
             * self
                 .backoff_factor
-                .powi(i32::try_from(retry).unwrap_or(i32::MAX))
+                .powi(i32::try_from(retry).unwrap_or(i32::MAX));
+        // `raw` can overflow to +inf for large retry indices; the cap also
+        // normalises that case to a finite wait.
+        raw.min(self.max_backoff_s)
+    }
+}
+
+/// Seeded data-corruption injector: unlike every other fault model, this
+/// one perturbs *bytes*, not clocks. Three independent corruption sites
+/// mirror where real Hadoop deployments lose data integrity:
+///
+/// * **blocks at rest** — each replica of each HDFS block read by a map
+///   task is independently corrupted with `block_rate` (a flipped bit on a
+///   disk platter). HDFS-style per-block checksums detect the flip on read
+///   and fail over to the next replica; a block whose every replica is bad
+///   surfaces [`crate::MapRedError::CorruptBlock`].
+/// * **shuffle segments in flight** — each map-output segment fetched by a
+///   reducer is corrupted with `segment_rate` (a bad NIC, a flaky switch).
+///   The reducer's verification catches it and re-fetches with capped
+///   retries; a mapper whose output keeps failing verification is
+///   re-executed.
+/// * **records** — with `record_rate` per input record, a torn/garbled
+///   extra line is injected into the map input (a partially-written append,
+///   a log corruption). Robust mappers count and skip such records under
+///   the [`ClusterConfig::skip_bad_records`] budget.
+///
+/// All draws are seeded per `(job, attempt, site index)`, so runs are
+/// reproducible for any thread count and retried attempts see fresh
+/// randomness (mirroring [`NodeFailureModel`]'s attempt mixing).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CorruptionModel {
+    /// Per-replica, per-block corruption probability in `[0, 1]`.
+    pub block_rate: f64,
+    /// Per-fetch shuffle-segment corruption probability in `[0, 1]`.
+    pub segment_rate: f64,
+    /// Per-record probability of injecting a malformed input line.
+    pub record_rate: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl CorruptionModel {
+    /// A uniform profile: all three sites corrupt at `rate`.
+    #[must_use]
+    pub fn uniform(rate: f64, seed: u64) -> Self {
+        CorruptionModel {
+            block_rate: rate,
+            segment_rate: rate,
+            record_rate: rate,
+            seed,
+        }
+    }
+}
+
+/// Per-node blacklisting, as Hadoop's TaskTracker blacklist: a node whose
+/// tasks keep failing (injected task failures, shuffle outputs that fail
+/// verification) is excluded from further scheduling once its failure count
+/// exceeds `max_failures`. Blacklisted nodes shrink the effective slot
+/// pool, so later waves — the reduce phase, re-executed tasks — pack onto
+/// fewer slots and take longer; that lost capacity is the policy's cost,
+/// charged honestly by the wave model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlacklistPolicy {
+    /// Task failures a node may accumulate during one job attempt before it
+    /// is blacklisted (Hadoop's `mapred.max.tracker.failures` default is 4).
+    pub max_failures: usize,
+}
+
+impl Default for BlacklistPolicy {
+    fn default() -> Self {
+        BlacklistPolicy { max_failures: 4 }
     }
 }
 
@@ -178,6 +255,16 @@ pub struct ClusterConfig {
     pub failures: Option<FailureModel>,
     /// Whole-node failure injection, when modelled.
     pub node_failures: Option<NodeFailureModel>,
+    /// Data-corruption injection (blocks, shuffle segments, records), when
+    /// modelled. Enabling it also turns on checksum verification charges
+    /// ([`crate::metrics::JobMetrics::verify_s`]).
+    pub corruption: Option<CorruptionModel>,
+    /// Malformed input records a job may skip before it aborts with
+    /// [`crate::MapRedError::TooManyBadRecords`]. 0 (the default) means any
+    /// bad record kills the job — Hadoop with skipping mode off.
+    pub skip_bad_records: u64,
+    /// Per-node failure blacklisting, when enabled.
+    pub blacklist: Option<BlacklistPolicy>,
     /// Chain-level retry with backoff, when enabled.
     pub retry: Option<RetryPolicy>,
     /// Straggler injection (and speculative execution), when modelled.
@@ -220,6 +307,9 @@ impl Default for ClusterConfig {
             contention: None,
             failures: None,
             node_failures: None,
+            corruption: None,
+            skip_bad_records: 0,
+            blacklist: None,
             retry: None,
             stragglers: None,
             time_limit_s: None,
@@ -375,6 +465,41 @@ mod tests {
         assert!((p.backoff_s(0) - 30.0).abs() < 1e-9);
         assert!((p.backoff_s(1) - 60.0).abs() < 1e-9);
         assert!((p.backoff_s(2) - 120.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn backoff_is_capped_over_a_long_retry_series() {
+        let p = RetryPolicy {
+            max_retries: 1000,
+            backoff_base_s: 30.0,
+            backoff_factor: 2.0,
+            max_backoff_s: 600.0,
+        };
+        // Uncapped, retry 10 would be 30 × 2¹⁰ = 30 720 s.
+        assert!((p.backoff_s(10) - 600.0).abs() < 1e-9);
+        // Every element of a long series stays finite and capped — includes
+        // the powi-overflow region where the raw product is +inf.
+        let mut total = 0.0;
+        for retry in 0..1000 {
+            let b = p.backoff_s(retry);
+            assert!(b.is_finite() && b <= 600.0, "retry {retry}: {b}");
+            total += b;
+        }
+        assert!(total <= 600.0 * 1000.0);
+    }
+
+    #[test]
+    fn corruption_uniform_sets_all_sites() {
+        let m = CorruptionModel::uniform(0.01, 9);
+        assert_eq!(m.block_rate, 0.01);
+        assert_eq!(m.segment_rate, 0.01);
+        assert_eq!(m.record_rate, 0.01);
+        assert_eq!(m.seed, 9);
+    }
+
+    #[test]
+    fn blacklist_default_matches_hadoop() {
+        assert_eq!(BlacklistPolicy::default().max_failures, 4);
     }
 
     #[test]

@@ -34,6 +34,19 @@
 //! retries, disks full, every node dead) fails with an [`AttemptFailure`]
 //! carrying the simulated time it burned; [`crate::chain::run_chain`]
 //! retries it under the [`crate::config::RetryPolicy`].
+//!
+//! Data integrity: a [`crate::config::CorruptionModel`] flips *bytes*, not
+//! clocks. HDFS blocks are read through per-block checksums with replica
+//! failover ([`crate::hdfs::read_block_verified`]); shuffle segments are
+//! checksummed on arrival, re-fetched on mismatch with capped retries, and
+//! a mapper whose stored output stays corrupt is re-executed; torn input
+//! records are skipped by robust mappers under the
+//! [`crate::config::ClusterConfig::skip_bad_records`] budget; and nodes
+//! that keep failing are blacklisted ([`crate::config::BlacklistPolicy`]),
+//! shrinking the slot pool. Detection is genuine — a bit is actually
+//! flipped and an actual checksum comparison catches it — and only
+//! canonical bytes ever reach mappers and reducers, so corruption can never
+//! change query results, only cost simulated time.
 
 use std::collections::BinaryHeap;
 
@@ -44,7 +57,7 @@ use ysmart_rel::Row;
 
 use crate::config::ClusterConfig;
 use crate::error::MapRedError;
-use crate::hash::{hash_row, partition};
+use crate::hash::{checksum_bytes, hash_row, partition};
 use crate::hdfs::Hdfs;
 use crate::job::{JobSpec, MapOutput, ReduceOutput};
 use crate::metrics::JobMetrics;
@@ -53,6 +66,16 @@ use crate::metrics::JobMetrics;
 const SORT_CPU_US_PER_CMP: f64 = 0.05;
 /// Maximum attempts per task, as Hadoop's `mapred.map.max.attempts`.
 const MAX_ATTEMPTS: usize = 4;
+/// Re-fetches a reducer grants one shuffle segment before giving up on the
+/// mapper's output and re-executing the mapper (Hadoop's
+/// `mapreduce.reduce.shuffle.maxfetchfailures` spirit).
+const MAX_FETCH_RETRIES: usize = 3;
+/// Simulated backoff a reducer waits before re-fetching a corrupt segment.
+const FETCH_RETRY_BACKOFF_S: f64 = 1.0;
+/// CPU seconds charged per gigabyte checksummed (XXH64 runs at a few GB/s
+/// on one core). Only charged when a corruption model is configured, so
+/// integrity-off runs keep their exact historical timings.
+const CHECKSUM_CPU_S_PER_GB: f64 = 0.5;
 
 /// The simulated cluster: a global file system plus the cost model.
 #[derive(Debug)]
@@ -121,9 +144,10 @@ struct MapTaskResult {
     speculative: usize,
     /// Slot-seconds the speculative backup duplicated.
     spec_slot_s: f64,
-    /// Task name when it exhausted its per-task retries (kills the attempt
-    /// after every task's time has been accounted).
-    fatal: Option<String>,
+    /// Error that kills the whole job attempt — a task out of per-task
+    /// retries, or a block with no checksum-clean replica left. Surfaced
+    /// after every task's time has been accounted.
+    fatal: Option<MapRedError>,
     /// Simulated records/bytes per real pair emitted by this task. Usually
     /// the global `size_multiplier`; 1.0 when a combiner collapsed the task
     /// to a handful of partial rows — such output is bounded by key
@@ -136,6 +160,12 @@ struct MapTaskResult {
     in_records: u64,
     out_records: u64,
     failed_attempts: usize,
+    /// Corrupt block replicas detected by checksum and failed over.
+    corrupt_replicas: u64,
+    /// Checksum CPU seconds charged to this task (already in `time_s`).
+    verify_s: f64,
+    /// Malformed input records the mapper skipped.
+    skipped_records: u64,
 }
 
 /// Executes one job, mutating HDFS with its output and returning metrics.
@@ -150,7 +180,7 @@ pub fn run_job(cluster: &mut Cluster, spec: &JobSpec) -> Result<JobMetrics, MapR
 
 /// Mixes a job-attempt index into RNG seeds so a retried job sees fresh
 /// failure/straggler draws (attempt 0 leaves seeds unchanged).
-fn attempt_mix(attempt: usize) -> u64 {
+pub(crate) fn attempt_mix(attempt: usize) -> u64 {
     (attempt as u64).wrapping_mul(0xA076_1D64_78BD_642F)
 }
 
@@ -282,11 +312,27 @@ pub fn run_job_attempt(
 
     let mut map_makespan = makespan(results.iter().map(|r| r.time_s), cfg.total_map_slots());
 
-    // A task out of per-task retries kills the attempt; the whole map
-    // phase's work up to that point is lost.
-    if let Some(task) = results.iter().find_map(|r| r.fatal.clone()) {
+    // A task out of per-task retries — or a block with no checksum-clean
+    // replica left — kills the attempt; the whole map phase's work up to
+    // that point is lost.
+    if let Some(error) = results.iter().find_map(|r| r.fatal.clone()) {
         return Err(AttemptFailure {
-            error: MapRedError::TooManyFailures { task },
+            error,
+            wasted_s: map_makespan,
+        });
+    }
+
+    // ---- bad-record budget ----------------------------------------------
+    // Mappers skipped malformed records instead of aborting; more skips
+    // than the configured budget means the input is too damaged to trust.
+    let skipped_records: u64 = results.iter().map(|r| r.skipped_records).sum();
+    if skipped_records > cfg.skip_bad_records {
+        return Err(AttemptFailure {
+            error: MapRedError::TooManyBadRecords {
+                job: spec.name.clone(),
+                skipped: skipped_records,
+                budget: cfg.skip_bad_records,
+            },
             wasted_s: map_makespan,
         });
     }
@@ -362,6 +408,9 @@ pub fn run_job_attempt(
         reexecuted_tasks,
         wasted_s,
         attempt,
+        corrupt_blocks_detected: results.iter().map(|r| r.corrupt_replicas).sum(),
+        skipped_records,
+        verify_s: results.iter().map(|r| r.verify_s).sum(),
         ..JobMetrics::default()
     };
 
@@ -397,10 +446,27 @@ pub fn run_job_attempt(
     // pure *distribution*: whole segments move (Vec pointer copies, no
     // per-pair work) to the reduce tasks that k-way merge them. Tasks are
     // consumed in task order, preserving the merge tie-break order.
+    //
+    // Under a corruption model each fetched segment is checksummed on
+    // arrival. A corrupt fetch (a genuinely bit-flipped copy, detected by
+    // checksum mismatch) is re-fetched after a backoff; a segment that
+    // stays corrupt past the retry cap means the *mapper's stored output*
+    // is bad, so the mapper re-executes and the fresh output is fetched.
+    // Only the canonical segment rows ever reach a reducer.
+    let compress_ratio = cfg.compression.map_or(1.0, |c| c.ratio);
+    let decompress_cpu = cfg.compression.map_or(0.0, |c| c.cpu_s_per_gb);
+    const SPLITMIX: u64 = 0x9E37_79B9_7F4A_7C15;
+    const PARTMIX: u64 = 0xA076_1D64_78BD_642F;
+    let task_times: Vec<f64> = results.iter().map(|r| r.time_s).collect();
+    let task_failed: Vec<usize> = results.iter().map(|r| r.failed_attempts).collect();
     let mut part_runs: Vec<Vec<PartitionRun>> = (0..num_reducers).map(|_| Vec::new()).collect();
     let mut shuffle_sim_bytes = vec![0.0f64; num_reducers];
     let mut shuffle_sim_records = vec![0.0f64; num_reducers];
-    for r in results {
+    let mut refetch_extra_s = vec![0.0f64; num_reducers];
+    let mut refetched_segments = 0u64;
+    let mut segment_verify_s = 0.0f64;
+    let mut fetch_failures = vec![0usize; nodes];
+    for (t, r) in results.into_iter().enumerate() {
         let weight = r.weight;
         for (p, seg) in r.runs {
             let p = p as usize;
@@ -410,11 +476,95 @@ pub fn run_job_attempt(
             }
             shuffle_sim_bytes[p] += bytes * weight;
             shuffle_sim_records[p] += seg.keys.len() as f64 * weight;
+            if let Some(model) = cfg.corruption.filter(|m| m.segment_rate > 0.0) {
+                if !seg.keys.is_empty() {
+                    let sim_raw = bytes * weight;
+                    let sim_wire = sim_raw * compress_ratio;
+                    let mut rng = StdRng::seed_from_u64(
+                        model.seed
+                            ^ job_hash
+                            ^ attempt_mix(attempt)
+                            ^ (t as u64 + 1).wrapping_mul(SPLITMIX)
+                            ^ (p as u64 + 1).wrapping_mul(PARTMIX),
+                    );
+                    let mut corrupt_fetches = 0usize;
+                    if rng.gen::<f64>() < model.segment_rate {
+                        // In-flight corruption: flip a seeded bit in the
+                        // fetched copy of the segment's canonical bytes and
+                        // run the real detection path. The garbled copy is
+                        // discarded; `seg`'s rows are the mapper's stored
+                        // (canonical) output.
+                        let canon = segment_canon_bytes(&seg);
+                        let stored = checksum_bytes(&canon);
+                        loop {
+                            let bit = rng.gen::<u64>() as usize % (canon.len() * 8);
+                            let mut garbled = canon.clone();
+                            garbled[bit / 8] ^= 1 << (bit % 8);
+                            if checksum_bytes(&garbled) == stored {
+                                // A checksum collision would let the flip
+                                // through undetected — excluded by the
+                                // avalanche test in `hash`.
+                                debug_assert!(false, "bit flip collided with checksum");
+                                break;
+                            }
+                            corrupt_fetches += 1;
+                            if corrupt_fetches > MAX_FETCH_RETRIES
+                                || rng.gen::<f64>() >= model.segment_rate
+                            {
+                                break;
+                            }
+                        }
+                    }
+                    // Every fetched copy is checksummed on arrival.
+                    let verify =
+                        sim_raw / 1e9 * CHECKSUM_CPU_S_PER_GB * (1.0 + corrupt_fetches as f64);
+                    segment_verify_s += verify;
+                    refetch_extra_s[p] += verify;
+                    if corrupt_fetches > MAX_FETCH_RETRIES {
+                        // The mapper's stored output itself is bad: its
+                        // failed fetches, a full mapper re-execution and
+                        // the final re-fetch are all charged to this
+                        // reducer's fetch phase, and the failure counts
+                        // against the mapper's node.
+                        refetched_segments += MAX_FETCH_RETRIES as u64;
+                        refetch_extra_s[p] += MAX_FETCH_RETRIES as f64
+                            * (cfg.net_seconds(sim_wire) + FETCH_RETRY_BACKOFF_S)
+                            + task_times[t]
+                            + cfg.net_seconds(sim_wire);
+                        wasted_s += task_times[t];
+                        reexecuted_tasks += 1;
+                        fetch_failures[t % nodes] += 1;
+                    } else if corrupt_fetches > 0 {
+                        refetched_segments += corrupt_fetches as u64;
+                        refetch_extra_s[p] += corrupt_fetches as f64
+                            * (cfg.net_seconds(sim_wire) + FETCH_RETRY_BACKOFF_S);
+                    }
+                }
+            }
             part_runs[p].push(seg);
         }
     }
-    let compress_ratio = cfg.compression.map_or(1.0, |c| c.ratio);
-    let decompress_cpu = cfg.compression.map_or(0.0, |c| c.cpu_s_per_gb);
+
+    // ---- node blacklist ---------------------------------------------------
+    // Hadoop's TaskTracker blacklist: a (surviving) node whose tasks kept
+    // failing — injected task failures or shuffle outputs that failed
+    // verification — is excluded from further scheduling, shrinking the
+    // slot pool the reduce waves pack onto. Task-to-node attribution uses
+    // the same `index % nodes` placement as node-loss re-execution.
+    let mut blacklisted = 0usize;
+    if let Some(policy) = cfg.blacklist {
+        let mut per_node = fetch_failures;
+        for (t, &failed) in task_failed.iter().enumerate() {
+            per_node[t % nodes] += failed;
+        }
+        let threshold = policy.max_failures.max(1);
+        let candidates = (0..nodes)
+            .filter(|&n| !dead[n] && per_node[n] >= threshold)
+            .count();
+        // Never blacklist the cluster out of existence: at least one node
+        // stays schedulable.
+        blacklisted = candidates.min((nodes - nodes_lost).saturating_sub(1));
+    }
 
     let total_shuffle_sim: f64 = shuffle_sim_bytes.iter().sum::<f64>() * compress_ratio;
     check_disk(&cfg, total_shuffle_sim as u64).map_err(|error| AttemptFailure {
@@ -442,6 +592,7 @@ pub fn run_job_attempt(
         dead: &dead,
         shuffle_sim_bytes: &shuffle_sim_bytes,
         shuffle_sim_records: &shuffle_sim_records,
+        refetch_extra_s: &refetch_extra_s,
     };
     let reduce_threads = exec_threads(&cfg).min(num_reducers.max(1));
     let reduce_results: Vec<ReduceTaskResult> = if reduce_threads <= 1 || num_reducers < 2 {
@@ -506,8 +657,8 @@ pub fn run_job_attempt(
         reduce_times.push(r.time_s);
         all_lines.extend(r.lines);
     }
-    let reduce_slots = if nodes_lost > 0 {
-        cfg.surviving_reduce_slots(nodes - nodes_lost)
+    let reduce_slots = if nodes_lost > 0 || blacklisted > 0 {
+        cfg.surviving_reduce_slots((nodes - nodes_lost - blacklisted).max(1))
     } else {
         cfg.total_reduce_slots()
     };
@@ -520,6 +671,9 @@ pub fn run_job_attempt(
     metrics.speculative_slot_s += reduce_spec_slot_s;
     metrics.reexecuted_tasks = reexecuted_tasks;
     metrics.wasted_s = wasted_s;
+    metrics.refetched_segments = refetched_segments;
+    metrics.blacklisted_nodes = blacklisted;
+    metrics.verify_s += segment_verify_s;
 
     check_time(&cfg, metrics.map_time_s + metrics.reduce_time_s).map_err(|error| {
         AttemptFailure {
@@ -553,17 +707,85 @@ fn run_map_task(
     let task_seed = |base: u64| {
         base ^ job_hash ^ attempt_mix(attempt) ^ (task_idx as u64 + 1).wrapping_mul(SPLITMIX)
     };
-
     let input = &spec.inputs[input_idx];
+
+    // ---- block integrity (checksummed HDFS read) ---------------------
+    // The block is read through its checksum; corrupt replicas cost an
+    // extra read + verify pass each, and a block with no clean replica
+    // left kills the whole job attempt after its burned time is charged.
+    let mut corrupt_replicas = 0u64;
+    let mut verify_s = 0.0f64;
+    let mut integrity_extra_s = 0.0f64;
+    if let Some(model) = cfg.corruption {
+        let sim_bytes = lines.iter().map(|l| l.len() as f64 + 1.0).sum::<f64>() * mult;
+        let checksum_pass_s = sim_bytes / 1e9 * CHECKSUM_CPU_S_PER_GB;
+        match crate::hdfs::read_block_verified(
+            lines,
+            &input.path,
+            task_idx,
+            cfg.replication,
+            &model,
+            attempt,
+        ) {
+            Ok(read) => {
+                corrupt_replicas = u64::from(read.corrupt_replicas);
+                verify_s = checksum_pass_s * (1.0 + corrupt_replicas as f64);
+                // Each failed replica was fully read and verified before
+                // the failover re-read.
+                integrity_extra_s =
+                    corrupt_replicas as f64 * cfg.disk_seconds(sim_bytes) + verify_s;
+            }
+            Err(error) => {
+                let passes = f64::from(cfg.replication.max(1));
+                let burned = (cfg.task_startup_s
+                    + passes * (cfg.disk_seconds(sim_bytes) + checksum_pass_s))
+                    * slowdown;
+                return MapTaskResult {
+                    runs: Vec::new(),
+                    speculative: 0,
+                    spec_slot_s: 0.0,
+                    fatal: Some(error),
+                    weight: mult,
+                    time_s: burned,
+                    spill_bytes: 0,
+                    in_records: 0,
+                    out_records: 0,
+                    failed_attempts: 0,
+                    corrupt_replicas: u64::from(cfg.replication.max(1)),
+                    verify_s: passes * checksum_pass_s,
+                    skipped_records: 0,
+                };
+            }
+        }
+    }
+
     let mut mapper = (input.mapper)();
     let mut out = MapOutput::default();
     // One pair per line at most — reserve once, never regrow mid-task.
     out.reserve(lines.len());
+    // Torn-record injection: with `record_rate`, a garbled extra line —
+    // the real line plus one bogus field holding a control byte — follows
+    // a real one, like a partially-written append. The extra field makes
+    // it undecodable under *any* schema (field count always off by one),
+    // so a robust mapper skips it via `record_bad` and real records are
+    // untouched: results stay oracle-identical while skips are counted.
+    let record_rate = cfg.corruption.map_or(0.0, |m| m.record_rate);
+    let mut record_rng = (record_rate > 0.0).then(|| {
+        let seed = cfg.corruption.map_or(0, |m| m.seed);
+        StdRng::seed_from_u64(task_seed(seed ^ 0x0BAD_5EED))
+    });
     let mut in_bytes = 0u64;
     for line in lines {
         in_bytes += line.len() as u64 + 1;
         mapper.map(line, &mut out);
+        if let Some(rng) = record_rng.as_mut() {
+            if rng.gen::<f64>() < record_rate {
+                let garbage = format!("{line}|\u{1}");
+                mapper.map(&garbage, &mut out);
+            }
+        }
     }
+    let skipped_records = out.bad_records();
     let map_work = out.work();
     let (mut keys, mut values) = out.into_columns();
     let out_records = keys.len() as u64;
@@ -688,7 +910,8 @@ fn run_map_task(
         cfg.disk_seconds(spill_sim_bytes)
     };
     let mut base_time =
-        (cfg.task_startup_s + read_s + cpu_s + sort_s + compress_s + spill_s) * slowdown;
+        (cfg.task_startup_s + read_s + integrity_extra_s + cpu_s + sort_s + compress_s + spill_s)
+            * slowdown;
 
     // Straggler model: a sampled straggler runs `slowdown`× slower; with
     // speculative execution a backup task caps it near normal time, and the
@@ -723,7 +946,9 @@ fn run_map_task(
         }
         if failed_attempts + 1 >= MAX_ATTEMPTS && rng.gen::<f64>() < model.probability {
             time_s += base_time * 0.5;
-            fatal = Some(format!("{}-m-{task_idx}", spec.name));
+            fatal = Some(MapRedError::TooManyFailures {
+                task: format!("{}-m-{task_idx}", spec.name),
+            });
         }
     }
 
@@ -738,6 +963,9 @@ fn run_map_task(
         in_records: lines.len() as u64,
         out_records,
         failed_attempts,
+        corrupt_replicas,
+        verify_s,
+        skipped_records,
     }
 }
 
@@ -746,6 +974,20 @@ fn run_map_task(
 struct PartitionRun {
     keys: Vec<Row>,
     values: Vec<Row>,
+}
+
+/// Canonical wire encoding of a shuffle segment — the byte stream its
+/// checksum covers. Key and value share a line, tab-separated, matching how
+/// Hadoop's IFile frames a pair per record.
+fn segment_canon_bytes(seg: &PartitionRun) -> Vec<u8> {
+    let mut out = Vec::new();
+    for (k, v) in seg.keys.iter().zip(&seg.values) {
+        out.extend_from_slice(encode_line(k).as_bytes());
+        out.push(b'\t');
+        out.extend_from_slice(encode_line(v).as_bytes());
+        out.push(b'\n');
+    }
+    out
 }
 
 /// Read-only context shared by every reduce task of one job attempt.
@@ -762,6 +1004,10 @@ struct ReduceCtx<'a> {
     dead: &'a [bool],
     shuffle_sim_bytes: &'a [f64],
     shuffle_sim_records: &'a [f64],
+    /// Per-partition extra fetch-phase seconds from data integrity:
+    /// checksum verification of arriving segments, corrupt-fetch retries
+    /// with backoff, and re-executed mappers whose output stayed corrupt.
+    refetch_extra_s: &'a [f64],
 }
 
 /// Internal per-reduce-task result.
@@ -890,7 +1136,7 @@ fn run_reduce_task(
     } else {
         0.0
     };
-    let fetch_s = cfg.net_seconds(sim_in) * (1.0 - cfg.shuffle_overlap);
+    let fetch_s = cfg.net_seconds(sim_in) * (1.0 - cfg.shuffle_overlap) + ctx.refetch_extra_s[p];
     let merge_s = cfg.disk_seconds(sim_in) + sim_raw_in / 1e9 * ctx.decompress_cpu;
     let cpu_s = (sim_records * cfg.reduce_cpu_us_per_record
         + reduce_work as f64 * work_scale * cfg.work_cpu_us)
@@ -1228,6 +1474,203 @@ mod tests {
         let (l2, t2) = run();
         assert_eq!(l1, l2);
         assert!((t1 - t2).abs() < 1e-12);
+    }
+
+    /// [`KvMapper`] that skips undecodable lines instead of panicking —
+    /// what injected torn records require of a robust mapper.
+    struct TolerantKvMapper;
+    impl Mapper for TolerantKvMapper {
+        fn map(&mut self, line: &str, out: &mut MapOutput) {
+            let parsed = line
+                .split_once('|')
+                .and_then(|(k, v)| Some((k.parse::<i64>().ok()?, v.parse::<i64>().ok()?)));
+            match parsed {
+                Some((k, v)) => out.emit(row![k], row![v]),
+                None => out.record_bad(),
+            }
+        }
+    }
+
+    fn tolerant_sum_job(reducers: usize) -> JobSpec {
+        JobSpec::builder("sum")
+            .input("data/t", || Box::new(TolerantKvMapper))
+            .reducer(|| Box::new(SumReducer))
+            .output("out/sum")
+            .reduce_tasks(reducers)
+            .build()
+    }
+
+    #[test]
+    fn corruption_at_rate_zero_only_charges_verification() {
+        let (mut clean, mut checked) = (cluster(), cluster());
+        checked.config.corruption = Some(crate::config::CorruptionModel::uniform(0.0, 1));
+        load_pairs(&mut clean);
+        load_pairs(&mut checked);
+        let a = run_job(&mut clean, &sum_job(2, false)).unwrap();
+        let b = run_job(&mut checked, &sum_job(2, false)).unwrap();
+        assert_eq!(
+            sorted_output(&clean, "out/sum"),
+            sorted_output(&checked, "out/sum")
+        );
+        assert_eq!(
+            b.corrupt_blocks_detected + b.refetched_segments + b.skipped_records,
+            0
+        );
+        assert!(b.verify_s > 0.0, "checksum passes are charged");
+        assert!(a.verify_s == 0.0, "no model, no verification cost");
+    }
+
+    #[test]
+    fn block_corruption_fails_over_without_changing_results() {
+        // Small blocks → many blocks → a 30% per-replica rate reliably
+        // corrupts some replica somewhere while 3 replicas keep every
+        // block recoverable for at least one seed in the sweep.
+        let mut detected_somewhere = false;
+        for seed in 0..20u64 {
+            let (mut clean, mut corrupt) = (cluster(), cluster());
+            for c in [&mut clean, &mut corrupt] {
+                c.config.hdfs_block_mb = 0.0001; // ~100-byte blocks
+            }
+            corrupt.config.corruption = Some(crate::config::CorruptionModel {
+                block_rate: 0.3,
+                segment_rate: 0.0,
+                record_rate: 0.0,
+                seed,
+            });
+            load_pairs(&mut clean);
+            load_pairs(&mut corrupt);
+            let a = run_job(&mut clean, &sum_job(2, false)).unwrap();
+            let b = match run_job(&mut corrupt, &sum_job(2, false)) {
+                Ok(m) => m,
+                // All replicas of some block corrupt — legitimate at this
+                // rate; the chain layer retries it. Try another seed.
+                Err(MapRedError::CorruptBlock { .. }) => continue,
+                Err(e) => panic!("unexpected error: {e}"),
+            };
+            assert_eq!(
+                sorted_output(&clean, "out/sum"),
+                sorted_output(&corrupt, "out/sum")
+            );
+            if b.corrupt_blocks_detected > 0 {
+                detected_somewhere = true;
+                assert!(b.map_time_s > a.map_time_s, "failover re-reads cost time");
+                break;
+            }
+        }
+        assert!(detected_somewhere, "0.3 over many blocks must corrupt one");
+    }
+
+    #[test]
+    fn segment_corruption_refetches_without_changing_results() {
+        let (mut clean, mut corrupt) = (cluster(), cluster());
+        corrupt.config.corruption = Some(crate::config::CorruptionModel {
+            block_rate: 0.0,
+            segment_rate: 0.4,
+            record_rate: 0.0,
+            seed: 11,
+        });
+        for c in [&mut clean, &mut corrupt] {
+            c.config.hdfs_block_mb = 0.0001;
+        }
+        load_pairs(&mut clean);
+        load_pairs(&mut corrupt);
+        let a = run_job(&mut clean, &sum_job(4, false)).unwrap();
+        let b = run_job(&mut corrupt, &sum_job(4, false)).unwrap();
+        assert_eq!(
+            sorted_output(&clean, "out/sum"),
+            sorted_output(&corrupt, "out/sum")
+        );
+        assert!(b.refetched_segments > 0, "0.4 over many segments must hit");
+        assert!(b.reduce_time_s > a.reduce_time_s, "refetches cost time");
+    }
+
+    #[test]
+    fn torn_records_skipped_under_budget_and_fatal_over_it() {
+        let model = crate::config::CorruptionModel {
+            block_rate: 0.0,
+            segment_rate: 0.0,
+            record_rate: 0.05,
+            seed: 5,
+        };
+        let (mut clean, mut budgeted) = (cluster(), cluster());
+        budgeted.config.corruption = Some(model);
+        budgeted.config.skip_bad_records = 10_000;
+        load_pairs(&mut clean);
+        load_pairs(&mut budgeted);
+        run_job(&mut clean, &tolerant_sum_job(2)).unwrap();
+        let m = run_job(&mut budgeted, &tolerant_sum_job(2)).unwrap();
+        assert!(m.skipped_records > 0, "5% of 1000 records must inject");
+        assert_eq!(
+            sorted_output(&clean, "out/sum"),
+            sorted_output(&budgeted, "out/sum"),
+            "skipped garbage must not change results"
+        );
+
+        // Same corruption, zero budget: the job aborts, not retryably.
+        let mut strict = cluster();
+        strict.config.corruption = Some(model);
+        load_pairs(&mut strict);
+        let e = run_job(&mut strict, &tolerant_sum_job(2)).unwrap_err();
+        assert!(matches!(
+            e,
+            MapRedError::TooManyBadRecords { budget: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn blacklist_shrinks_reduce_slots_not_results() {
+        let mk = |blacklist: bool| {
+            let mut c = cluster();
+            c.config.hdfs_block_mb = 0.001; // several tasks → some failures
+            c.config.failures = Some(crate::config::FailureModel {
+                probability: 0.3,
+                seed: 21,
+            });
+            if blacklist {
+                // One strike is enough here; the default Hadoop threshold
+                // of 4 is exercised by config tests.
+                c.config.blacklist = Some(crate::config::BlacklistPolicy { max_failures: 1 });
+            }
+            load_pairs(&mut c);
+            let m = run_job(&mut c, &sum_job(4, false)).unwrap();
+            (m, sorted_output(&c, "out/sum"))
+        };
+        let (open, open_out) = mk(false);
+        let (listed, listed_out) = mk(true);
+        assert_eq!(open_out, listed_out);
+        assert_eq!(open.blacklisted_nodes, 0);
+        assert!(
+            open.failed_attempts > 0,
+            "failures must fire for the test to mean anything"
+        );
+        assert!(
+            listed.blacklisted_nodes > 0,
+            "a failed task must trip the 1-strike rule"
+        );
+        assert!(
+            listed.reduce_time_s > open.reduce_time_s,
+            "blacklisted nodes shrink the reduce slot pool"
+        );
+    }
+
+    #[test]
+    fn corruption_same_seed_identical_metrics() {
+        let run = || {
+            let mut c = cluster();
+            c.config.hdfs_block_mb = 0.0001;
+            c.config.corruption = Some(crate::config::CorruptionModel::uniform(0.1, 3));
+            c.config.skip_bad_records = 10_000;
+            load_pairs(&mut c);
+            let m = run_job(&mut c, &tolerant_sum_job(3)).unwrap();
+            (
+                sorted_output(&c, "out/sum"),
+                m.corrupt_blocks_detected,
+                m.refetched_segments,
+                m.skipped_records,
+                m.total_s(),
+            )
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

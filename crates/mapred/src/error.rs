@@ -42,6 +42,30 @@ pub enum MapRedError {
         /// Worker nodes that died.
         nodes: usize,
     },
+    /// Every replica of an HDFS block failed its checksum — there is no
+    /// clean copy left to read. Retryable at the chain level: a retried
+    /// attempt draws fresh corruption randomness (the at-rest flip is
+    /// re-sampled, as a re-replicated block would be).
+    CorruptBlock {
+        /// HDFS path of the file holding the block.
+        path: String,
+        /// Block index within the file (= map split index).
+        block: usize,
+        /// Replicas tried, all corrupt.
+        replicas: u32,
+    },
+    /// A job skipped more malformed input records than
+    /// [`crate::config::ClusterConfig::skip_bad_records`] allows. Not
+    /// retryable — the budget is a policy decision, and a rerun faces the
+    /// same data.
+    TooManyBadRecords {
+        /// The job that hit the budget.
+        job: String,
+        /// Malformed records encountered.
+        skipped: u64,
+        /// The configured budget.
+        budget: u64,
+    },
     /// [`crate::chain::run_chain`] was handed a chain with no jobs.
     EmptyChain,
 }
@@ -68,6 +92,22 @@ impl fmt::Display for MapRedError {
             MapRedError::ClusterLost { job, nodes } => {
                 write!(f, "all {nodes} worker nodes lost during job {job}")
             }
+            MapRedError::CorruptBlock {
+                path,
+                block,
+                replicas,
+            } => write!(
+                f,
+                "block {block} of {path} is corrupt on all {replicas} replicas"
+            ),
+            MapRedError::TooManyBadRecords {
+                job,
+                skipped,
+                budget,
+            } => write!(
+                f,
+                "job {job} skipped {skipped} malformed records, budget {budget}"
+            ),
             MapRedError::EmptyChain => write!(f, "job chain has no jobs"),
         }
     }
@@ -94,6 +134,16 @@ mod tests {
             MapRedError::ClusterLost {
                 job: "j1".into(),
                 nodes: 4,
+            },
+            MapRedError::CorruptBlock {
+                path: "data/t".into(),
+                block: 2,
+                replicas: 3,
+            },
+            MapRedError::TooManyBadRecords {
+                job: "j1".into(),
+                skipped: 5,
+                budget: 2,
             },
             MapRedError::EmptyChain,
         ] {

@@ -22,6 +22,7 @@ pub struct MapOutput {
     keys: Vec<Row>,
     values: Vec<Row>,
     work: u64,
+    bad_records: u64,
 }
 
 impl MapOutput {
@@ -50,6 +51,21 @@ impl MapOutput {
     #[must_use]
     pub fn work(&self) -> u64 {
         self.work
+    }
+
+    /// Reports one malformed input record the mapper skipped instead of
+    /// aborting — Hadoop's skipping mode. The engine sums these against the
+    /// [`crate::config::ClusterConfig::skip_bad_records`] budget and fails
+    /// the job with [`crate::MapRedError::TooManyBadRecords`] when the
+    /// budget is exceeded.
+    pub fn record_bad(&mut self) {
+        self.bad_records += 1;
+    }
+
+    /// Malformed records skipped so far.
+    #[must_use]
+    pub fn bad_records(&self) -> u64 {
+        self.bad_records
     }
 
     /// Number of pairs emitted so far.
@@ -335,6 +351,9 @@ mod tests {
         assert_eq!(out.len(), 2);
         assert_eq!(out.keys(), &[row![1i64], row![2i64]]);
         assert_eq!(out.values(), &[row!["a"], row!["b"]]);
+        out.record_bad();
+        assert_eq!(out.bad_records(), 1);
+        assert_eq!(out.len(), 2, "a skipped record emits nothing");
         let (keys, values) = out.into_columns();
         assert_eq!(keys.len(), 2);
         assert_eq!(values.len(), 2);

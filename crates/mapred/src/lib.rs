@@ -36,7 +36,13 @@
 //!   reducers re-fetch that share of the shuffle. Chains recover from
 //!   failed job attempts under a [`RetryPolicy`] with exponential backoff,
 //!   resuming from the last checkpointed job output in HDFS. Injected
-//!   faults change simulated time, never query results.
+//!   faults change simulated time, never query results;
+//! * a [`CorruptionModel`] flips actual *bytes*: HDFS blocks are checksummed
+//!   with replica failover, shuffle segments are verified on fetch and
+//!   re-fetched on mismatch, torn input records are skipped under a budget,
+//!   and failing nodes are blacklisted ([`BlacklistPolicy`]) — recovery is
+//!   charged in simulated time while results stay bit-identical, because
+//!   only checksum-clean canonical bytes ever reach the computation.
 
 pub mod chain;
 pub mod config;
@@ -47,14 +53,14 @@ pub mod hdfs;
 pub mod job;
 pub mod metrics;
 
-pub use chain::{run_chain, ChainOutcome, JobChain};
+pub use chain::{retryable, run_chain, ChainFailure, ChainOutcome, JobChain};
 pub use config::{
-    ClusterConfig, Compression, ContentionModel, FailureModel, NodeFailureModel, RetryPolicy,
-    StragglerModel,
+    BlacklistPolicy, ClusterConfig, Compression, ContentionModel, CorruptionModel, FailureModel,
+    NodeFailureModel, RetryPolicy, StragglerModel,
 };
 pub use engine::{run_job, run_job_attempt, AttemptFailure, Cluster};
 pub use error::MapRedError;
-pub use hdfs::Hdfs;
+pub use hdfs::{read_block_verified, BlockRead, Hdfs};
 pub use job::{
     Combiner, JobInput, JobSpec, MapOutput, Mapper, MapperFactory, ReduceOutput, Reducer,
     ReducerFactory,

@@ -54,6 +54,24 @@ pub struct JobMetrics {
     pub wasted_s: f64,
     /// Which attempt of this job succeeded (0 = first try).
     pub attempt: usize,
+    /// Corrupt HDFS block replicas detected by checksum on read and failed
+    /// over (a block with *every* replica corrupt aborts the attempt
+    /// instead, with [`crate::MapRedError::CorruptBlock`]).
+    pub corrupt_blocks_detected: u64,
+    /// Shuffle-segment fetches that failed checksum verification and were
+    /// re-fetched from the mapper.
+    pub refetched_segments: u64,
+    /// Malformed input records skipped by mappers (Hadoop's skipping mode)
+    /// under the [`crate::config::ClusterConfig::skip_bad_records`] budget.
+    pub skipped_records: u64,
+    /// Worker nodes blacklisted during this job for exceeding the
+    /// [`crate::config::BlacklistPolicy`] failure threshold.
+    pub blacklisted_nodes: usize,
+    /// Simulated CPU seconds spent computing and comparing checksums
+    /// (block reads and shuffle-segment fetches). Only charged when a
+    /// [`crate::config::CorruptionModel`] is configured; already contained
+    /// in the phase times.
+    pub verify_s: f64,
 }
 
 impl JobMetrics {
@@ -134,6 +152,23 @@ impl ChainMetrics {
     pub fn total_hdfs_read(&self) -> u64 {
         self.jobs.iter().map(|j| j.hdfs_read_bytes).sum()
     }
+
+    /// Data-integrity events across all jobs: corrupt block replicas
+    /// detected, corrupt shuffle fetches re-fetched, and bad records
+    /// skipped. Nonzero proves injected corruption actually fired.
+    #[must_use]
+    pub fn total_integrity_events(&self) -> u64 {
+        self.jobs
+            .iter()
+            .map(|j| j.corrupt_blocks_detected + j.refetched_segments + j.skipped_records)
+            .sum()
+    }
+
+    /// Checksum-verification seconds across all jobs.
+    #[must_use]
+    pub fn total_verify_s(&self) -> f64 {
+        self.jobs.iter().map(|j| j.verify_s).sum()
+    }
 }
 
 #[cfg(test)]
@@ -173,6 +208,23 @@ mod tests {
         assert!((chain.total_s() - 125.0).abs() < 1e-9);
         assert!((chain.recovery_s() - 119.0).abs() < 1e-9);
         assert_eq!(chain.total_reexecuted_tasks(), 3);
+    }
+
+    #[test]
+    fn integrity_events_add_up() {
+        let job = JobMetrics {
+            corrupt_blocks_detected: 2,
+            refetched_segments: 3,
+            skipped_records: 5,
+            verify_s: 1.5,
+            ..JobMetrics::default()
+        };
+        let chain = ChainMetrics {
+            jobs: vec![job.clone(), job],
+            ..ChainMetrics::default()
+        };
+        assert_eq!(chain.total_integrity_events(), 20);
+        assert!((chain.total_verify_s() - 3.0).abs() < 1e-9);
     }
 
     #[test]

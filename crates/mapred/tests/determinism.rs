@@ -5,11 +5,16 @@
 //! partition index and all floating-point accumulation happens in index
 //! order after the threads join. These tests pin the resulting guarantee:
 //! output lines AND `JobMetrics` are bit-identical whatever the thread
-//! count — including under straggler, task-failure and node-loss
-//! injection, where per-task RNG draws decide simulated times.
+//! count — including under straggler, task-failure, node-loss and
+//! data-corruption injection combined, where per-task RNG draws decide
+//! simulated times (and, for corruption, which bytes get flipped).
+//!
+//! The mappers skip unparseable lines via `record_bad` instead of
+//! panicking: the corruption model injects torn records, and skipping them
+//! is exactly the robustness the engine's bad-record budget models.
 
 use ysmart_mapred::{
-    run_chain, Cluster, ClusterConfig, FailureModel, JobChain, JobSpec, MapOutput,
+    run_chain, Cluster, ClusterConfig, CorruptionModel, FailureModel, JobChain, JobSpec, MapOutput,
     NodeFailureModel, ReduceOutput, Reducer, RetryPolicy, StragglerModel,
 };
 use ysmart_mapred::{JobMetrics, Mapper};
@@ -18,11 +23,13 @@ use ysmart_rel::{row, Row};
 struct KvMapper;
 impl Mapper for KvMapper {
     fn map(&mut self, line: &str, out: &mut MapOutput) {
-        let (k, v) = line.split_once('|').unwrap();
-        out.emit(
-            row![k.parse::<i64>().unwrap()],
-            row![v.parse::<i64>().unwrap()],
-        );
+        let parsed = line
+            .split_once('|')
+            .and_then(|(k, v)| Some((k.parse::<i64>().ok()?, v.parse::<i64>().ok()?)));
+        match parsed {
+            Some((k, v)) => out.emit(row![k], row![v]),
+            None => out.record_bad(),
+        }
     }
 }
 
@@ -40,11 +47,13 @@ impl Reducer for SumReducer {
 struct IdentityMapper;
 impl Mapper for IdentityMapper {
     fn map(&mut self, line: &str, out: &mut MapOutput) {
-        let (k, v) = line.split_once('|').unwrap();
-        out.emit(
-            row![k.parse::<i64>().unwrap() % 7],
-            row![v.parse::<i64>().unwrap()],
-        );
+        let parsed = line
+            .split_once('|')
+            .and_then(|(k, v)| Some((k.parse::<i64>().ok()?, v.parse::<i64>().ok()?)));
+        match parsed {
+            Some((k, v)) => out.emit(row![k % 7], row![v]),
+            None => out.record_bad(),
+        }
     }
 }
 
@@ -91,10 +100,22 @@ fn config(threads: Option<usize>, seed: u64) -> ClusterConfig {
             probability: 0.08,
             seed: seed ^ 0xF00D,
         }),
+        // Byte corruption on top of the clock faults: block bit-flips with
+        // replica failover, shuffle-segment refetches and torn records —
+        // all seeded per task/partition index, so they too must be
+        // schedule-independent.
+        corruption: Some(CorruptionModel {
+            block_rate: 0.05,
+            segment_rate: 0.05,
+            record_rate: 0.02,
+            seed: seed ^ 0xC0DE,
+        }),
+        skip_bad_records: 1_000_000,
         retry: Some(RetryPolicy {
-            max_retries: 4,
+            max_retries: 8,
             backoff_base_s: 1.0,
             backoff_factor: 2.0,
+            ..RetryPolicy::default()
         }),
         ..ClusterConfig::default()
     }
@@ -136,6 +157,19 @@ fn determinism_holds_across_fault_seeds() {
             "seed {seed}: metrics differ"
         );
     }
+}
+
+#[test]
+fn corruption_events_fire_in_the_combined_sweep() {
+    // The thread-count comparisons above are only meaningful if injected
+    // corruption actually does something at these rates.
+    let (_, metrics) = run(Some(1), 42);
+    let events: u64 = metrics
+        .iter()
+        .map(|j| j.corrupt_blocks_detected + j.refetched_segments + j.skipped_records)
+        .sum();
+    assert!(events > 0, "corruption must fire in the combined config");
+    assert!(metrics.iter().any(|j| j.verify_s > 0.0));
 }
 
 #[test]

@@ -138,7 +138,7 @@ fn cluster_lost_fails_without_retry_and_recovers_with() {
         chain.push(sum_job("sum", "data/t", "out/sum"));
         let bare = run_chain(&mut c, &chain);
         if let Err(e) = &bare {
-            assert!(matches!(e, MapRedError::ClusterLost { .. }));
+            assert!(matches!(e.error, MapRedError::ClusterLost { .. }));
             failed_without_retry = true;
 
             // The same injection under a retry policy must recover and
@@ -148,6 +148,7 @@ fn cluster_lost_fails_without_retry_and_recovers_with() {
                     max_retries: 24,
                     backoff_base_s: 10.0,
                     backoff_factor: 2.0,
+                    ..RetryPolicy::default()
                 }),
                 seed,
             ));
@@ -210,6 +211,7 @@ fn checkpointed_recovery_resumes_from_failed_job() {
                 max_retries: 24,
                 backoff_base_s: 5.0,
                 backoff_factor: 2.0,
+                ..RetryPolicy::default()
             }),
             ..ClusterConfig::default()
         });
@@ -247,6 +249,7 @@ fn retries_are_bounded_by_the_policy() {
             max_retries: 3,
             backoff_base_s: 1.0,
             backoff_factor: 2.0,
+            ..RetryPolicy::default()
         }),
         ..ClusterConfig::default()
     });
@@ -254,7 +257,7 @@ fn retries_are_bounded_by_the_policy() {
     let mut chain = JobChain::new();
     chain.push(sum_job("sum", "data/t", "out/sum"));
     let e = run_chain(&mut c, &chain).unwrap_err();
-    assert!(matches!(e, MapRedError::ClusterLost { .. }));
+    assert!(matches!(e.error, MapRedError::ClusterLost { .. }));
 }
 
 #[test]
@@ -325,5 +328,118 @@ fn disk_full_is_retryable_and_gives_up_after_backoff() {
     let mut chain = JobChain::new();
     chain.push(sum_job("sum", "data/t", "out/sum"));
     let e = run_chain(&mut c, &chain).unwrap_err();
-    assert!(matches!(e, MapRedError::DiskFull { .. }));
+    assert!(matches!(e.error, MapRedError::DiskFull { .. }));
+}
+
+#[test]
+fn non_retryable_error_fails_fast_despite_retry_policy() {
+    // Stage 2 reads a path nothing wrote: NoSuchFile is permanent, so even
+    // a generous retry policy must not burn a single retry on it — and the
+    // failure must still carry stage 1's metrics.
+    let mut c = Cluster::new(ClusterConfig {
+        retry: Some(RetryPolicy {
+            max_retries: 24,
+            backoff_base_s: 1.0,
+            backoff_factor: 2.0,
+            ..RetryPolicy::default()
+        }),
+        ..ClusterConfig::default()
+    });
+    load(&mut c);
+    let mut chain = JobChain::new();
+    chain.push(sum_job("stage1", "data/t", "tmp/mid"));
+    chain.push(sum_job("stage2", "tmp/nowhere", "out/final"));
+    let e = run_chain(&mut c, &chain).unwrap_err();
+    assert!(matches!(e.error, MapRedError::NoSuchFile(_)));
+    assert_eq!(e.metrics.retries, 0, "permanent errors must not retry");
+    assert_eq!(e.metrics.backoff_delay_s, 0.0);
+    assert_eq!(e.metrics.jobs.len(), 1, "stage 1 completed and is reported");
+    assert_eq!(e.metrics.jobs[0].name, "stage1");
+    assert!(e.metrics.jobs[0].total_s() > 0.0);
+}
+
+#[test]
+fn retryable_error_without_policy_surfaces_unchanged() {
+    // Certain cluster loss with retry disabled: the raw error comes
+    // straight through, with no retry bookkeeping invented around it.
+    let mut c = Cluster::new(ClusterConfig {
+        nodes: 1,
+        node_failures: Some(NodeFailureModel {
+            probability: 1.0,
+            seed: 9,
+        }),
+        retry: None,
+        ..ClusterConfig::default()
+    });
+    load(&mut c);
+    let mut chain = JobChain::new();
+    chain.push(sum_job("sum", "data/t", "out/sum"));
+    let e = run_chain(&mut c, &chain).unwrap_err();
+    let MapRedError::ClusterLost { job, nodes } = &e.error else {
+        panic!("expected ClusterLost, got {:?}", e.error);
+    };
+    assert_eq!((job.as_str(), *nodes), ("sum", 1));
+    assert_eq!(e.metrics.retries, 0);
+    assert_eq!(e.metrics.backoff_delay_s, 0.0);
+    assert!(e.metrics.jobs.is_empty(), "no job completed");
+    assert!(
+        e.metrics.failed_attempt_s > 0.0,
+        "the dead attempt's burned time is still reported"
+    );
+}
+
+#[test]
+fn corrupt_block_is_retryable_and_recovers_under_policy() {
+    use ysmart_mapred::CorruptionModel;
+    // Moderate block rate on 2 replicas: over ~9 blocks some seed loses
+    // every replica of some block on the first attempt (~0.25² per block),
+    // yet a retry drawing fresh corruption (the block is re-replicated)
+    // still succeeds most of the time, so a capped retry budget recovers
+    // with identical results.
+    let expected = sorted_output_of_clean();
+    let mut recovered = false;
+    for seed in 0..40u64 {
+        let bare = ClusterConfig {
+            hdfs_block_mb: 0.0003,
+            replication: 2,
+            corruption: Some(CorruptionModel {
+                block_rate: 0.25,
+                segment_rate: 0.0,
+                record_rate: 0.0,
+                seed,
+            }),
+            ..ClusterConfig::default()
+        };
+        let mut c = Cluster::new(bare.clone());
+        load(&mut c);
+        let mut chain = JobChain::new();
+        chain.push(sum_job("sum", "data/t", "out/sum"));
+        let Err(e) = run_chain(&mut c, &chain) else {
+            continue;
+        };
+        assert!(matches!(e.error, MapRedError::CorruptBlock { .. }));
+
+        let mut c2 = Cluster::new(ClusterConfig {
+            retry: Some(RetryPolicy {
+                max_retries: 24,
+                backoff_base_s: 1.0,
+                backoff_factor: 2.0,
+                ..RetryPolicy::default()
+            }),
+            ..bare
+        });
+        load(&mut c2);
+        let mut chain2 = JobChain::new();
+        chain2.push(sum_job("sum", "data/t", "out/sum"));
+        let outcome = run_chain(&mut c2, &chain2).unwrap();
+        assert_eq!(sorted_output(&c2, "out/sum"), expected, "seed {seed}");
+        assert!(outcome.metrics.retries > 0);
+        assert!(outcome.metrics.jobs[0].attempt > 0);
+        recovered = true;
+        break;
+    }
+    assert!(
+        recovered,
+        "0.25² per block over many blocks × 40 seeds must kill one"
+    );
 }

@@ -141,6 +141,7 @@ proptest! {
                 max_retries: 16,
                 backoff_base_s: 1.0,
                 backoff_factor: 2.0,
+                ..RetryPolicy::default()
             }),
             ..ClusterConfig::default()
         };

@@ -147,7 +147,17 @@ pub fn decode_field(text: &str, ty: DataType) -> Result<Value, RelError> {
             _ => Err(err()),
         },
         DataType::Int => text.parse::<i64>().map(Value::Int).map_err(|_| err()),
-        DataType::Float => text.parse::<f64>().map(Value::Float).map_err(|_| err()),
+        // Reject non-finite floats: `str::parse` happily accepts "inf" and
+        // "NaN", but no valid data file contains them — corrupted bytes can
+        // mutate a numeric field into one, and a NaN poisons comparisons
+        // and aggregation downstream. Treat them as decode errors so the
+        // bad-record machinery sees them.
+        DataType::Float => text
+            .parse::<f64>()
+            .ok()
+            .filter(|f| f.is_finite())
+            .map(Value::Float)
+            .ok_or_else(err),
         DataType::Str => Ok(Value::Str(text.to_string())),
     }
 }
@@ -225,6 +235,17 @@ mod tests {
     #[test]
     fn bad_bool() {
         assert!(decode_field("yes", DataType::Bool).is_err());
+    }
+
+    #[test]
+    fn non_finite_floats_are_decode_errors() {
+        for text in ["inf", "-inf", "infinity", "NaN", "nan", "1e999"] {
+            assert!(
+                decode_field(text, DataType::Float).is_err(),
+                "{text:?} must not decode"
+            );
+        }
+        assert!(decode_field("1e30", DataType::Float).is_ok());
     }
 
     #[test]

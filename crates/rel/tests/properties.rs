@@ -104,6 +104,54 @@ proptest! {
         prop_assert_eq!(back, row);
     }
 
+    /// Decoding is total over corrupted input: randomly mutating bytes of a
+    /// valid encoded line never panics — the decoder returns a row of the
+    /// schema's width or a clean error. This is the contract the engine's
+    /// bad-record skipping relies on when the corruption model tears
+    /// records.
+    #[test]
+    fn decode_survives_random_byte_mutations(
+        ints in prop::collection::vec(prop::option::of(-1_000_000i64..1_000_000), 1..5),
+        f in prop::option::of(-1000.0f64..1000.0),
+        s in "[a-zA-Z0-9 _.-]{0,16}",
+        mutations in prop::collection::vec((0usize..256, any::<u8>()), 1..8),
+    ) {
+        let mut fields: Vec<Field> = ints
+            .iter()
+            .enumerate()
+            .map(|(i, _)| Field::new("t", &format!("c{i}"), DataType::Int))
+            .collect();
+        fields.push(Field::new("t", "f", DataType::Float));
+        fields.push(Field::new("t", "s", DataType::Str));
+        let schema = Schema::new(fields);
+        let mut values: Vec<Value> = ints
+            .iter()
+            .map(|o| o.map(Value::Int).unwrap_or(Value::Null))
+            .collect();
+        values.push(f.map(Value::Float).unwrap_or(Value::Null));
+        values.push(if s.is_empty() { Value::Null } else { Value::Str(s) });
+        let line = encode_line(&Row::new(values));
+
+        let mut bytes = line.into_bytes();
+        for (pos, byte) in mutations {
+            if !bytes.is_empty() {
+                let i = pos % bytes.len();
+                bytes[i] = byte;
+            }
+        }
+        // Corruption can produce invalid UTF-8; the simulated HDFS stores
+        // strings, so model what a reader would see after replacement.
+        let garbled = String::from_utf8_lossy(&bytes);
+        if let Ok(row) = decode_line(&garbled, &schema) {
+            prop_assert_eq!(row.len(), schema.len());
+            for v in row.values() {
+                if let Value::Float(x) = v {
+                    prop_assert!(x.is_finite(), "NaN/inf must never decode");
+                }
+            }
+        }
+    }
+
     /// Aggregate merge is associative-enough: any split of the input
     /// produces the same final value as sequential accumulation.
     #[test]
