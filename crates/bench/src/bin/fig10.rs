@@ -5,14 +5,21 @@
 //! Paper shape: YSmart beats Hive by 258%/190%/252%/266%; Pig trails Hive
 //! and cannot finish Q-CSA (intermediate results exceed the test disk);
 //! the DBMS wins the DSS queries but not the click-stream query.
+//!
+//! Flags:
+//!
+//! * `--trace [path]` — record structured execution traces for every run
+//!   and write one merged Chrome-trace JSON (default
+//!   `results/fig10_trace.json`), loadable in Perfetto / `chrome://tracing`.
+//! * `--smoke` — a seconds-long subset (Q17 only, tiny scale) for CI.
 
-use ysmart_bench::{execute_verified, pgsql_seconds, print_breakdown, FigRow};
+use ysmart_bench::{execute_verified_traced, pgsql_seconds, print_breakdown, FigRow};
 use ysmart_core::Strategy;
 use ysmart_datagen::{ClicksSpec, TpchSpec};
-use ysmart_mapred::ClusterConfig;
+use ysmart_mapred::{validate_chrome_trace, ClusterConfig, Trace};
 use ysmart_queries::{clicks_workloads, tpch_workloads, Workload};
 
-fn run_query(w: &Workload, config: &ClusterConfig, target_gb: f64) {
+fn run_query(w: &Workload, config: &ClusterConfig, target_gb: f64, master: &mut Option<Trace>) {
     println!("-- {} ({} GB) --", w.name, target_gb);
     let mut rows = Vec::new();
     for (label, strategy) in [
@@ -20,9 +27,23 @@ fn run_query(w: &Workload, config: &ClusterConfig, target_gb: f64) {
         ("Hive", Strategy::Hive),
         ("Pig", Strategy::Pig),
     ] {
-        match execute_verified(w, strategy, config, target_gb) {
-            Ok(out) => {
+        match execute_verified_traced(w, strategy, config, target_gb, master.is_some()) {
+            Ok((out, trace)) => {
                 print_breakdown(&format!("{label} ({} jobs)", out.jobs), &out);
+                if let (Some(master), Some(trace)) = (master.as_mut(), trace) {
+                    // The trace's extent must reconcile with the metrics it
+                    // summarises — a drifting exporter is worse than none.
+                    let total = out.total_s();
+                    let drift = (trace.max_end_s() - total).abs();
+                    assert!(
+                        drift <= 1e-6 * total.max(1.0),
+                        "{} {label}: trace extent {:.6}s vs metrics total {:.6}s",
+                        w.name,
+                        trace.max_end_s(),
+                        total
+                    );
+                    master.absorb(&format!("{}-{label}", w.name), trace);
+                }
                 rows.push(FigRow {
                     label: label.into(),
                     result: Ok(out.total_s()),
@@ -51,29 +72,106 @@ fn run_query(w: &Workload, config: &ClusterConfig, target_gb: f64) {
     ysmart_bench::print_summary("  totals:", &rows);
 }
 
+struct Options {
+    smoke: bool,
+    trace_path: Option<String>,
+}
+
+fn parse_args() -> Options {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut opts = Options {
+        smoke: false,
+        trace_path: None,
+    };
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--smoke" => opts.smoke = true,
+            "--trace" => {
+                if i + 1 < argv.len() && !argv[i + 1].starts_with("--") {
+                    i += 1;
+                    opts.trace_path = Some(argv[i].clone());
+                } else {
+                    opts.trace_path = Some("results/fig10_trace.json".into());
+                }
+            }
+            other => {
+                eprintln!("unknown argument: {other} (expected --smoke and/or --trace [path])");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    opts
+}
+
+fn write_trace(master: &Trace, path: &str) {
+    let json = master.to_chrome_json();
+    // Self-check before writing: the exporter's output must parse as
+    // Chrome-trace JSON and contain both phases' spans.
+    let stats = validate_chrome_trace(&json)
+        .unwrap_or_else(|e| panic!("exported trace is not valid Chrome-trace JSON: {e}"));
+    assert!(
+        stats.span_cats.get("map").copied().unwrap_or(0) >= 1,
+        "trace has no map spans"
+    );
+    assert!(
+        stats.span_cats.get("reduce").copied().unwrap_or(0) >= 1,
+        "trace has no reduce spans"
+    );
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create trace output directory");
+        }
+    }
+    std::fs::write(path, &json).expect("write trace file");
+    println!(
+        "trace: {} events ({} spans) across {} processes -> {path}",
+        stats.events, stats.spans, stats.processes
+    );
+    println!("       open in Perfetto (ui.perfetto.dev) or chrome://tracing");
+}
+
 fn main() {
+    let opts = parse_args();
     println!("=== Fig. 10: small local cluster ===");
     let config = ClusterConfig::small_local();
+    let mut master = opts.trace_path.as_ref().map(|_| Trace::new());
 
-    let tpch = tpch_workloads(&TpchSpec {
-        scale: 1.0,
-        seed: 2024,
-    });
-    for name in ["q17", "q18", "q21"] {
-        let w = tpch.iter().find(|w| w.name == name).expect("workload");
-        run_query(w, &config, 10.0);
+    if opts.smoke {
+        // CI-sized subset: one query at a tiny scale exercises the whole
+        // pipeline (and the tracing path) in seconds.
+        let tpch = tpch_workloads(&TpchSpec {
+            scale: 0.05,
+            seed: 2024,
+        });
+        let w = tpch.iter().find(|w| w.name == "q17").expect("workload");
+        run_query(w, &config, 0.1, &mut master);
+    } else {
+        let tpch = tpch_workloads(&TpchSpec {
+            scale: 1.0,
+            seed: 2024,
+        });
+        for name in ["q17", "q18", "q21"] {
+            let w = tpch.iter().find(|w| w.name == name).expect("workload");
+            run_query(w, &config, 10.0, &mut master);
+        }
+
+        // Q-CSA on 20 GB; the local node's 450 GB disk is the paper's limit
+        // that Pig's bulkier intermediates overflow.
+        let clicks = clicks_workloads(&ClicksSpec {
+            users: 120,
+            clicks_per_user: 40,
+            seed: 2024,
+            ..ClicksSpec::default()
+        });
+        let mut csa_config = config.clone();
+        csa_config.disk_capacity_mb = 65_000.0; // headroom Hive fits in, Pig does not
+        let w = clicks.iter().find(|w| w.name == "q-csa").expect("workload");
+        run_query(w, &csa_config, 20.0, &mut master);
     }
 
-    // Q-CSA on 20 GB; the local node's 450 GB disk is the paper's limit
-    // that Pig's bulkier intermediates overflow.
-    let clicks = clicks_workloads(&ClicksSpec {
-        users: 120,
-        clicks_per_user: 40,
-        seed: 2024,
-        ..ClicksSpec::default()
-    });
-    let mut csa_config = config.clone();
-    csa_config.disk_capacity_mb = 65_000.0; // headroom Hive fits in, Pig does not
-    let w = clicks.iter().find(|w| w.name == "q-csa").expect("workload");
-    run_query(w, &csa_config, 20.0);
+    if let (Some(master), Some(path)) = (&master, &opts.trace_path) {
+        write_trace(master, path);
+    }
 }

@@ -38,11 +38,32 @@ pub fn execute_verified(
     config: &ClusterConfig,
     target_gb: f64,
 ) -> Result<QueryOutcome, CoreError> {
+    execute_verified_traced(w, strategy, config, target_gb, false).map(|(out, _)| out)
+}
+
+/// [`execute_verified`], optionally with structured execution tracing: when
+/// `traced` is set, the returned [`ysmart_mapred::Trace`] holds one span
+/// per simulated event of the run, exportable as Chrome-trace JSON.
+///
+/// # Errors
+///
+/// Same as [`execute_verified`].
+pub fn execute_verified_traced(
+    w: &Workload,
+    strategy: Strategy,
+    config: &ClusterConfig,
+    target_gb: f64,
+    traced: bool,
+) -> Result<(QueryOutcome, Option<ysmart_mapred::Trace>), CoreError> {
     let mut engine = YSmart::new(w.catalog.clone(), config.clone());
+    if traced {
+        engine.enable_tracing();
+    }
     w.load_into(&mut engine)?;
     let real_bytes = engine.cluster.hdfs.total_bytes().max(1);
     engine.cluster.config.size_multiplier = (target_gb * 1e9) / real_bytes as f64;
     let out = engine.execute_sql(&w.sql, strategy)?;
+    let trace = engine.take_trace();
 
     let tables: BTreeMap<String, Vec<Row>> = w
         .tables
@@ -60,7 +81,7 @@ pub fn execute_verified(
             expected.rows.len()
         )));
     }
-    Ok(out)
+    Ok((out, trace))
 }
 
 /// The "ideal parallel PostgreSQL" time of §VII-D: the oracle's single-node

@@ -77,6 +77,24 @@ impl YSmart {
         &self.catalog
     }
 
+    /// Turns on structured execution tracing: every job executed from here
+    /// on records spans (task attempts, shuffle fetches, verification,
+    /// recovery waits) into a [`ysmart_mapred::Trace`]. Zero cost when off.
+    pub fn enable_tracing(&mut self) {
+        self.cluster.enable_tracing();
+    }
+
+    /// Takes the accumulated execution trace, if tracing was enabled —
+    /// export it with [`ysmart_mapred::Trace::to_chrome_json`]. Tracing
+    /// stays enabled with a fresh, empty trace.
+    pub fn take_trace(&mut self) -> Option<ysmart_mapred::Trace> {
+        let t = self.cluster.take_trace();
+        if t.is_some() {
+            self.cluster.enable_tracing();
+        }
+        t
+    }
+
     /// Loads rows into HDFS under `data/<name>`. The table must exist in
     /// the catalog; rows are encoded in the pipe-delimited text format.
     ///

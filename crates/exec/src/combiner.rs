@@ -13,7 +13,7 @@ use std::sync::Arc;
 use ysmart_mapred::Combiner;
 use ysmart_rel::{AggFunc, AggState, Expr, Row, Value};
 
-use crate::blueprint::{JobBlueprint, PartialAgg};
+use crate::blueprint::JobBlueprint;
 
 /// Encodes a finished accumulator as partial-row fields.
 #[must_use]
@@ -77,27 +77,35 @@ pub fn update_states(
 #[derive(Debug)]
 pub struct PartialAggCombiner {
     blueprint: Arc<JobBlueprint>,
+    /// First evaluation error hit while combining — surfaced through
+    /// [`Combiner::take_error`] so the engine fails the job with a typed
+    /// error instead of this task panicking.
+    error: Option<String>,
 }
 
 impl PartialAggCombiner {
     /// Creates the combiner for a blueprint (which must carry a
-    /// [`PartialAgg`]).
+    /// [`crate::blueprint::PartialAgg`]).
     #[must_use]
     pub fn new(blueprint: Arc<JobBlueprint>) -> Self {
-        PartialAggCombiner { blueprint }
-    }
-
-    fn spec(&self) -> &PartialAgg {
-        self.blueprint
-            .combiner
-            .as_ref()
-            .expect("combiner blueprint")
+        PartialAggCombiner {
+            blueprint,
+            error: None,
+        }
     }
 }
 
 impl Combiner for PartialAggCombiner {
     fn combine(&mut self, _key: &Row, values: &[Row]) -> Vec<Row> {
-        let spec = self.spec();
+        let bp = Arc::clone(&self.blueprint);
+        let Some(spec) = bp.combiner.as_ref() else {
+            // A blueprint without a PartialAgg never builds this combiner;
+            // if one does, report it and pass the rows through unchanged —
+            // correctness never depends on combining.
+            self.error
+                .get_or_insert_with(|| format!("combiner blueprint missing in {}", bp.name));
+            return values.to_vec();
+        };
         let mut groups: BTreeMap<Vec<Value>, Vec<AggState>> = BTreeMap::new();
         for row in values {
             let group: Vec<Value> = spec
@@ -108,8 +116,11 @@ impl Combiner for PartialAggCombiner {
             let states = groups
                 .entry(group)
                 .or_insert_with(|| spec.aggs.iter().map(|(f, _)| f.new_state()).collect());
-            update_states(states, &spec.aggs, row)
-                .unwrap_or_else(|e| panic!("combiner aggregation failed: {e}"));
+            if let Err(e) = update_states(states, &spec.aggs, row) {
+                self.error
+                    .get_or_insert_with(|| format!("combiner aggregation failed: {e}"));
+                return values.to_vec();
+            }
         }
         groups
             .into_iter()
@@ -121,6 +132,10 @@ impl Combiner for PartialAggCombiner {
                 Row::new(vals)
             })
             .collect()
+    }
+
+    fn take_error(&mut self) -> Option<String> {
+        self.error.take()
     }
 }
 

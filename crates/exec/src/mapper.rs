@@ -10,13 +10,18 @@
 //!   NOT see this pair (the paper inverts the tag because merged jobs
 //!   mostly overlap, keeping per-record bookkeeping near zero).
 //!
-//! Evaluation errors abort the job through a panic carrying the expression
-//! error; the workloads are typed by the planner, so this is a programming
-//! error rather than a data error. *Decode* errors are a data problem —
-//! torn or corrupted records — so they are counted via
-//! [`MapOutput::record_bad`] and the record is skipped, mirroring Hadoop's
-//! skipping mode; the engine enforces the
-//! `ClusterConfig::skip_bad_records` budget.
+//! Evaluation errors (a failing predicate, key or projection expression)
+//! are planner bugs, not data problems: they abort the job via
+//! [`MapOutput::record_fatal`], which the engine surfaces as a typed
+//! `MapRedError::User` failure of the whole job — no panic unwinds through
+//! the executor. *Decode* errors are a data problem — torn or corrupted
+//! records — so they are counted via [`MapOutput::record_bad`] and the
+//! record is skipped, mirroring Hadoop's skipping mode; the engine enforces
+//! the `ClusterConfig::skip_bad_records` budget.
+//!
+//! Each record visible to a branch is also counted via
+//! [`MapOutput::record_dispatch`], giving merged (CMF) jobs per-stream
+//! fan-out visibility in `JobMetrics::map_dispatches`.
 
 use std::sync::Arc;
 
@@ -177,12 +182,20 @@ impl Mapper for CommonMapper {
         for b in &input.branches {
             let visible = match &b.predicate {
                 None => true,
-                Some(p) => p
-                    .eval_predicate(&row)
-                    .unwrap_or_else(|e| panic!("predicate failed in {}: {e}", self.blueprint.name)),
+                Some(p) => match p.eval_predicate(&row) {
+                    Ok(v) => v,
+                    Err(e) => {
+                        out.record_fatal(format!(
+                            "predicate failed in {}: {e}",
+                            self.blueprint.name
+                        ));
+                        return;
+                    }
+                },
             };
             if visible {
                 any = true;
+                out.record_dispatch(b.stream);
             } else {
                 forbidden |= 1 << b.stream;
             }
@@ -190,23 +203,16 @@ impl Mapper for CommonMapper {
         if !any {
             return;
         }
-        let key: Row = match &self.plain_keys {
-            Some(cols) => cols
-                .iter()
-                .map(|&c| {
-                    row.get(c)
-                        .cloned()
-                        .unwrap_or_else(|err| panic!("key expr failed: {err}"))
-                })
-                .collect(),
-            None => input
-                .key_exprs
-                .iter()
-                .map(|e| {
-                    e.eval(&row)
-                        .unwrap_or_else(|err| panic!("key expr failed: {err}"))
-                })
-                .collect(),
+        let key: Result<Row, _> = match &self.plain_keys {
+            Some(cols) => cols.iter().map(|&c| row.get(c).cloned()).collect(),
+            None => input.key_exprs.iter().map(|e| e.eval(&row)).collect(),
+        };
+        let key = match key {
+            Ok(k) => k,
+            Err(err) => {
+                out.record_fatal(format!("key expr failed in {}: {err}", self.blueprint.name));
+                return;
+            }
         };
 
         if self.blueprint.map_only {
@@ -215,14 +221,21 @@ impl Mapper for CommonMapper {
                 Some(cols) => take_cols(row, cols),
                 None => {
                     let carried = row.project(&input.value_cols);
-                    self.blueprint.streams[0]
+                    let projected: Result<Row, _> = self.blueprint.streams[0]
                         .projection
                         .iter()
-                        .map(|e| {
-                            e.eval(&carried)
-                                .unwrap_or_else(|err| panic!("projection failed: {err}"))
-                        })
-                        .collect()
+                        .map(|e| e.eval(&carried))
+                        .collect();
+                    match projected {
+                        Ok(p) => p,
+                        Err(err) => {
+                            out.record_fatal(format!(
+                                "projection failed in {}: {err}",
+                                self.blueprint.name
+                            ));
+                            return;
+                        }
+                    }
                 }
             };
             out.emit(key, projected);
@@ -249,14 +262,21 @@ impl Mapper for CommonMapper {
                 Some(cols) => take_cols(row, cols),
                 None => {
                     let carried = row.project(&input.value_cols);
-                    self.blueprint.streams[0]
+                    let projected: Result<Row, _> = self.blueprint.streams[0]
                         .projection
                         .iter()
-                        .map(|e| {
-                            e.eval(&carried)
-                                .unwrap_or_else(|err| panic!("projection failed: {err}"))
-                        })
-                        .collect()
+                        .map(|e| e.eval(&carried))
+                        .collect();
+                    match projected {
+                        Ok(p) => p,
+                        Err(err) => {
+                            out.record_fatal(format!(
+                                "projection failed in {}: {err}",
+                                self.blueprint.name
+                            ));
+                            return;
+                        }
+                    }
                 }
             }
         };

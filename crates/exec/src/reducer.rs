@@ -10,6 +10,13 @@
 //! job-flow-correlation merging (the paper: "the persistence and
 //! re-partitioning of intermediate tables inner and outer are actually
 //! avoided").
+//!
+//! Every value routed to a stream is counted via
+//! [`ReduceOutput::record_dispatch`], surfacing the post-shuffle fan-out of
+//! merged jobs in `JobMetrics::reduce_dispatches`. Evaluation errors —
+//! planner bugs, not data problems — abort the job via
+//! [`ReduceOutput::record_fatal`], which the engine turns into a typed
+//! `MapRedError::User` failure instead of a panic.
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -141,25 +148,32 @@ impl Reducer for CommonReducer {
                         continue; // inverted tag: this stream must not see it
                     }
                     out.add_work(1);
-                    let projected: Row = match &self.plain_projections[s] {
+                    out.record_dispatch(s);
+                    let projected: Result<Row, String> = match &self.plain_projections[s] {
                         Some(cols) => cols
                             .iter()
                             .map(|&c| {
-                                vals.get(c).cloned().unwrap_or_else(|| {
-                                    panic!("stream projection failed: column {c} out of range")
-                                })
+                                vals.get(c)
+                                    .cloned()
+                                    .ok_or_else(|| format!("column {c} out of range"))
                             })
                             .collect(),
                         None => {
                             let carried = carried.get_or_insert_with(|| Row::new(vals.to_vec()));
                             spec.projection
                                 .iter()
-                                .map(|e| {
-                                    e.eval(carried).unwrap_or_else(|err| {
-                                        panic!("stream projection failed: {err}")
-                                    })
-                                })
+                                .map(|e| e.eval(carried).map_err(|err| err.to_string()))
                                 .collect()
+                        }
+                    };
+                    let projected = match projected {
+                        Ok(p) => p,
+                        Err(err) => {
+                            out.record_fatal(format!(
+                                "stream projection failed in {}: {err}",
+                                bp.name
+                            ));
+                            return;
                         }
                     };
                     self.streams[s].push(projected);
@@ -171,6 +185,8 @@ impl Reducer for CommonReducer {
         let stream_views: Vec<&[Row]> = if self.tagged {
             self.streams.iter().map(Vec::as_slice).collect()
         } else {
+            // Direct mode: every value of the group feeds the single stream.
+            out.record_dispatches(0, values.len() as u64);
             let mut views: Vec<&[Row]> = vec![&[]; bp.streams.len()];
             views[0] = values;
             views
@@ -209,14 +225,21 @@ impl Reducer for CommonReducer {
                     merge_partials,
                 } => {
                     let input = Self::source_rows(&stream_views, &op_outputs, op.inputs[0]);
-                    eval_agg(
+                    match eval_agg(
                         input,
                         group_cols,
                         aggs,
                         having.as_ref(),
                         *merge_partials,
                         &mut work,
-                    )
+                    ) {
+                        Ok(rows) => rows,
+                        Err(e) => {
+                            out.add_work(work);
+                            out.record_fatal(format!("{e} (job {})", bp.name));
+                            return;
+                        }
+                    }
                 }
                 OpKind::Join {
                     kind,
@@ -226,7 +249,7 @@ impl Reducer for CommonReducer {
                 } => {
                     let left = Self::source_rows(&stream_views, &op_outputs, op.inputs[0]);
                     let right = Self::source_rows(&stream_views, &op_outputs, op.inputs[1]);
-                    eval_join(
+                    match eval_join(
                         left,
                         right,
                         *kind,
@@ -234,11 +257,24 @@ impl Reducer for CommonReducer {
                         *left_width,
                         *right_width,
                         &mut work,
-                    )
+                    ) {
+                        Ok(rows) => rows,
+                        Err(e) => {
+                            out.add_work(work);
+                            out.record_fatal(format!("{e} (job {})", bp.name));
+                            return;
+                        }
+                    }
                 }
             };
-            let rows = apply_chain(&op.transforms, rows, &mut work)
-                .unwrap_or_else(|e| panic!("transform failed in {}: {e}", bp.name));
+            let rows = match apply_chain(&op.transforms, rows, &mut work) {
+                Ok(rows) => rows,
+                Err(e) => {
+                    out.add_work(work);
+                    out.record_fatal(format!("transform failed in {}: {e}", bp.name));
+                    return;
+                }
+            };
             out.add_work(work);
             op_outputs.push(OpRows::Owned(rows));
         }
@@ -273,8 +309,8 @@ fn eval_agg(
     having: Option<&Expr>,
     merge_partials: bool,
     work: &mut u64,
-) -> Vec<Row> {
-    let update = |states: &mut [AggState], row: &Row| {
+) -> Result<Vec<Row>, String> {
+    let update = |states: &mut [AggState], row: &Row| -> Result<(), String> {
         if merge_partials {
             // Partial fields follow the group columns in combiner layout.
             let mut offset = group_cols.len();
@@ -284,12 +320,13 @@ fn eval_agg(
                 let partial = decode_partial(*func, fields);
                 state
                     .merge(&partial)
-                    .unwrap_or_else(|e| panic!("partial merge failed: {e}"));
+                    .map_err(|e| format!("partial merge failed: {e}"))?;
                 offset += width;
             }
         } else {
-            update_states(states, aggs, row).unwrap_or_else(|e| panic!("aggregation failed: {e}"));
+            update_states(states, aggs, row).map_err(|e| format!("aggregation failed: {e}"))?;
         }
+        Ok(())
     };
     let finished: Vec<(Vec<Value>, Vec<AggState>)> = if group_cols.is_empty() && !input.is_empty() {
         // Single group (the reduce key is the whole GROUP BY): no per-row
@@ -298,7 +335,7 @@ fn eval_agg(
         let mut states: Vec<AggState> = aggs.iter().map(|(f, _)| f.new_state()).collect();
         for row in input {
             *work += 1;
-            update(&mut states, row);
+            update(&mut states, row)?;
         }
         vec![(Vec::new(), states)]
     } else {
@@ -312,7 +349,7 @@ fn eval_agg(
             let states = groups
                 .entry(group)
                 .or_insert_with(|| aggs.iter().map(|(f, _)| f.new_state()).collect());
-            update(states, row);
+            update(states, row)?;
         }
         groups.into_iter().collect()
     };
@@ -327,13 +364,13 @@ fn eval_agg(
             match h.eval_predicate(&row) {
                 Ok(true) => out.push(row),
                 Ok(false) => {}
-                Err(e) => panic!("HAVING failed: {e}"),
+                Err(e) => return Err(format!("HAVING failed: {e}")),
             }
         } else {
             out.push(row);
         }
     }
-    out
+    Ok(out)
 }
 
 /// Equi-join within one key group: the partition key is the full equi-key,
@@ -347,7 +384,7 @@ fn eval_join(
     left_width: usize,
     right_width: usize,
     work: &mut u64,
-) -> Vec<Row> {
+) -> Result<Vec<Row>, String> {
     let mut out = Vec::new();
     let mut right_matched = vec![false; right.len()];
     for l in left {
@@ -359,7 +396,7 @@ fn eval_join(
                 None => true,
                 Some(p) => p
                     .eval_predicate(&joined)
-                    .unwrap_or_else(|e| panic!("join residual failed: {e}")),
+                    .map_err(|e| format!("join residual failed: {e}"))?,
             };
             if pass {
                 matched = true;
@@ -378,7 +415,7 @@ fn eval_join(
             }
         }
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]

@@ -152,6 +152,20 @@ pub fn run_chain(cluster: &mut Cluster, chain: &JobChain) -> Result<ChainOutcome
         if let (Some(c), Some(rng)) = (cluster.config.contention, gap_rng.as_mut()) {
             delay += rng.gen::<f64>() * c.max_scheduling_gap_s;
         }
+        // Tracing: scheduling gaps live on the chain-scheduler lane, and
+        // the cursor tells the engine where on the simulated timeline this
+        // attempt's spans start.
+        if let Some(tr) = cluster.trace_mut() {
+            if delay > 0.0 {
+                tr.chain_span(
+                    "gap",
+                    format!("scheduling gap before {}", job.name),
+                    elapsed,
+                    delay,
+                );
+            }
+            tr.set_cursor(elapsed + delay);
+        }
         match run_job_attempt(cluster, job, attempt) {
             Ok(mut m) => {
                 m.startup_delay_s = delay;
@@ -162,6 +176,22 @@ pub fn run_chain(cluster: &mut Cluster, chain: &JobChain) -> Result<ChainOutcome
                 attempt = 0;
             }
             Err(fail) => {
+                // The attempt's buffered spans were dropped by the engine;
+                // one summary span on the scheduler lane records the
+                // burned time instead.
+                if let Some(tr) = cluster.trace_mut() {
+                    tr.chain_span(
+                        "job_failed",
+                        format!(
+                            "{} attempt {} failed: {}",
+                            job.name,
+                            attempt + 1,
+                            fail.error
+                        ),
+                        elapsed + delay,
+                        fail.wasted_s,
+                    );
+                }
                 metrics.failed_attempt_s += delay + fail.wasted_s;
                 elapsed += delay + fail.wasted_s;
                 let can_retry = cluster
@@ -175,6 +205,14 @@ pub fn run_chain(cluster: &mut Cluster, chain: &JobChain) -> Result<ChainOutcome
                     });
                 };
                 let backoff = policy.backoff_s(attempt);
+                if let Some(tr) = cluster.trace_mut() {
+                    tr.chain_span(
+                        "backoff",
+                        format!("retry backoff before {} attempt {}", job.name, attempt + 2),
+                        elapsed,
+                        backoff,
+                    );
+                }
                 metrics.retries += 1;
                 metrics.backoff_delay_s += backoff;
                 elapsed += backoff;

@@ -61,6 +61,7 @@ use crate::hash::{checksum_bytes, hash_row, partition};
 use crate::hdfs::Hdfs;
 use crate::job::{JobSpec, MapOutput, ReduceOutput};
 use crate::metrics::JobMetrics;
+use crate::trace::{ArgValue, Trace, TraceEvent, SPEC_LANE_BASE};
 
 /// CPU microseconds charged per record comparison in the map-side sort.
 const SORT_CPU_US_PER_CMP: f64 = 0.05;
@@ -84,6 +85,8 @@ pub struct Cluster {
     pub hdfs: Hdfs,
     /// The cost model and topology.
     pub config: ClusterConfig,
+    /// Execution trace, recorded only when enabled ([`Cluster::enable_tracing`]).
+    trace: Option<Trace>,
 }
 
 impl Cluster {
@@ -93,7 +96,31 @@ impl Cluster {
         Cluster {
             hdfs: Hdfs::new(),
             config,
+            trace: None,
         }
+    }
+
+    /// Starts recording an execution trace. Until [`Cluster::take_trace`]
+    /// is called, every job run on this cluster appends its spans; with
+    /// tracing off (the default) no trace work happens at all.
+    pub fn enable_tracing(&mut self) {
+        self.trace.get_or_insert_with(Trace::new);
+    }
+
+    /// Whether a trace is being recorded.
+    #[must_use]
+    pub fn tracing(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    /// The trace recorded so far, for in-place inspection or cursor moves.
+    pub fn trace_mut(&mut self) -> Option<&mut Trace> {
+        self.trace.as_mut()
+    }
+
+    /// Stops tracing and returns the recorded trace, if any.
+    pub fn take_trace(&mut self) -> Option<Trace> {
+        self.trace.take()
     }
 
     /// Loads a table into HDFS at `data/<name>`.
@@ -166,6 +193,14 @@ struct MapTaskResult {
     verify_s: f64,
     /// Malformed input records the mapper skipped.
     skipped_records: u64,
+    /// Injected flips the block checksum failed to detect (collisions).
+    collisions: u64,
+    /// Duration of one (successful) attempt of this task — `time_s` minus
+    /// the re-executed failed attempts. The trace draws failed attempts as
+    /// separate spans of half this length, matching the engine's charge.
+    attempt_s: f64,
+    /// Per-stream dispatch counts reported by the mapper (CMF fan-out).
+    dispatches: Vec<u64>,
 }
 
 /// Executes one job, mutating HDFS with its output and returning metrics.
@@ -200,6 +235,15 @@ pub fn run_job_attempt(
     let cfg = cluster.config.clone();
     let mult = cfg.size_multiplier;
     let slowdown = cfg.contention.map_or(1.0, |c| c.task_slowdown);
+    // Tracing: spans are buffered locally and committed to the cluster
+    // trace only if this attempt succeeds (a failed attempt is summarised
+    // by the chain as one `job_failed` span instead). All emission happens
+    // in the serial sections after thread joins, keyed by simulated time
+    // and task index — never wall clock — so traces are byte-identical
+    // across `exec_threads` settings.
+    let tracing = cluster.trace.is_some();
+    let cursor = cluster.trace.as_ref().map_or(0.0, Trace::cursor_s);
+    let mut tev: Vec<TraceEvent> = Vec::new();
 
     // ---- split ----------------------------------------------------------
     // Splits are contiguous line ranges, so tasks borrow slices of the
@@ -273,40 +317,57 @@ pub fn run_job_attempt(
             .map(|(i, c)| (i * chunk, c))
             .collect();
         let cfg_ref = &cfg;
-        let chunk_results: Vec<Vec<MapTaskResult>> = crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = task_slices
-                .into_iter()
-                .map(|(base, slice)| {
-                    scope.spawn(move |_| {
-                        slice
-                            .iter()
-                            .enumerate()
-                            .map(|(off, (input_idx, lines))| {
-                                run_map_task(
-                                    cfg_ref,
-                                    spec,
-                                    job_hash,
-                                    attempt,
-                                    base + off,
-                                    *input_idx,
-                                    lines,
-                                    num_reducers,
-                                    map_only,
-                                    mult,
-                                    slowdown,
-                                )
-                            })
-                            .collect()
+        // A panicking task thread (a user mapper that panics despite the
+        // record_fatal channel) surfaces as a typed User error, not a
+        // panic of the whole chain.
+        let chunk_results: Result<Vec<Vec<MapTaskResult>>, MapRedError> =
+            crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = task_slices
+                    .into_iter()
+                    .map(|(base, slice)| {
+                        scope.spawn(move |_| {
+                            slice
+                                .iter()
+                                .enumerate()
+                                .map(|(off, (input_idx, lines))| {
+                                    run_map_task(
+                                        cfg_ref,
+                                        spec,
+                                        job_hash,
+                                        attempt,
+                                        base + off,
+                                        *input_idx,
+                                        lines,
+                                        num_reducers,
+                                        map_only,
+                                        mult,
+                                        slowdown,
+                                    )
+                                })
+                                .collect()
+                        })
                     })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("map task thread panicked"))
-                .collect()
-        })
-        .expect("crossbeam scope");
-        chunk_results.into_iter().flatten().collect()
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| {
+                        h.join().map_err(|_| {
+                            MapRedError::User(format!("map task panicked in job {}", spec.name))
+                        })
+                    })
+                    .collect()
+            })
+            .unwrap_or_else(|_| {
+                Err(MapRedError::User(format!(
+                    "map phase thread panicked in job {}",
+                    spec.name
+                )))
+            });
+        chunk_results
+            .map_err(AttemptFailure::from)?
+            .into_iter()
+            .flatten()
+            .collect()
     };
     let speculative_tasks: usize = results.iter().map(|r| r.speculative).sum();
 
@@ -348,6 +409,10 @@ pub fn run_job_attempt(
     let mut reexecuted_tasks = 0usize;
     let mut wasted_s = 0.0f64;
     let mut lost_map_frac = 0.0f64;
+    // (task index, duration) of map tasks lost to dead nodes, and the
+    // simulated time their re-execution wave starts — kept for the trace.
+    let mut lost: Vec<(usize, f64)> = Vec::new();
+    let mut reexec_base_s = 0.0f64;
     if let Some(model) = cfg.node_failures {
         const SPLITMIX: u64 = 0x9E37_79B9_7F4A_7C15;
         for (n, d) in dead.iter_mut().enumerate() {
@@ -369,18 +434,19 @@ pub fn run_job_attempt(
                 wasted_s: map_makespan,
             });
         }
-        let lost_times: Vec<f64> = results
+        lost = results
             .iter()
             .enumerate()
             .filter(|(idx, _)| dead[idx % nodes])
-            .map(|(_, r)| r.time_s)
+            .map(|(idx, r)| (idx, r.time_s))
             .collect();
-        if !lost_times.is_empty() {
-            reexecuted_tasks += lost_times.len();
-            wasted_s += lost_times.iter().sum::<f64>();
-            lost_map_frac = lost_times.len() as f64 / results.len() as f64;
+        if !lost.is_empty() {
+            reexecuted_tasks += lost.len();
+            wasted_s += lost.iter().map(|&(_, t)| t).sum::<f64>();
+            lost_map_frac = lost.len() as f64 / results.len() as f64;
+            reexec_base_s = map_makespan;
             map_makespan += makespan(
-                lost_times.into_iter(),
+                lost.iter().map(|&(_, t)| t),
                 cfg.surviving_map_slots(nodes - nodes_lost),
             );
         }
@@ -393,13 +459,17 @@ pub fn run_job_attempt(
         wasted_s: map_makespan,
     })?;
 
+    let mut map_dispatches: Vec<u64> = Vec::new();
+    for r in &results {
+        accumulate(&mut map_dispatches, &r.dispatches);
+    }
     let mut metrics = JobMetrics {
         name: spec.name.clone(),
         map_time_s: map_makespan,
-        hdfs_read_bytes: (hdfs_read_real as f64 * mult) as u64,
+        hdfs_read_bytes: scale_u64(hdfs_read_real, mult),
         local_spill_bytes: total_spill,
-        map_in_records: (results.iter().map(|r| r.in_records).sum::<u64>() as f64 * mult) as u64,
-        map_out_records: (results.iter().map(|r| r.out_records).sum::<u64>() as f64 * mult) as u64,
+        map_in_records: scale_u64(results.iter().map(|r| r.in_records).sum::<u64>(), mult),
+        map_out_records: scale_u64(results.iter().map(|r| r.out_records).sum::<u64>(), mult),
         map_tasks: results.len(),
         failed_attempts: results.iter().map(|r| r.failed_attempts).sum(),
         speculative_tasks,
@@ -411,8 +481,93 @@ pub fn run_job_attempt(
         corrupt_blocks_detected: results.iter().map(|r| r.corrupt_replicas).sum(),
         skipped_records,
         verify_s: results.iter().map(|r| r.verify_s).sum(),
+        checksum_collisions: results.iter().map(|r| r.collisions).sum(),
+        map_dispatches,
         ..JobMetrics::default()
     };
+
+    // ---- map-phase trace spans -------------------------------------------
+    // Re-derive the list schedule the makespan used (identical float ops,
+    // so span extents and `map_time_s` agree bit-for-bit) and lay each
+    // task's failed attempts, success run, speculative backup and integrity
+    // events on its slot's lane.
+    if tracing {
+        let times: Vec<f64> = results.iter().map(|r| r.time_s).collect();
+        let (placed, _) = schedule(&times, cfg.total_map_slots());
+        for (idx, r) in results.iter().enumerate() {
+            let tid = placed[idx].0 as u32;
+            let mut at = cursor + placed[idx].1;
+            for f in 0..r.failed_attempts {
+                let d = r.attempt_s * 0.5;
+                tev.push(TraceEvent::span(
+                    tid,
+                    "attempt_failed",
+                    format!("m{idx} attempt {} (failed)", f + 1),
+                    at,
+                    d,
+                ));
+                at += d;
+            }
+            let mut ev = TraceEvent::span(tid, "map", format!("m{idx}"), at, r.attempt_s)
+                .arg("in_records", ArgValue::U64(r.in_records))
+                .arg("out_records", ArgValue::U64(r.out_records));
+            if r.verify_s > 0.0 {
+                ev = ev.arg("verify_s", ArgValue::F64(r.verify_s));
+            }
+            if r.corrupt_replicas > 0 {
+                ev = ev.arg("corrupt_replicas", ArgValue::U64(r.corrupt_replicas));
+            }
+            tev.push(ev);
+            if r.verify_s > 0.0 {
+                tev.push(TraceEvent::span(
+                    tid,
+                    "verify",
+                    format!("m{idx} checksum verify"),
+                    at,
+                    r.verify_s,
+                ));
+            }
+            if r.speculative > 0 {
+                tev.push(TraceEvent::span(
+                    SPEC_LANE_BASE + tid,
+                    "speculative",
+                    format!("m{idx} backup"),
+                    at,
+                    r.spec_slot_s,
+                ));
+            }
+            if r.skipped_records > 0 {
+                tev.push(
+                    TraceEvent::instant(
+                        tid,
+                        "skip",
+                        format!("m{idx} skipped bad records"),
+                        at + r.attempt_s,
+                    )
+                    .arg("records", ArgValue::U64(r.skipped_records)),
+                );
+            }
+            if r.collisions > 0 {
+                tev.push(
+                    TraceEvent::instant(tid, "collision", format!("m{idx} checksum collision"), at)
+                        .arg("collisions", ArgValue::U64(r.collisions)),
+                );
+            }
+        }
+        if !lost.is_empty() {
+            let lost_times: Vec<f64> = lost.iter().map(|&(_, t)| t).collect();
+            let (placed, _) = schedule(&lost_times, cfg.surviving_map_slots(nodes - nodes_lost));
+            for (&(idx, t), &(slot, start)) in lost.iter().zip(&placed) {
+                tev.push(TraceEvent::span(
+                    slot as u32,
+                    "reexec",
+                    format!("m{idx} re-exec (node lost)"),
+                    cursor + reexec_base_s + start,
+                    t,
+                ));
+            }
+        }
+    }
 
     // ---- map-only completion ---------------------------------------------
     if map_only {
@@ -429,15 +584,29 @@ pub fn run_job_attempt(
         }
         let sim_out = out_bytes as f64 * mult;
         // Map-only jobs still write output to HDFS with replication.
-        metrics.map_time_s += cfg.net_seconds(sim_out * f64::from(cfg.replication))
+        let write_s = cfg.net_seconds(sim_out * f64::from(cfg.replication))
             / (cfg.total_map_slots() as f64).max(1.0);
-        metrics.hdfs_write_bytes = sim_out as u64;
-        metrics.out_records = (lines.len() as f64 * mult) as u64;
+        if tracing {
+            tev.push(
+                TraceEvent::span(
+                    0,
+                    "write",
+                    format!("{} output write", spec.name),
+                    cursor + metrics.map_time_s,
+                    write_s,
+                )
+                .arg("bytes", ArgValue::U64(scale_u64(out_bytes, mult))),
+            );
+        }
+        metrics.map_time_s += write_s;
+        metrics.hdfs_write_bytes = scale_u64(out_bytes, mult);
+        metrics.out_records = scale_u64(lines.len() as u64, mult);
         check_time(&cfg, metrics.map_time_s).map_err(|error| AttemptFailure {
             error,
             wasted_s: metrics.map_time_s,
         })?;
         cluster.hdfs.put(&spec.output, lines);
+        commit_job_trace(cluster, spec, attempt, &metrics, tev);
         return Ok(metrics);
     }
 
@@ -466,6 +635,10 @@ pub fn run_job_attempt(
     let mut refetched_segments = 0u64;
     let mut segment_verify_s = 0.0f64;
     let mut fetch_failures = vec![0usize; nodes];
+    let mut seg_collisions = 0u64;
+    // Per-partition integrity detail for the trace's fetch/verify spans.
+    let mut part_verify = vec![0.0f64; num_reducers];
+    let mut part_refetches = vec![0u64; num_reducers];
     for (t, r) in results.into_iter().enumerate() {
         let weight = r.weight;
         for (p, seg) in r.runs {
@@ -501,10 +674,13 @@ pub fn run_job_attempt(
                             let mut garbled = canon.clone();
                             garbled[bit / 8] ^= 1 << (bit % 8);
                             if checksum_bytes(&garbled) == stored {
-                                // A checksum collision would let the flip
-                                // through undetected — excluded by the
-                                // avalanche test in `hash`.
-                                debug_assert!(false, "bit flip collided with checksum");
+                                // A checksum collision lets the flip through
+                                // undetected — excluded for single-bit flips
+                                // by the avalanche test in `hash`, but when
+                                // it happens it is *counted* in every build
+                                // profile (JobMetrics::checksum_collisions),
+                                // not debug-asserted away.
+                                seg_collisions += 1;
                                 break;
                             }
                             corrupt_fetches += 1;
@@ -520,6 +696,7 @@ pub fn run_job_attempt(
                         sim_raw / 1e9 * CHECKSUM_CPU_S_PER_GB * (1.0 + corrupt_fetches as f64);
                     segment_verify_s += verify;
                     refetch_extra_s[p] += verify;
+                    part_verify[p] += verify;
                     if corrupt_fetches > MAX_FETCH_RETRIES {
                         // The mapper's stored output itself is bad: its
                         // failed fetches, a full mapper re-execution and
@@ -527,6 +704,7 @@ pub fn run_job_attempt(
                         // reducer's fetch phase, and the failure counts
                         // against the mapper's node.
                         refetched_segments += MAX_FETCH_RETRIES as u64;
+                        part_refetches[p] += MAX_FETCH_RETRIES as u64;
                         refetch_extra_s[p] += MAX_FETCH_RETRIES as f64
                             * (cfg.net_seconds(sim_wire) + FETCH_RETRY_BACKOFF_S)
                             + task_times[t]
@@ -536,6 +714,7 @@ pub fn run_job_attempt(
                         fetch_failures[t % nodes] += 1;
                     } else if corrupt_fetches > 0 {
                         refetched_segments += corrupt_fetches as u64;
+                        part_refetches[p] += corrupt_fetches as u64;
                         refetch_extra_s[p] += corrupt_fetches as f64
                             * (cfg.net_seconds(sim_wire) + FETCH_RETRY_BACKOFF_S);
                     }
@@ -578,6 +757,7 @@ pub fn run_job_attempt(
     // node-loss RNG is seeded per partition index, and all accumulation
     // below happens in partition order after the join, so results, metrics
     // and times are identical to the serial path.
+    // Invariant, not a reachable panic: `map_only` jobs returned above.
     let reducer_factory = spec.reducer.as_ref().expect("non-map-only");
     let reduce_ctx = ReduceCtx {
         cfg: &cfg,
@@ -619,27 +799,41 @@ pub fn run_job_attempt(
             slices
         };
         let ctx_ref = &reduce_ctx;
-        let chunk_results: Vec<Vec<ReduceTaskResult>> = crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = task_slices
-                .into_iter()
-                .map(|(base, slice)| {
-                    scope.spawn(move |_| {
-                        slice
-                            .into_iter()
-                            .enumerate()
-                            .map(|(off, runs)| {
-                                run_reduce_task(ctx_ref, reducer_factory, base + off, runs)
-                            })
-                            .collect()
+        let chunk_results: Result<Vec<Vec<ReduceTaskResult>>, MapRedError> =
+            crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = task_slices
+                    .into_iter()
+                    .map(|(base, slice)| {
+                        scope.spawn(move |_| {
+                            slice
+                                .into_iter()
+                                .enumerate()
+                                .map(|(off, runs)| {
+                                    run_reduce_task(ctx_ref, reducer_factory, base + off, runs)
+                                })
+                                .collect()
+                        })
                     })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("reduce task thread panicked"))
-                .collect()
-        })
-        .expect("crossbeam scope");
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| {
+                        h.join().map_err(|_| {
+                            MapRedError::User(format!("reduce task panicked in job {}", spec.name))
+                        })
+                    })
+                    .collect()
+            })
+            .unwrap_or_else(|_| {
+                Err(MapRedError::User(format!(
+                    "reduce phase thread panicked in job {}",
+                    spec.name
+                )))
+            });
+        let chunk_results = chunk_results.map_err(|error| AttemptFailure {
+            error,
+            wasted_s: metrics.map_time_s,
+        })?;
         chunk_results.into_iter().flatten().collect()
     };
 
@@ -648,6 +842,8 @@ pub fn run_job_attempt(
     let mut reduce_times: Vec<f64> = Vec::with_capacity(num_reducers);
     let mut all_lines: Vec<String> = Vec::new();
     let mut out_bytes = 0u64;
+    let mut reduce_fatal: Option<MapRedError> = None;
+    let mut rinfo: Vec<RSpanInfo> = Vec::with_capacity(if tracing { num_reducers } else { 0 });
     for r in reduce_results {
         reduce_speculative += r.speculative;
         reduce_spec_slot_s += r.spec_slot_s;
@@ -655,6 +851,20 @@ pub fn run_job_attempt(
         reexecuted_tasks += r.reexecuted;
         out_bytes += r.out_bytes;
         reduce_times.push(r.time_s);
+        if reduce_fatal.is_none() {
+            reduce_fatal = r.fatal;
+        }
+        accumulate(&mut metrics.reduce_dispatches, &r.dispatches);
+        if tracing {
+            rinfo.push(RSpanInfo {
+                wasted_s: r.wasted_s,
+                reexecuted: r.reexecuted,
+                fetch_frac: r.fetch_frac,
+                speculative: r.speculative,
+                spec_slot_s: r.spec_slot_s,
+                out_records: r.lines.len() as u64,
+            });
+        }
         all_lines.extend(r.lines);
     }
     let reduce_slots = if nodes_lost > 0 || blacklisted > 0 {
@@ -662,10 +872,19 @@ pub fn run_job_attempt(
     } else {
         cfg.total_reduce_slots()
     };
-    metrics.reduce_time_s = makespan(reduce_times.into_iter(), reduce_slots);
+    let reduce_makespan = makespan(reduce_times.iter().copied(), reduce_slots);
+    // A reducer that reported an evaluation error kills the attempt as a
+    // typed (non-retryable) failure after the phase's time is accounted.
+    if let Some(error) = reduce_fatal {
+        return Err(AttemptFailure {
+            error,
+            wasted_s: metrics.map_time_s + reduce_makespan,
+        });
+    }
+    metrics.reduce_time_s = reduce_makespan;
     metrics.shuffle_bytes = total_shuffle_sim as u64;
-    metrics.hdfs_write_bytes = (out_bytes as f64 * mult) as u64;
-    metrics.out_records = (all_lines.len() as f64 * mult) as u64;
+    metrics.hdfs_write_bytes = scale_u64(out_bytes, mult);
+    metrics.out_records = scale_u64(all_lines.len() as u64, mult);
     metrics.reduce_tasks = num_reducers;
     metrics.speculative_tasks = speculative_tasks + reduce_speculative;
     metrics.speculative_slot_s += reduce_spec_slot_s;
@@ -674,6 +893,73 @@ pub fn run_job_attempt(
     metrics.refetched_segments = refetched_segments;
     metrics.blacklisted_nodes = blacklisted;
     metrics.verify_s += segment_verify_s;
+    metrics.checksum_collisions += seg_collisions;
+
+    // ---- reduce-phase trace spans ----------------------------------------
+    // Same re-derived schedule as the makespan; each reduce task's lane
+    // shows its (possibly wasted-then-restarted) run, with the shuffle
+    // fetch and checksum verification as nested sub-spans.
+    if tracing {
+        let (placed, _) = schedule(&reduce_times, reduce_slots);
+        let rbase = cursor + metrics.map_time_s;
+        for (p, info) in rinfo.iter().enumerate() {
+            let tid = placed[p].0 as u32;
+            let mut at = rbase + placed[p].1;
+            if info.reexecuted > 0 {
+                tev.push(TraceEvent::span(
+                    tid,
+                    "reexec",
+                    format!("r{p} first run (node lost)"),
+                    at,
+                    info.wasted_s,
+                ));
+                at += info.wasted_s;
+            }
+            let run_dur = reduce_times[p] - info.wasted_s;
+            tev.push(
+                TraceEvent::span(tid, "reduce", format!("r{p}"), at, run_dur)
+                    .arg("out_records", ArgValue::U64(info.out_records)),
+            );
+            let fetch_dur = info.fetch_frac * run_dur;
+            if fetch_dur > 0.0 {
+                let mut ev =
+                    TraceEvent::span(tid, "fetch", format!("r{p} shuffle fetch"), at, fetch_dur);
+                if part_refetches[p] > 0 {
+                    ev = ev.arg("refetches", ArgValue::U64(part_refetches[p]));
+                }
+                tev.push(ev);
+                if part_verify[p] > 0.0 {
+                    tev.push(TraceEvent::span(
+                        tid,
+                        "verify",
+                        format!("r{p} segment verify"),
+                        at,
+                        part_verify[p].min(fetch_dur),
+                    ));
+                }
+            }
+            if info.speculative > 0 {
+                tev.push(TraceEvent::span(
+                    SPEC_LANE_BASE + tid,
+                    "speculative",
+                    format!("r{p} backup"),
+                    at,
+                    info.spec_slot_s,
+                ));
+            }
+        }
+        if seg_collisions > 0 {
+            tev.push(
+                TraceEvent::instant(
+                    0,
+                    "collision",
+                    "shuffle checksum collision".to_string(),
+                    rbase,
+                )
+                .arg("collisions", ArgValue::U64(seg_collisions)),
+            );
+        }
+    }
 
     check_time(&cfg, metrics.map_time_s + metrics.reduce_time_s).map_err(|error| {
         AttemptFailure {
@@ -682,7 +968,73 @@ pub fn run_job_attempt(
         }
     })?;
     cluster.hdfs.put(&spec.output, all_lines);
+    commit_job_trace(cluster, spec, attempt, &metrics, tev);
     Ok(metrics)
+}
+
+/// Per-reduce-task detail kept (only when tracing) for span emission.
+struct RSpanInfo {
+    wasted_s: f64,
+    reexecuted: usize,
+    fetch_frac: f64,
+    speculative: usize,
+    spec_slot_s: f64,
+    out_records: u64,
+}
+
+/// Scales a real (measured) count by the simulated size multiplier,
+/// rounding to nearest — truncation made per-job fields drift from chain
+/// totals at non-integer multipliers.
+fn scale_u64(real: u64, mult: f64) -> u64 {
+    (real as f64 * mult).round() as u64
+}
+
+/// Element-wise accumulation of per-stream dispatch counts (streams a task
+/// never touched stay at their implicit zero).
+fn accumulate(acc: &mut Vec<u64>, d: &[u64]) {
+    if acc.len() < d.len() {
+        acc.resize(d.len(), 0);
+    }
+    for (a, &x) in acc.iter_mut().zip(d) {
+        *a += x;
+    }
+}
+
+/// Commits one successful job attempt's buffered spans to the cluster
+/// trace, appending the CMF dispatch-count instant, under a process
+/// labelled with the job (and attempt, for retried jobs).
+fn commit_job_trace(
+    cluster: &mut Cluster,
+    spec: &JobSpec,
+    attempt: usize,
+    metrics: &JobMetrics,
+    mut tev: Vec<TraceEvent>,
+) {
+    let Some(tr) = cluster.trace.as_mut() else {
+        return;
+    };
+    let cursor = tr.cursor_s();
+    if !metrics.map_dispatches.is_empty() || !metrics.reduce_dispatches.is_empty() {
+        let mut ev = TraceEvent::instant(
+            0,
+            "dispatch",
+            format!("{} stream dispatches", spec.name),
+            cursor,
+        );
+        for (i, &d) in metrics.map_dispatches.iter().enumerate() {
+            ev = ev.arg(format!("map_s{i}"), ArgValue::U64(d));
+        }
+        for (i, &d) in metrics.reduce_dispatches.iter().enumerate() {
+            ev = ev.arg(format!("reduce_s{i}"), ArgValue::U64(d));
+        }
+        tev.push(ev);
+    }
+    let label = if attempt == 0 {
+        spec.name.clone()
+    } else {
+        format!("{} (attempt {})", spec.name, attempt + 1)
+    };
+    tr.commit_job(label, tev);
 }
 
 /// Runs one map task: real record processing plus its simulated cost.
@@ -716,6 +1068,7 @@ fn run_map_task(
     let mut corrupt_replicas = 0u64;
     let mut verify_s = 0.0f64;
     let mut integrity_extra_s = 0.0f64;
+    let mut collisions = 0u64;
     if let Some(model) = cfg.corruption {
         let sim_bytes = lines.iter().map(|l| l.len() as f64 + 1.0).sum::<f64>() * mult;
         let checksum_pass_s = sim_bytes / 1e9 * CHECKSUM_CPU_S_PER_GB;
@@ -729,6 +1082,7 @@ fn run_map_task(
         ) {
             Ok(read) => {
                 corrupt_replicas = u64::from(read.corrupt_replicas);
+                collisions = u64::from(read.collisions);
                 verify_s = checksum_pass_s * (1.0 + corrupt_replicas as f64);
                 // Each failed replica was fully read and verified before
                 // the failover re-read.
@@ -754,6 +1108,9 @@ fn run_map_task(
                     corrupt_replicas: u64::from(cfg.replication.max(1)),
                     verify_s: passes * checksum_pass_s,
                     skipped_records: 0,
+                    collisions: 0,
+                    attempt_s: burned,
+                    dispatches: Vec::new(),
                 };
             }
         }
@@ -787,6 +1144,8 @@ fn run_map_task(
     }
     let skipped_records = out.bad_records();
     let map_work = out.work();
+    let mut user_fatal = out.take_fatal();
+    let dispatches = out.take_dispatches();
     let (mut keys, mut values) = out.into_columns();
     let out_records = keys.len() as u64;
     // Sort the run by (partition, key, value) — Hadoop's sort-based
@@ -873,6 +1232,9 @@ fn run_map_task(
             seg.values = new_values;
             combined_bytes += seg_bytes(seg);
         }
+        if user_fatal.is_none() {
+            user_fatal = combiner.take_error();
+        }
     }
 
     // Cardinality-bounded combiner output does not scale with volume.
@@ -935,6 +1297,7 @@ fn run_map_task(
 
     // Failure injection: failed attempts waste half their run then retry;
     // a task out of retries poisons the whole job attempt (`fatal`).
+    let attempt_s = base_time;
     let mut failed_attempts = 0;
     let mut fatal = None;
     let mut time_s = base_time;
@@ -956,7 +1319,9 @@ fn run_map_task(
         runs,
         speculative,
         spec_slot_s,
-        fatal,
+        // A user evaluation error (reported through the output buffer or
+        // the combiner) outranks injected-fault deaths: it is permanent.
+        fatal: user_fatal.map(MapRedError::User).or(fatal),
         weight,
         time_s,
         spill_bytes: spill_sim_bytes as u64,
@@ -966,6 +1331,9 @@ fn run_map_task(
         corrupt_replicas,
         verify_s,
         skipped_records,
+        collisions,
+        attempt_s,
+        dispatches,
     }
 }
 
@@ -1021,6 +1389,14 @@ struct ReduceTaskResult {
     wasted_s: f64,
     /// 1 when this reducer re-executed after a node death.
     reexecuted: usize,
+    /// Evaluation error reported by the reducer (kills the job attempt
+    /// with a typed error instead of a panic).
+    fatal: Option<MapRedError>,
+    /// Per-stream dispatch counts reported by the reducer (CMF fan-out).
+    dispatches: Vec<u64>,
+    /// Fraction of this task's run spent fetching shuffle segments — used
+    /// by the trace to draw the fetch sub-span.
+    fetch_frac: f64,
 }
 
 /// K-way merge of per-task sorted runs into one sorted pair of key/value
@@ -1124,6 +1500,8 @@ fn run_reduce_task(
         i = j;
     }
     let reduce_work = out.work();
+    let fatal = out.take_fatal().map(MapRedError::User);
+    let dispatches = out.take_dispatches();
     let lines = out.into_lines();
     let out_bytes: u64 = lines.iter().map(|l| l.len() as u64 + 1).sum();
 
@@ -1143,7 +1521,15 @@ fn run_reduce_task(
         / 1e6;
     let sim_out = out_bytes as f64 * ctx.mult;
     let write_s = cfg.net_seconds(sim_out * f64::from(cfg.replication));
-    let mut time_s = (cfg.task_startup_s + fetch_s + merge_s + cpu_s + write_s) * ctx.slowdown;
+    let phases_s = cfg.task_startup_s + fetch_s + merge_s + cpu_s + write_s;
+    // Share of the run spent fetching — slowdown/straggler factors stretch
+    // every phase alike, so the fraction survives them (trace sub-span).
+    let fetch_frac = if phases_s > 0.0 {
+        fetch_s / phases_s
+    } else {
+        0.0
+    };
+    let mut time_s = phases_s * ctx.slowdown;
     let mut speculative = 0usize;
     let mut spec_slot_s = 0.0f64;
     if let Some(model) = cfg.stragglers {
@@ -1185,6 +1571,9 @@ fn run_reduce_task(
         spec_slot_s,
         wasted_s,
         reexecuted,
+        fatal,
+        dispatches,
+        fetch_frac,
     }
 }
 
@@ -1212,19 +1601,43 @@ fn file_is_empty_input(tasks: &[(usize, &[String])], idx: usize) -> bool {
 }
 
 /// List-scheduling makespan of task durations over `slots` parallel slots.
+/// `total_cmp` keeps the selection total even for NaN inputs (which the
+/// cost model never produces) — no panic path.
 fn makespan(tasks: impl Iterator<Item = f64>, slots: usize) -> f64 {
     let slots = slots.max(1);
     let mut finish = vec![0.0f64; slots];
     for t in tasks {
         // assign to the earliest-free slot
-        let (idx, _) = finish
+        let idx = finish
             .iter()
             .enumerate()
-            .min_by(|a, b| a.1.partial_cmp(b.1).expect("no NaN"))
-            .expect("slots >= 1");
+            .min_by(|a, b| a.1.total_cmp(b.1))
+            .map_or(0, |(i, _)| i);
         finish[idx] += t;
     }
     finish.into_iter().fold(0.0, f64::max)
+}
+
+/// The same list schedule as [`makespan`], additionally returning each
+/// task's `(slot, start)` placement — the trace's lane layout. The float
+/// operations are identical (`finish[idx] += t` in task order, earliest
+/// slot by `total_cmp`), so the returned makespan — and therefore every
+/// span extent derived from the placements — is bit-equal to what
+/// [`makespan`] charged the metrics.
+fn schedule(tasks: &[f64], slots: usize) -> (Vec<(usize, f64)>, f64) {
+    let slots = slots.max(1);
+    let mut finish = vec![0.0f64; slots];
+    let mut placed = Vec::with_capacity(tasks.len());
+    for &t in tasks {
+        let idx = finish
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.total_cmp(b.1))
+            .map_or(0, |(i, _)| i);
+        placed.push((idx, finish[idx]));
+        finish[idx] += t;
+    }
+    (placed, finish.into_iter().fold(0.0, f64::max))
 }
 
 /// Intermediate data is modelled as spread evenly over the cluster, so the

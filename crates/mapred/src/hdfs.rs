@@ -122,6 +122,11 @@ pub struct BlockRead {
     /// Real payload bytes of the block — the volume each read+verify pass
     /// moved (failover re-reads move it again).
     pub block_bytes: u64,
+    /// Injected bit flips the checksum *failed to detect* (the garbled
+    /// bytes checksummed equal to the clean ones). Practically unreachable
+    /// with XXH64, but counted in every build profile — a silent pass here
+    /// would mean corrupt bytes served as clean.
+    pub collisions: u32,
 }
 
 /// Reads one block through its checksum, failing over across replicas.
@@ -145,13 +150,14 @@ pub fn read_block_verified(
 ) -> Result<BlockRead, MapRedError> {
     const SPLITMIX: u64 = 0x9E37_79B9_7F4A_7C15;
     let bytes = block_bytes(lines);
-    let read = |corrupt_replicas| BlockRead {
+    let read = |corrupt_replicas, collisions| BlockRead {
         corrupt_replicas,
         block_bytes: bytes.len() as u64,
+        collisions,
     };
     // An empty block has no bytes to flip — and nothing to protect.
     if model.block_rate <= 0.0 || bytes.is_empty() {
-        return Ok(read(0));
+        return Ok(read(0, 0));
     }
     let stored = checksum_bytes(&bytes);
     let base = model.seed
@@ -160,6 +166,7 @@ pub fn read_block_verified(
         ^ crate::engine::attempt_mix(attempt);
     let replication = replication.max(1);
     let mut corrupt = 0u32;
+    let mut collisions = 0u32;
     for replica in 0..replication {
         let mut rng =
             StdRng::seed_from_u64(base ^ (u64::from(replica) + 0x11).wrapping_mul(SPLITMIX));
@@ -174,10 +181,13 @@ pub fn read_block_verified(
                 continue;
             }
             // A 64-bit checksum collision on a single-bit flip: practically
-            // unreachable (and excluded by the avalanche test in `hash`).
-            debug_assert!(false, "single-bit flip collided with the checksum");
+            // unreachable (excluded by the avalanche test in `hash`), but
+            // when it happens the flip sails through undetected — count it
+            // in every build profile so it surfaces in JobMetrics instead
+            // of vanishing in release builds.
+            collisions += 1;
         }
-        return Ok(read(corrupt));
+        return Ok(read(corrupt, collisions));
     }
     Err(MapRedError::CorruptBlock {
         path: path.to_string(),

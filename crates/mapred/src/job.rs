@@ -23,6 +23,8 @@ pub struct MapOutput {
     values: Vec<Row>,
     work: u64,
     bad_records: u64,
+    dispatches: Vec<u64>,
+    fatal: Option<String>,
 }
 
 impl MapOutput {
@@ -68,6 +70,35 @@ impl MapOutput {
         self.bad_records
     }
 
+    /// Counts one record dispatched to merged output stream `stream` — how
+    /// a common mapper (CMF) reports its per-branch fan-out, surfaced in
+    /// [`crate::JobMetrics::map_dispatches`] and the execution trace.
+    pub fn record_dispatch(&mut self, stream: usize) {
+        if self.dispatches.len() <= stream {
+            self.dispatches.resize(stream + 1, 0);
+        }
+        self.dispatches[stream] += 1;
+    }
+
+    /// Takes the per-stream dispatch counts (empty when the mapper never
+    /// reported streams).
+    pub fn take_dispatches(&mut self) -> Vec<u64> {
+        std::mem::take(&mut self.dispatches)
+    }
+
+    /// Reports an unrecoverable evaluation error — a malformed plan, a
+    /// projection index out of range, a failing expression. The engine
+    /// turns it into a typed [`crate::MapRedError::User`] failure instead
+    /// of the task panicking the whole chain. The first error wins.
+    pub fn record_fatal(&mut self, msg: String) {
+        self.fatal.get_or_insert(msg);
+    }
+
+    /// Takes the fatal error, if one was reported.
+    pub fn take_fatal(&mut self) -> Option<String> {
+        self.fatal.take()
+    }
+
     /// Number of pairs emitted so far.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -105,6 +136,8 @@ impl MapOutput {
 pub struct ReduceOutput {
     lines: Vec<String>,
     work: u64,
+    dispatches: Vec<u64>,
+    fatal: Option<String>,
 }
 
 impl ReduceOutput {
@@ -133,6 +166,41 @@ impl ReduceOutput {
         &self.lines
     }
 
+    /// Counts one value dispatched to merged output stream `stream` — how a
+    /// common reducer (post-shuffle fan-out, §VI-B) reports which merged
+    /// query branch each value fed, surfaced in
+    /// [`crate::JobMetrics::reduce_dispatches`] and the execution trace.
+    pub fn record_dispatch(&mut self, stream: usize) {
+        self.record_dispatches(stream, 1);
+    }
+
+    /// Counts `n` values dispatched to `stream` at once — the direct-mode
+    /// (single stream) bulk path.
+    pub fn record_dispatches(&mut self, stream: usize, n: u64) {
+        if self.dispatches.len() <= stream {
+            self.dispatches.resize(stream + 1, 0);
+        }
+        self.dispatches[stream] += n;
+    }
+
+    /// Takes the per-stream dispatch counts (empty when the reducer never
+    /// reported streams).
+    pub fn take_dispatches(&mut self) -> Vec<u64> {
+        std::mem::take(&mut self.dispatches)
+    }
+
+    /// Reports an unrecoverable evaluation error; the engine turns it into
+    /// a typed [`crate::MapRedError::User`] failure instead of the task
+    /// panicking the whole chain. The first error wins.
+    pub fn record_fatal(&mut self, msg: String) {
+        self.fatal.get_or_insert(msg);
+    }
+
+    /// Takes the fatal error, if one was reported.
+    pub fn take_fatal(&mut self) -> Option<String> {
+        self.fatal.take()
+    }
+
     /// Consumes the buffer.
     #[must_use]
     pub fn into_lines(self) -> Vec<String> {
@@ -159,6 +227,14 @@ pub trait Reducer {
 pub trait Combiner {
     /// Combines the values of one key into (usually fewer) values.
     fn combine(&mut self, key: &Row, values: &[Row]) -> Vec<Row>;
+
+    /// An unrecoverable error the combiner hit (combiners return values,
+    /// not an output buffer, so they report errors through this hook after
+    /// the run instead of panicking). The engine polls it once per task and
+    /// turns `Some` into a typed [`crate::MapRedError::User`] failure.
+    fn take_error(&mut self) -> Option<String> {
+        None
+    }
 }
 
 /// Builds a fresh [`Mapper`] per map task.

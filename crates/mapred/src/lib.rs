@@ -52,6 +52,7 @@ pub mod hash;
 pub mod hdfs;
 pub mod job;
 pub mod metrics;
+pub mod trace;
 
 pub use chain::{retryable, run_chain, ChainFailure, ChainOutcome, JobChain};
 pub use config::{
@@ -66,6 +67,7 @@ pub use job::{
     ReducerFactory,
 };
 pub use metrics::{ChainMetrics, JobMetrics};
+pub use trace::{validate_chrome_trace, ArgValue, Trace, TraceEvent, TraceStats};
 
 /// Convenience result alias.
 pub type Result<T> = std::result::Result<T, MapRedError>;

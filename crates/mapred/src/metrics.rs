@@ -72,6 +72,20 @@ pub struct JobMetrics {
     /// [`crate::config::CorruptionModel`] is configured; already contained
     /// in the phase times.
     pub verify_s: f64,
+    /// Injected bit flips whose garbled bytes checksummed *equal* to the
+    /// clean ones — corruption the checksum could not have detected. With
+    /// XXH64 this is practically unreachable (excluded for single-bit flips
+    /// by the avalanche test in [`crate::hash`]), but when it happens it is
+    /// counted in every build profile rather than debug-asserted away.
+    pub checksum_collisions: u64,
+    /// Per-output-stream record counts dispatched by the map side of a
+    /// merged (CMF) job: element `i` counts records routed to merged query
+    /// branch `i`. Empty for jobs whose mappers don't report streams.
+    pub map_dispatches: Vec<u64>,
+    /// Per-output-stream record counts dispatched by the reduce side of a
+    /// merged (CMF) job — the post-shuffle fan-out §VI-B's common reducer
+    /// performs. Empty for jobs whose reducers don't report streams.
+    pub reduce_dispatches: Vec<u64>,
 }
 
 impl JobMetrics {
@@ -154,13 +168,19 @@ impl ChainMetrics {
     }
 
     /// Data-integrity events across all jobs: corrupt block replicas
-    /// detected, corrupt shuffle fetches re-fetched, and bad records
-    /// skipped. Nonzero proves injected corruption actually fired.
+    /// detected, corrupt shuffle fetches re-fetched, bad records skipped,
+    /// and checksum collisions. Nonzero proves injected corruption actually
+    /// fired.
     #[must_use]
     pub fn total_integrity_events(&self) -> u64 {
         self.jobs
             .iter()
-            .map(|j| j.corrupt_blocks_detected + j.refetched_segments + j.skipped_records)
+            .map(|j| {
+                j.corrupt_blocks_detected
+                    + j.refetched_segments
+                    + j.skipped_records
+                    + j.checksum_collisions
+            })
             .sum()
     }
 

@@ -17,7 +17,7 @@ use ysmart_mapred::{
     run_chain, Cluster, ClusterConfig, CorruptionModel, FailureModel, JobChain, JobSpec, MapOutput,
     NodeFailureModel, ReduceOutput, Reducer, RetryPolicy, StragglerModel,
 };
-use ysmart_mapred::{JobMetrics, Mapper};
+use ysmart_mapred::{validate_chrome_trace, ChainMetrics, JobMetrics, Mapper, Trace};
 use ysmart_rel::{row, Row};
 
 struct KvMapper;
@@ -180,4 +180,111 @@ fn repeated_runs_are_reproducible() {
     let b = run(None, 5);
     assert_eq!(a.0, b.0);
     assert_eq!(a.1, b.1);
+}
+
+/// Runs the chain with tracing enabled and returns the trace plus the
+/// chain metrics.
+fn run_traced(threads: Option<usize>, seed: u64) -> (Trace, ChainMetrics) {
+    let mut cluster = Cluster::new(config(threads, seed));
+    cluster.enable_tracing();
+    let lines: Vec<String> = (0..800).map(|i| format!("{}|{}", i % 40, i)).collect();
+    cluster.load_table("t", lines);
+    let outcome = run_chain(&mut cluster, &two_job_chain()).expect("chain");
+    let trace = cluster.take_trace().expect("tracing was enabled");
+    (trace, outcome.metrics)
+}
+
+#[test]
+fn trace_is_bit_identical_across_thread_counts() {
+    // Span emission keys on simulated time and task index, never wall
+    // clock or thread interleaving — so the exported JSON must match to
+    // the byte under any thread count, even with every fault model firing.
+    for seed in [42u64, 7] {
+        let (serial, _) = run_traced(Some(1), seed);
+        let serial_json = serial.to_chrome_json();
+        for threads in [None, Some(4)] {
+            let (t, _) = run_traced(threads, seed);
+            assert_eq!(
+                t.to_chrome_json(),
+                serial_json,
+                "seed {seed}: trace differs under {threads:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn trace_reconciles_with_chain_metrics() {
+    let (trace, metrics) = run_traced(Some(1), 42);
+    let json = trace.to_chrome_json();
+    let stats = validate_chrome_trace(&json).expect("exported trace must validate");
+    assert!(stats.span_cats.get("map").copied().unwrap_or(0) >= 1);
+    assert!(stats.span_cats.get("reduce").copied().unwrap_or(0) >= 1);
+
+    // The whole timeline's extent is the chain's simulated total.
+    let total = metrics.total_s();
+    assert!(
+        (trace.max_end_s() - total).abs() <= 1e-6 * total.max(1.0),
+        "trace extent {} vs chain total {}",
+        trace.max_end_s(),
+        total
+    );
+
+    // Each job's process spans exactly its phase times (successful
+    // attempts commit in chain order, so job i lives on pid i+1).
+    for (i, job) in metrics.jobs.iter().enumerate() {
+        let pid = (i + 1) as u32;
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for ev in trace.events().iter().filter(|e| e.pid == pid) {
+            lo = lo.min(ev.start_s);
+            hi = hi.max(ev.end_s());
+        }
+        let extent = hi - lo;
+        let phases = job.map_time_s + job.reduce_time_s;
+        assert!(
+            (extent - phases).abs() <= 1e-6 * phases.max(1.0),
+            "{}: span extent {} vs map+reduce {}",
+            job.name,
+            extent,
+            phases
+        );
+    }
+
+    // Every recovery event counted in the metrics must leave spans, and
+    // vice versa the trace must not invent categories the run never hit.
+    let has = |cat: &str| trace.events().iter().any(|e| e.cat == cat);
+    if metrics.jobs.iter().any(|j| j.failed_attempts > 0) {
+        assert!(has("attempt_failed"), "failed attempts need spans");
+    }
+    if metrics.jobs.iter().any(|j| j.reexecuted_tasks > 0) {
+        assert!(has("reexec"), "node-loss re-execution needs spans");
+    }
+    if metrics.jobs.iter().any(|j| j.speculative_tasks > 0) {
+        assert!(has("speculative"), "speculative backups need spans");
+    }
+    if metrics.jobs.iter().any(|j| j.verify_s > 0.0) {
+        assert!(has("verify"), "checksum verification needs spans");
+    }
+    if metrics.retries > 0 {
+        assert!(has("job_failed"), "failed job attempts need chain spans");
+        assert!(has("backoff"), "retry backoff needs chain spans");
+    }
+    if metrics.retries == 0 {
+        assert!(!has("job_failed") && !has("backoff"));
+    }
+}
+
+#[test]
+fn tracing_does_not_change_results_or_metrics() {
+    // The observability layer observes: running with the trace recorder on
+    // must leave output lines and metrics bit-identical to running off.
+    let (plain_lines, plain_metrics) = run(Some(4), 42);
+    let mut cluster = Cluster::new(config(Some(4), 42));
+    cluster.enable_tracing();
+    let lines: Vec<String> = (0..800).map(|i| format!("{}|{}", i % 40, i)).collect();
+    cluster.load_table("t", lines);
+    let outcome = run_chain(&mut cluster, &two_job_chain()).expect("chain");
+    let traced_lines = cluster.hdfs.get("out/final").unwrap().lines.clone();
+    assert_eq!(traced_lines, plain_lines);
+    assert_eq!(outcome.metrics.jobs, plain_metrics);
 }
