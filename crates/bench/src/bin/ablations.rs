@@ -119,8 +119,19 @@ fn main() {
         ..ClicksSpec::default()
     });
     let targets: Vec<(&Workload, f64)> = vec![
-        (tpch.iter().find(|w| w.name == "q21-subtree").unwrap(), 10.0),
-        (clicks.iter().find(|w| w.name == "q-csa").unwrap(), 20.0),
+        (
+            tpch.iter()
+                .find(|w| w.name == "q21-subtree")
+                .expect("q21-subtree workload"),
+            10.0,
+        ),
+        (
+            clicks
+                .iter()
+                .find(|w| w.name == "q-csa")
+                .expect("q-csa workload"),
+            20.0,
+        ),
     ];
 
     println!("=== Ablations (simulated seconds, small local cluster) ===");

@@ -1,0 +1,373 @@
+//! Multi-tenant workload figure — latency, deadline hit-rate and shed rate
+//! vs. offered load.
+//!
+//! Not a figure from the paper, but its production setting: §VII-F runs
+//! YSmart on a Facebook cluster precisely because many tenants' queries
+//! compete for one slot pool. This harness replays a mixed stream of the
+//! evaluation queries (Q17, Q18, the Q21 subtree, Q-AGG, Q-CSA) across four
+//! weighted tenants through the multi-tenant chain scheduler, under
+//! combined straggler + node-loss + corruption injection, at several
+//! offered-load levels. Every chain terminates in a typed disposition —
+//! completed, deadline-cancelled, shed or failed — and every *completed*
+//! chain's rows are verified against the relational oracle.
+//!
+//! Results go to `results/workload.txt` (report) and
+//! `results/workload.json` (machine-readable). Pass `--smoke` for a
+//! CI-sized run that also asserts the deadline hit-rate floor.
+
+use std::collections::BTreeMap;
+
+use ysmart_core::{Strategy, YSmart};
+use ysmart_datagen::{clicks_catalog, tpch_catalog, ClicksSpec, TpchSpec};
+use ysmart_mapred::{
+    run_chain, run_workload, validate_chrome_trace, ClusterConfig, CorruptionModel, Disposition,
+    NodeFailureModel, QueryRequest, RetryPolicy, SchedulerConfig, StragglerModel, TenantSpec,
+};
+use ysmart_plan::Catalog;
+use ysmart_queries::{
+    clicks_workloads, oracle_execute, rows_approx_equal, tpch_workloads, Workload,
+};
+use ysmart_rel::Row;
+
+/// Offered load as a multiple of the cluster's solo throughput
+/// (`max_running / mean_solo_s` chains per second saturates the slots).
+const LOADS: [f64; 3] = [0.5, 1.5, 3.0];
+const SMOKE_LOADS: [f64; 2] = [0.5, 2.5];
+const QUERIES_PER_LOAD: usize = 40;
+const SMOKE_QUERIES_PER_LOAD: usize = 14;
+const MAX_RUNNING: usize = 4;
+/// Deadline = this factor × the query's solo (uncontended, fault-free)
+/// time. Generous enough to absorb fair-share slowdown and queueing at
+/// moderate load, tight enough that overload visibly misses.
+const DEADLINE_FACTOR: f64 = 12.0;
+/// Minimum deadline hit-rate at the lowest load level — the CI floor.
+const HIT_RATE_FLOOR: f64 = 0.5;
+
+/// SplitMix64: the bench's only randomness, fully determined by the seed.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Uniform in `[0, 1)` from a SplitMix64 draw.
+fn unit(z: u64) -> f64 {
+    (mix(z) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// One query shape in the mix, with its oracle expectation and solo time.
+struct Shape {
+    name: &'static str,
+    sql: String,
+    ordered: bool,
+    expected: Vec<Row>,
+    solo_s: f64,
+}
+
+fn quantile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let pos = (q * (sorted.len() - 1) as f64).round() as usize;
+    sorted[pos.min(sorted.len() - 1)]
+}
+
+/// Builds one engine holding *all* base tables (TPC-H + clicks, disjoint
+/// names) so every tenant's chains share a single simulated cluster.
+fn union_engine(
+    tpch: &[Workload],
+    clicks: &[Workload],
+    target_gb: f64,
+) -> (YSmart, BTreeMap<String, Vec<Row>>) {
+    let mut catalog = Catalog::new();
+    for (name, schema) in tpch_catalog().iter() {
+        catalog.add_table(name, schema.clone());
+    }
+    for (name, schema) in clicks_catalog().iter() {
+        catalog.add_table(name, schema.clone());
+    }
+    let mut engine = YSmart::new(catalog, ClusterConfig::ec2(10));
+    let mut tables: BTreeMap<String, Vec<Row>> = BTreeMap::new();
+    for (name, rows) in tpch[0].tables.iter().chain(clicks[0].tables.iter()) {
+        engine.load_table(name, rows).expect("load base table");
+        tables.insert((*name).to_string(), rows.clone());
+    }
+    let real_bytes = engine.cluster.hdfs.total_bytes().max(1);
+    engine.cluster.config.size_multiplier = (target_gb * 1e9) / real_bytes as f64;
+    (engine, tables)
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (loads, per_load, target_gb): (&[f64], usize, f64) = if smoke {
+        (&SMOKE_LOADS, SMOKE_QUERIES_PER_LOAD, 0.5)
+    } else {
+        (&LOADS, QUERIES_PER_LOAD, 2.0)
+    };
+    let (tpch_spec, clicks_spec) = if smoke {
+        (
+            TpchSpec {
+                scale: 0.05,
+                seed: 2026,
+            },
+            ClicksSpec {
+                users: 15,
+                clicks_per_user: 10,
+                seed: 2026,
+                ..ClicksSpec::default()
+            },
+        )
+    } else {
+        (
+            TpchSpec {
+                scale: 0.2,
+                seed: 2026,
+            },
+            ClicksSpec {
+                users: 40,
+                clicks_per_user: 20,
+                seed: 2026,
+                ..ClicksSpec::default()
+            },
+        )
+    };
+
+    let mut report = String::new();
+    let mut emit = |line: &str| {
+        println!("{line}");
+        report.push_str(line);
+        report.push('\n');
+    };
+
+    emit("=== Multi-tenant workload: latency, deadline hit-rate, shed rate vs load ===");
+    emit(&format!(
+        "{} queries per load level across 4 weighted tenants, {MAX_RUNNING} chain slots,",
+        per_load
+    ));
+    emit(&format!(
+        "{target_gb} GB scaled data, stragglers + node loss + corruption injected,"
+    ));
+    emit(&format!(
+        "deadline = {DEADLINE_FACTOR}x each query's solo time"
+    ));
+
+    let tpch = tpch_workloads(&tpch_spec);
+    let clicks = clicks_workloads(&clicks_spec);
+    let mix_names = ["q17", "q18", "q21-subtree", "q-agg", "q-csa"];
+    let source = |n: &str| {
+        tpch.iter()
+            .chain(clicks.iter())
+            .find(|w| w.name == n)
+            .unwrap_or_else(|| panic!("workload {n} not found"))
+    };
+
+    let mut json_levels = Vec::new();
+    let mut hit_rates = Vec::new();
+    let mut shed_rates = Vec::new();
+
+    for (li, &load) in loads.iter().enumerate() {
+        // Fresh engine per level so levels are independent and individually
+        // reproducible.
+        let (mut engine, tables) = union_engine(&tpch, &clicks, target_gb);
+
+        // Solo baselines: each shape once, alone, fault-free — the deadline
+        // yardstick and the oracle expectation.
+        let mut shapes = Vec::new();
+        for name in mix_names {
+            let w = source(name);
+            let plan = engine.plan(&w.sql).expect("plan");
+            let expected = oracle_execute(&plan, &tables).expect("oracle").rows;
+            let translation = engine
+                .translate_tagged(&w.sql, Strategy::YSmart, &format!("solo{li}-{name}"))
+                .expect("translate solo");
+            let chain = engine.chain_for(&translation).expect("chain solo");
+            let outcome = run_chain(&mut engine.cluster, &chain).expect("solo run");
+            let rows = engine.decode_output(&translation).expect("solo decode");
+            assert!(
+                rows_approx_equal(&rows, &expected, w.ordered),
+                "{name}: solo run disagrees with the oracle"
+            );
+            shapes.push(Shape {
+                name,
+                sql: w.sql.clone(),
+                ordered: w.ordered,
+                expected,
+                solo_s: outcome.metrics.total_s(),
+            });
+        }
+        let mean_solo: f64 = shapes.iter().map(|s| s.solo_s).sum::<f64>() / shapes.len() as f64;
+
+        // Now the faults: stragglers, node loss and corruption, recovered
+        // by a jittered retry policy so co-failing chains don't retry in
+        // lockstep.
+        let level_seed = 0xF16_0000 + li as u64;
+        let cfg = &mut engine.cluster.config;
+        cfg.node_failures = Some(NodeFailureModel {
+            probability: 0.02,
+            seed: level_seed ^ 0x0DE5,
+        });
+        cfg.stragglers = Some(StragglerModel {
+            probability: 0.05,
+            slowdown: 4.0,
+            speculative: true,
+            seed: level_seed ^ 0x57A6,
+        });
+        cfg.corruption = Some(CorruptionModel::uniform(1e-4, level_seed ^ 0xC042));
+        cfg.skip_bad_records = u64::MAX;
+        cfg.retry = Some(RetryPolicy {
+            jitter: 0.5,
+            ..RetryPolicy::default()
+        });
+
+        // The request stream: seeded exponential inter-arrivals at
+        // `load × max_running / mean_solo` chains per second, shapes and
+        // tenants drawn deterministically.
+        let rate = load * MAX_RUNNING as f64 / mean_solo;
+        let mut submit_s = 0.0;
+        let mut requests = Vec::with_capacity(per_load);
+        let mut translations = Vec::with_capacity(per_load);
+        for i in 0..per_load {
+            let rseed = mix(level_seed ^ (i as u64) << 16);
+            submit_s += -(1.0 - unit(rseed ^ 1)).ln() / rate;
+            let shape = &shapes[(mix(rseed ^ 2) as usize) % shapes.len()];
+            let tenant = (mix(rseed ^ 3) as usize) % 4;
+            let label = format!("t{tenant}/{}#{i}", shape.name);
+            let translation = engine
+                .translate_tagged(&shape.sql, Strategy::YSmart, &format!("L{li}r{i}"))
+                .expect("translate request");
+            let chain = engine.chain_for(&translation).expect("chain request");
+            requests.push(QueryRequest {
+                tenant: format!("tenant-{tenant}"),
+                label,
+                chain,
+                seed: rseed,
+                deadline_s: Some(DEADLINE_FACTOR * shape.solo_s),
+                submit_s,
+            });
+            translations.push((translation, shape));
+        }
+
+        let tenants_hit = requests
+            .iter()
+            .map(|r| r.tenant.clone())
+            .collect::<std::collections::BTreeSet<_>>();
+        assert_eq!(tenants_hit.len(), 4, "the mix must span all four tenants");
+
+        let sched = SchedulerConfig {
+            max_running: MAX_RUNNING,
+            tenants: (0..4)
+                .map(|t| {
+                    TenantSpec::new(format!("tenant-{t}"), 5, [16, 12, 8, 4][t])
+                        .weight([4, 2, 1, 1][t])
+                })
+                .collect(),
+            // Trace the first level only; the merged trace of hundreds of
+            // chains exists to be validated, not stored.
+            trace: li == 0,
+        };
+        let outcome = run_workload(&mut engine.cluster, &sched, requests);
+        assert_eq!(
+            outcome.reports.len(),
+            per_load,
+            "every submitted query must get a typed disposition"
+        );
+        if let Some(trace) = &outcome.trace {
+            let stats = validate_chrome_trace(&trace.to_chrome_json())
+                .expect("workload trace must be valid Chrome JSON");
+            assert!(stats.events > 0, "workload trace must be non-empty");
+        }
+
+        // Tally dispositions; verify every completed chain's rows.
+        let (mut completed, mut cancelled, mut shed, mut failed) = (0usize, 0, 0, 0);
+        let mut latencies = Vec::new();
+        for r in &outcome.reports {
+            match &r.disposition {
+                Disposition::Completed(_) => {
+                    completed += 1;
+                    latencies.push(r.latency_s());
+                    let (translation, shape) = &translations[r.index];
+                    let rows = engine.decode_output(translation).expect("decode completed");
+                    assert!(
+                        rows_approx_equal(&rows, &shape.expected, shape.ordered),
+                        "{}: completed chain disagrees with the oracle",
+                        r.label
+                    );
+                }
+                Disposition::DeadlineCancelled(_) => cancelled += 1,
+                Disposition::Shed(_) => shed += 1,
+                Disposition::Failed(f) => {
+                    failed += 1;
+                    assert!(
+                        !f.metrics.jobs.is_empty() || f.metrics.failed_attempt_s > 0.0,
+                        "{}: a failed chain must report partial metrics",
+                        r.label
+                    );
+                }
+            }
+        }
+        assert!(completed > 0, "load {load}: at least one chain completes");
+        latencies.sort_by(f64::total_cmp);
+        let p50 = quantile(&latencies, 0.50);
+        let p99 = quantile(&latencies, 0.99);
+        let hit_rate = completed as f64 / per_load as f64;
+        let shed_rate = shed as f64 / per_load as f64;
+        hit_rates.push(hit_rate);
+        shed_rates.push(shed_rate);
+
+        emit("");
+        emit(&format!(
+            "--- load {load:.1}x ({per_load} queries, mean solo {mean_solo:.0}s) ---"
+        ));
+        emit(&format!(
+            "  completed {completed}  deadline-cancelled {cancelled}  shed {shed}  failed {failed}"
+        ));
+        emit(&format!(
+            "  latency p50 {p50:.0}s  p99 {p99:.0}s  hit-rate {:.0}%  shed-rate {:.0}%",
+            hit_rate * 100.0,
+            shed_rate * 100.0
+        ));
+
+        json_levels.push(format!(
+            concat!(
+                "{{\"load\":{},\"queries\":{},\"completed\":{},\"cancelled\":{},",
+                "\"shed\":{},\"failed\":{},\"p50_s\":{:.2},\"p99_s\":{:.2},",
+                "\"hit_rate\":{:.4},\"shed_rate\":{:.4}}}"
+            ),
+            load, per_load, completed, cancelled, shed, failed, p50, p99, hit_rate, shed_rate
+        ));
+    }
+
+    emit("");
+    emit("Load up, service down: overload degrades to typed sheds and deadline");
+    emit("cancellations — never to a hang, and never to an unverified result.");
+    assert!(
+        hit_rates[0] >= HIT_RATE_FLOOR,
+        "hit-rate at the lowest load ({:.2}) must clear the floor ({HIT_RATE_FLOOR})",
+        hit_rates[0]
+    );
+    assert!(
+        hit_rates[0] >= *hit_rates.last().expect("levels") - 1e-9,
+        "hit-rate must not improve under overload"
+    );
+
+    let json = format!(
+        concat!(
+            "{{\"figure\":\"workload\",\"target_gb\":{},\"max_running\":{},",
+            "\"deadline_factor\":{},\"queries\":[{}],\"levels\":[{}]}}\n"
+        ),
+        target_gb,
+        MAX_RUNNING,
+        DEADLINE_FACTOR,
+        mix_names
+            .iter()
+            .map(|n| format!("\"{n}\""))
+            .collect::<Vec<_>>()
+            .join(","),
+        json_levels.join(",")
+    );
+    std::fs::create_dir_all("results").expect("results dir");
+    std::fs::write("results/workload.txt", &report).expect("write results/workload.txt");
+    std::fs::write("results/workload.json", json).expect("write results/workload.json");
+    println!("\nwrote results/workload.txt and results/workload.json");
+}

@@ -13,8 +13,11 @@ fn counts(w: &Workload) {
     print!("{:<12}", w.name);
     for strategy in Strategy::all() {
         let mut engine = YSmart::new(w.catalog.clone(), ClusterConfig::default());
-        w.load_into(&mut engine).unwrap();
-        let t = engine.translate(&w.sql, strategy).unwrap();
+        w.load_into(&mut engine)
+            .unwrap_or_else(|e| panic!("{}: loading tables failed: {e}", w.name));
+        let t = engine
+            .translate(&w.sql, strategy)
+            .unwrap_or_else(|e| panic!("{}: {strategy} translation failed: {e}", w.name));
         print!(" {:>14}", format!("{strategy}: {}", t.job_count()));
     }
     println!();

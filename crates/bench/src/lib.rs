@@ -11,6 +11,7 @@
 //! | `fig12` | Fig. 12 — Facebook cluster, 3 concurrent Q17 instances per system |
 //! | `fig13` | Fig. 13 — Facebook cluster, Q18/Q21 averages |
 //! | `jobcounts` | §VII-A job-count table |
+//! | `fig_workload` | multi-tenant overload sweep: latency/hit-rate/shed-rate vs offered load |
 //!
 //! Each harness *executes the queries for real* on the simulated cluster,
 //! verifies the result against the oracle, and only then reports simulated

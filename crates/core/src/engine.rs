@@ -164,9 +164,60 @@ impl YSmart {
     pub fn translate(&mut self, sql: &str, strategy: Strategy) -> Result<Translation, CoreError> {
         self.query_seq += 1;
         let tag = format!("q{}-{}", self.query_seq, strategy);
+        self.translate_tagged(sql, strategy, &tag)
+    }
+
+    /// Translates a query under a caller-chosen `tag`, which namespaces
+    /// every intermediate and output HDFS path of the compiled jobs. The
+    /// multi-tenant workload bench uses per-request tags so hundreds of
+    /// instances of the same query co-exist in one cluster without
+    /// clobbering each other's outputs.
+    ///
+    /// # Errors
+    ///
+    /// Parse, planning or compilation failures.
+    pub fn translate_tagged(
+        &mut self,
+        sql: &str,
+        strategy: Strategy,
+        tag: &str,
+    ) -> Result<Translation, CoreError> {
         let plan = self.plan(sql)?;
         let report = analyze_with_stats(&plan, Some(&self.stats));
-        compile(&plan, &report, &strategy.options(), &tag)
+        compile(&plan, &report, &strategy.options(), tag)
+    }
+
+    /// Builds the executable [`JobChain`] of a compiled translation without
+    /// running it — for callers that schedule chains themselves (the
+    /// multi-tenant scheduler) rather than going through
+    /// [`YSmart::execute_translation`].
+    ///
+    /// # Errors
+    ///
+    /// Blueprint-to-jobspec materialisation failures.
+    pub fn chain_for(&self, translation: &Translation) -> Result<JobChain, CoreError> {
+        let mut chain = JobChain::new();
+        for bp in &translation.blueprints {
+            chain.push(bp.to_jobspec()?);
+        }
+        Ok(chain)
+    }
+
+    /// Decodes a translation's output rows from HDFS — the read-back half
+    /// of [`YSmart::execute_translation`], usable after a chain ran through
+    /// any path (including the multi-tenant scheduler).
+    ///
+    /// # Errors
+    ///
+    /// Missing output file (the chain did not complete) or undecodable
+    /// lines.
+    pub fn decode_output(&self, translation: &Translation) -> Result<Vec<Row>, CoreError> {
+        let file = self.cluster.hdfs.get(&translation.output_path)?;
+        let mut rows = Vec::with_capacity(file.lines.len());
+        for line in &file.lines {
+            rows.push(decode_line(line, &translation.output_schema)?);
+        }
+        Ok(rows)
     }
 
     /// Translates and executes a query, returning rows and metrics.
@@ -249,18 +300,11 @@ impl YSmart {
         &mut self,
         translation: &Translation,
     ) -> Result<QueryOutcome, CoreError> {
-        let mut chain = JobChain::new();
-        for bp in &translation.blueprints {
-            chain.push(bp.to_jobspec()?);
-        }
+        let chain = self.chain_for(translation)?;
         let outcome =
             run_chain(&mut self.cluster, &chain).map_err(ysmart_mapred::MapRedError::from)?;
         // Decode straight off the in-HDFS lines — no clone of the output.
-        let file = self.cluster.hdfs.get(&translation.output_path)?;
-        let mut rows = Vec::with_capacity(file.lines.len());
-        for line in &file.lines {
-            rows.push(decode_line(line, &translation.output_schema)?);
-        }
+        let rows = self.decode_output(translation)?;
         Ok(QueryOutcome {
             rows,
             schema: translation.output_schema.clone(),

@@ -17,6 +17,7 @@ use crate::error::MapRedError;
 use crate::hash::hash_row;
 use crate::job::JobSpec;
 use crate::metrics::ChainMetrics;
+use crate::trace::Trace;
 
 /// A sequence of jobs executed in order; each job may read the outputs of
 /// earlier ones from HDFS.
@@ -71,6 +72,11 @@ pub struct ChainFailure {
     pub error: MapRedError,
     /// Metrics accumulated up to the failure.
     pub metrics: ChainMetrics,
+    /// The partial execution trace up to the failure, when tracing was on —
+    /// a failed or cancelled chain still produces an inspectable timeline
+    /// (committed jobs, gaps, backoffs, the failed attempts themselves).
+    /// Boxed to keep the error variant small on the happy path.
+    pub trace: Option<Box<Trace>>,
 }
 
 impl From<ChainFailure> for MapRedError {
@@ -128,28 +134,216 @@ pub fn retryable(e: &MapRedError) -> bool {
 /// cluster time limit. Failures come wrapped in a [`ChainFailure`] carrying
 /// the partial [`ChainMetrics`] of everything that ran first.
 pub fn run_chain(cluster: &mut Cluster, chain: &JobChain) -> Result<ChainOutcome, ChainFailure> {
-    if chain.is_empty() {
-        return Err(ChainFailure {
-            error: MapRedError::EmptyChain,
-            metrics: ChainMetrics::default(),
-        });
+    let mut session = ChainSession::new(chain_seed(chain));
+    loop {
+        match session.step(cluster, chain) {
+            ChainStep::Advanced | ChainStep::Backoff { .. } => {}
+            ChainStep::Finished => return Ok(session.into_outcome()),
+            ChainStep::Failed => return Err(session.into_failure(cluster)),
+        }
     }
-    let mut metrics = ChainMetrics::default();
-    let mut gap_rng = cluster.config.contention.map(|c| {
-        StdRng::seed_from_u64(c.seed ^ hash_row(&ysmart_rel::row![chain.jobs[0].name.as_str()]))
-    });
-    let mut elapsed = 0.0;
-    let mut final_output = String::new();
-    let mut i = 0; // next job to run — the chain's recovery checkpoint
-    let mut attempt = 0; // attempt index of job `i`
-    while i < chain.jobs.len() {
-        let job = &chain.jobs[i];
-        let mut delay = if i == 0 {
+}
+
+/// The seed [`run_chain`] derives for a chain: a stable hash of the first
+/// job's name, so repeated runs of the same translation reproduce exactly.
+/// Schedulers submitting many instances of one query should pick distinct
+/// per-request seeds instead.
+#[must_use]
+pub fn chain_seed(chain: &JobChain) -> u64 {
+    chain
+        .jobs
+        .first()
+        .map_or(0, |j| hash_row(&ysmart_rel::row![j.name.as_str()]))
+}
+
+/// What one [`ChainSession::step`] did.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChainStep {
+    /// One job attempt succeeded; the chain has more jobs to run.
+    Advanced,
+    /// The final job committed — take the result with
+    /// [`ChainSession::into_outcome`].
+    Finished,
+    /// A retryable failure: the burned attempt and the (jittered) backoff
+    /// are already charged; the next `step` re-runs the failed job.
+    Backoff {
+        /// What the attempt died with.
+        error: MapRedError,
+        /// The backoff charged, simulated seconds.
+        backoff_s: f64,
+    },
+    /// Terminal failure — take it with [`ChainSession::into_failure`].
+    Failed,
+}
+
+/// Re-entrant, stepwise execution state of one chain.
+///
+/// [`run_chain`] drives a session to completion on a dedicated cluster; the
+/// multi-tenant [`crate::scheduler`] instead keeps many sessions open over
+/// *one* shared cluster, stepping whichever chain's turn it is in simulated
+/// time. Everything that used to be implicit cluster-global state is
+/// per-session here: the recovery checkpoint, the accumulated
+/// [`ChainMetrics`], the scheduling-gap RNG, and (optionally) a private
+/// trace lane that is swapped into the cluster only for the duration of a
+/// step — so interleaved chains never write into each other's timelines.
+#[derive(Debug)]
+pub struct ChainSession {
+    seed: u64,
+    /// Next job to run — the chain's recovery checkpoint.
+    i: usize,
+    /// Attempt index of job `i`.
+    attempt: usize,
+    /// Chain-local simulated time charged so far.
+    elapsed: f64,
+    metrics: ChainMetrics,
+    final_output: String,
+    gap_rng: Option<StdRng>,
+    gap_rng_ready: bool,
+    /// The session's own trace lane (`None` = use the cluster's, if any).
+    trace: Option<Trace>,
+    /// When set, a retryable failure fails the chain instead of backing
+    /// off — the scheduler's per-tenant retry-budget gate.
+    deny_retries: bool,
+    error: Option<MapRedError>,
+}
+
+impl ChainSession {
+    /// A fresh session. `seed` drives the scheduling-gap RNG and backoff
+    /// jitter; co-running chains should get distinct seeds so their gaps
+    /// and retries decorrelate.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        ChainSession {
+            seed,
+            i: 0,
+            attempt: 0,
+            elapsed: 0.0,
+            metrics: ChainMetrics::default(),
+            final_output: String::new(),
+            gap_rng: None,
+            gap_rng_ready: false,
+            trace: None,
+            deny_retries: false,
+            error: None,
+        }
+    }
+
+    /// A session recording its own trace lane, independent of whether the
+    /// cluster traces. The lane is in chain-local time (admission = 0);
+    /// shift it with [`Trace::shift_s`] to align co-running chains.
+    #[must_use]
+    pub fn with_tracing(seed: u64) -> Self {
+        let mut s = ChainSession::new(seed);
+        s.trace = Some(Trace::new());
+        s
+    }
+
+    /// Chain-local simulated time charged so far, including failed
+    /// attempts, gaps and backoff waits.
+    #[must_use]
+    pub fn elapsed_s(&self) -> f64 {
+        self.elapsed
+    }
+
+    /// Metrics accumulated so far.
+    #[must_use]
+    pub fn metrics(&self) -> &ChainMetrics {
+        &self.metrics
+    }
+
+    /// Jobs completed so far (the recovery checkpoint).
+    #[must_use]
+    pub fn jobs_done(&self) -> usize {
+        self.i
+    }
+
+    /// Gate for the scheduler's per-tenant retry budget: with `deny` set, a
+    /// retryable failure becomes terminal instead of backing off.
+    pub fn deny_retries(&mut self, deny: bool) {
+        self.deny_retries = deny;
+    }
+
+    /// Marks the session failed with `error` without running anything —
+    /// deadline cancellation and budget exhaustion end a chain from the
+    /// outside. Take the partial state with [`ChainSession::into_failure`].
+    pub fn abandon(&mut self, error: MapRedError) {
+        self.error = Some(error);
+    }
+
+    /// Takes the session's private trace lane, if it records one.
+    pub fn take_trace(&mut self) -> Option<Trace> {
+        self.trace.take()
+    }
+
+    /// Consumes a finished session ([`ChainStep::Finished`]).
+    #[must_use]
+    pub fn into_outcome(self) -> ChainOutcome {
+        ChainOutcome {
+            metrics: self.metrics,
+            final_output: self.final_output,
+        }
+    }
+
+    /// Consumes a failed session ([`ChainStep::Failed`] or
+    /// [`ChainSession::abandon`]). The failure carries the partial trace:
+    /// the session's own lane when it records one, otherwise a snapshot of
+    /// the cluster's trace (which keeps accumulating for its owner).
+    #[must_use]
+    pub fn into_failure(mut self, cluster: &mut Cluster) -> ChainFailure {
+        let trace = self
+            .trace
+            .take()
+            .or_else(|| cluster.trace_mut().cloned())
+            .map(Box::new);
+        ChainFailure {
+            error: self.error.unwrap_or(MapRedError::EmptyChain),
+            metrics: self.metrics,
+            trace,
+        }
+    }
+
+    /// Runs one job attempt: the scheduling gap, the attempt itself, and —
+    /// on a retryable failure — the backoff charge. Everything is charged
+    /// to this session's clock and metrics; with a private trace lane, the
+    /// cluster's own trace is untouched.
+    pub fn step(&mut self, cluster: &mut Cluster, chain: &JobChain) -> ChainStep {
+        if self.error.is_some() {
+            return ChainStep::Failed;
+        }
+        if chain.is_empty() {
+            self.error = Some(MapRedError::EmptyChain);
+            return ChainStep::Failed;
+        }
+        // A session-owned lane shadows the cluster's trace for the step; a
+        // session without one records into the cluster's trace, if any.
+        let shadow = self.trace.is_some();
+        if shadow {
+            cluster.swap_trace(&mut self.trace);
+        }
+        let result = self.step_inner(cluster, chain);
+        if shadow {
+            cluster.swap_trace(&mut self.trace);
+        }
+        result
+    }
+
+    fn step_inner(&mut self, cluster: &mut Cluster, chain: &JobChain) -> ChainStep {
+        let job = &chain.jobs[self.i];
+        let mut delay = if self.i == 0 {
             0.0
         } else {
             cluster.config.inter_job_delay_s
         };
-        if let (Some(c), Some(rng)) = (cluster.config.contention, gap_rng.as_mut()) {
+        if !self.gap_rng_ready {
+            // Seeded once, from the contention model in force at the first
+            // step — [`run_chain`] reproduces its historical stream.
+            self.gap_rng = cluster
+                .config
+                .contention
+                .map(|c| StdRng::seed_from_u64(c.seed ^ self.seed));
+            self.gap_rng_ready = true;
+        }
+        if let (Some(c), Some(rng)) = (cluster.config.contention, self.gap_rng.as_mut()) {
             delay += rng.gen::<f64>() * c.max_scheduling_gap_s;
         }
         // Tracing: scheduling gaps live on the chain-scheduler lane, and
@@ -160,20 +354,28 @@ pub fn run_chain(cluster: &mut Cluster, chain: &JobChain) -> Result<ChainOutcome
                 tr.chain_span(
                     "gap",
                     format!("scheduling gap before {}", job.name),
-                    elapsed,
+                    self.elapsed,
                     delay,
                 );
             }
-            tr.set_cursor(elapsed + delay);
+            tr.set_cursor(self.elapsed + delay);
         }
-        match run_job_attempt(cluster, job, attempt) {
+        match run_job_attempt(cluster, job, self.attempt) {
             Ok(mut m) => {
                 m.startup_delay_s = delay;
-                elapsed += m.total_s();
-                final_output = job.output.clone();
-                metrics.jobs.push(m);
-                i += 1;
-                attempt = 0;
+                self.elapsed += m.total_s();
+                self.final_output = job.output.clone();
+                self.metrics.jobs.push(m);
+                self.i += 1;
+                self.attempt = 0;
+                if let Some(failed) = self.check_time_limit(cluster) {
+                    return failed;
+                }
+                if self.i == chain.jobs.len() {
+                    ChainStep::Finished
+                } else {
+                    ChainStep::Advanced
+                }
             }
             Err(fail) => {
                 // The attempt's buffered spans were dropped by the engine;
@@ -185,55 +387,65 @@ pub fn run_chain(cluster: &mut Cluster, chain: &JobChain) -> Result<ChainOutcome
                         format!(
                             "{} attempt {} failed: {}",
                             job.name,
-                            attempt + 1,
+                            self.attempt + 1,
                             fail.error
                         ),
-                        elapsed + delay,
+                        self.elapsed + delay,
                         fail.wasted_s,
                     );
                 }
-                metrics.failed_attempt_s += delay + fail.wasted_s;
-                elapsed += delay + fail.wasted_s;
-                let can_retry = cluster
-                    .config
-                    .retry
-                    .filter(|p| retryable(&fail.error) && attempt < p.max_retries);
+                self.metrics.failed_attempt_s += delay + fail.wasted_s;
+                self.elapsed += delay + fail.wasted_s;
+                let can_retry = cluster.config.retry.filter(|p| {
+                    !self.deny_retries && retryable(&fail.error) && self.attempt < p.max_retries
+                });
                 let Some(policy) = can_retry else {
-                    return Err(ChainFailure {
-                        error: fail.error,
-                        metrics,
-                    });
+                    self.error = Some(fail.error);
+                    return ChainStep::Failed;
                 };
-                let backoff = policy.backoff_s(attempt);
+                // Jitter keys on (chain seed, job index, retry index): the
+                // same chain reproduces exactly, co-failing chains spread.
+                let backoff = policy.backoff_jittered_s(
+                    self.attempt,
+                    self.seed ^ (self.i as u64).wrapping_mul(0xA076_1D64_78BD_642F),
+                );
                 if let Some(tr) = cluster.trace_mut() {
                     tr.chain_span(
                         "backoff",
-                        format!("retry backoff before {} attempt {}", job.name, attempt + 2),
-                        elapsed,
+                        format!(
+                            "retry backoff before {} attempt {}",
+                            job.name,
+                            self.attempt + 2
+                        ),
+                        self.elapsed,
                         backoff,
                     );
                 }
-                metrics.retries += 1;
-                metrics.backoff_delay_s += backoff;
-                elapsed += backoff;
-                attempt += 1;
+                self.metrics.retries += 1;
+                self.metrics.backoff_delay_s += backoff;
+                self.elapsed += backoff;
+                self.attempt += 1;
                 // Outputs of jobs[..i] are already in HDFS; only job `i`
                 // re-runs.
-            }
-        }
-        if let Some(limit) = cluster.config.time_limit_s {
-            if elapsed > limit {
-                return Err(ChainFailure {
-                    error: MapRedError::TimeLimitExceeded { limit_s: limit },
-                    metrics,
-                });
+                if let Some(failed) = self.check_time_limit(cluster) {
+                    return failed;
+                }
+                ChainStep::Backoff {
+                    error: fail.error,
+                    backoff_s: backoff,
+                }
             }
         }
     }
-    Ok(ChainOutcome {
-        metrics,
-        final_output,
-    })
+
+    fn check_time_limit(&mut self, cluster: &Cluster) -> Option<ChainStep> {
+        let limit = cluster.config.time_limit_s?;
+        if self.elapsed > limit {
+            self.error = Some(MapRedError::TimeLimitExceeded { limit_s: limit });
+            return Some(ChainStep::Failed);
+        }
+        None
+    }
 }
 
 #[cfg(test)]
@@ -246,7 +458,9 @@ mod tests {
     struct IdMapper;
     impl Mapper for IdMapper {
         fn map(&mut self, line: &str, out: &mut MapOutput) {
-            let n: i64 = line.parse().unwrap();
+            let n: i64 = line
+                .parse()
+                .unwrap_or_else(|_| panic!("IdMapper: non-numeric input line {line:?}"));
             out.emit(row![n % 3], row![n]);
         }
     }
@@ -254,18 +468,26 @@ mod tests {
     struct CountReducer;
     impl Reducer for CountReducer {
         fn reduce(&mut self, key: &Row, values: &[Row], out: &mut ReduceOutput) {
-            out.emit_line(format!("{}|{}", key.get(0).unwrap(), values.len()));
+            let k = key
+                .get(0)
+                .unwrap_or_else(|_| panic!("CountReducer: empty key row {key:?}"));
+            out.emit_line(format!("{}|{}", k, values.len()));
         }
     }
 
     struct PassMapper;
     impl Mapper for PassMapper {
         fn map(&mut self, line: &str, out: &mut MapOutput) {
-            let (k, v) = line.split_once('|').unwrap();
-            out.emit(
-                row![0i64],
-                row![k.parse::<i64>().unwrap(), v.parse::<i64>().unwrap()],
-            );
+            let (k, v) = line
+                .split_once('|')
+                .unwrap_or_else(|| panic!("PassMapper: line without '|' separator: {line:?}"));
+            let k = k
+                .parse::<i64>()
+                .unwrap_or_else(|_| panic!("PassMapper: non-numeric key in line {line:?}"));
+            let v = v
+                .parse::<i64>()
+                .unwrap_or_else(|_| panic!("PassMapper: non-numeric value in line {line:?}"));
+            out.emit(row![0i64], row![k, v]);
         }
     }
 
@@ -274,7 +496,14 @@ mod tests {
         fn reduce(&mut self, _key: &Row, values: &[Row], out: &mut ReduceOutput) {
             let s: i64 = values
                 .iter()
-                .map(|v| v.get(1).unwrap().as_int().unwrap())
+                .map(|v| {
+                    v.get(1)
+                        .ok()
+                        .and_then(ysmart_rel::Value::as_int)
+                        .unwrap_or_else(|| {
+                            panic!("SumCountsReducer: value row without integer count: {v:?}")
+                        })
+                })
                 .sum();
             out.emit_line(format!("{s}"));
         }

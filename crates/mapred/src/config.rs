@@ -114,6 +114,13 @@ pub struct RetryPolicy {
     /// the exponential grows without bound (`30 × 2¹⁰` is already over
     /// 8 hours) and a long retry series spends its whole budget waiting.
     pub max_backoff_s: f64,
+    /// Fraction of each backoff randomised away by
+    /// [`RetryPolicy::backoff_jittered_s`], in `[0, 1]`. `0` (the default)
+    /// keeps the plain exponential schedule. Co-running chains that fail
+    /// together would otherwise retry in lockstep and collide again — the
+    /// classic retry-storm resonance; jitter derived from each chain's seed
+    /// spreads them out deterministically, never from thread timing.
+    pub jitter: f64,
 }
 
 impl Default for RetryPolicy {
@@ -123,6 +130,7 @@ impl Default for RetryPolicy {
             backoff_base_s: 30.0,
             backoff_factor: 2.0,
             max_backoff_s: 600.0,
+            jitter: 0.0,
         }
     }
 }
@@ -139,6 +147,32 @@ impl RetryPolicy {
         // `raw` can overflow to +inf for large retry indices; the cap also
         // normalises that case to a finite wait.
         raw.min(self.max_backoff_s)
+    }
+
+    /// [`RetryPolicy::backoff_s`] with decorrelation jitter: up to
+    /// [`RetryPolicy::jitter`] of the wait is shaved off by a uniform draw
+    /// hashed from `(seed, retry)` — full-jitter-down, so the result never
+    /// exceeds the plain schedule or the cap. The seed must come from the
+    /// chain (not wall clock or thread identity) so runs stay bit-identical
+    /// for any thread count while distinct chains still de-synchronise.
+    #[must_use]
+    pub fn backoff_jittered_s(&self, retry: usize, seed: u64) -> f64 {
+        let base = self.backoff_s(retry);
+        let jitter = self.jitter.clamp(0.0, 1.0);
+        if jitter == 0.0 {
+            return base;
+        }
+        // splitmix64 finaliser over the (seed, retry) mix — the same
+        // stateless per-index derivation the engine uses for task RNGs.
+        let mut z = seed
+            ^ (retry as u64)
+                .wrapping_mul(0xA076_1D64_78BD_642F)
+                .wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let unit = (z >> 11) as f64 / (1u64 << 53) as f64; // uniform [0, 1)
+        base * (1.0 - jitter * unit)
     }
 }
 
@@ -471,9 +505,8 @@ mod tests {
     fn backoff_is_capped_over_a_long_retry_series() {
         let p = RetryPolicy {
             max_retries: 1000,
-            backoff_base_s: 30.0,
-            backoff_factor: 2.0,
             max_backoff_s: 600.0,
+            ..RetryPolicy::default()
         };
         // Uncapped, retry 10 would be 30 × 2¹⁰ = 30 720 s.
         assert!((p.backoff_s(10) - 600.0).abs() < 1e-9);
@@ -486,6 +519,35 @@ mod tests {
             total += b;
         }
         assert!(total <= 600.0 * 1000.0);
+    }
+
+    #[test]
+    fn jitter_off_matches_plain_backoff() {
+        let p = RetryPolicy::default();
+        for retry in 0..12 {
+            assert_eq!(p.backoff_jittered_s(retry, 0xABCD), p.backoff_s(retry));
+        }
+    }
+
+    #[test]
+    fn jitter_is_seed_deterministic_bounded_and_decorrelating() {
+        let p = RetryPolicy {
+            jitter: 0.5,
+            ..RetryPolicy::default()
+        };
+        for retry in 0..12 {
+            let a = p.backoff_jittered_s(retry, 7);
+            let b = p.backoff_jittered_s(retry, 7);
+            assert_eq!(a, b, "same seed must reproduce exactly");
+            let plain = p.backoff_s(retry);
+            // Full-jitter-down: within [plain/2, plain] for jitter 0.5.
+            assert!(a <= plain && a >= plain * 0.5 - 1e-9, "retry {retry}: {a}");
+        }
+        // Two chains failing in lockstep must not back off in lockstep.
+        let spread: Vec<bool> = (0..8)
+            .map(|r| (p.backoff_jittered_s(r, 7) - p.backoff_jittered_s(r, 8)).abs() > 1e-9)
+            .collect();
+        assert!(spread.iter().any(|&d| d), "distinct seeds must decorrelate");
     }
 
     #[test]

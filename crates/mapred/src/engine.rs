@@ -123,6 +123,14 @@ impl Cluster {
         self.trace.take()
     }
 
+    /// Swaps the cluster's trace slot with `slot`. A re-entrant
+    /// [`crate::chain::ChainSession`] owns its own trace lane and installs
+    /// it around each step, so concurrently interleaved chains never write
+    /// into one cluster-global timeline.
+    pub fn swap_trace(&mut self, slot: &mut Option<Trace>) {
+        std::mem::swap(&mut self.trace, slot);
+    }
+
     /// Loads a table into HDFS at `data/<name>`.
     pub fn load_table(&mut self, name: &str, lines: Vec<String>) {
         self.hdfs.put(&format!("data/{name}"), lines);

@@ -68,6 +68,42 @@ pub enum MapRedError {
     },
     /// [`crate::chain::run_chain`] was handed a chain with no jobs.
     EmptyChain,
+    /// The tenant's bounded admission queue was full when the query arrived
+    /// — the scheduler sheds load instead of queueing unboundedly (or
+    /// hanging). Resubmit later; nothing ran.
+    QueueFull {
+        /// The tenant whose queue overflowed.
+        tenant: String,
+        /// The queue's configured capacity.
+        capacity: usize,
+    },
+    /// The scheduler refused the query at admission for a reason other than
+    /// queue depth — an unknown tenant, a deadline that had already expired
+    /// at submission. Nothing ran.
+    Rejected {
+        /// The tenant named by the request.
+        tenant: String,
+        /// Why admission was refused.
+        reason: String,
+    },
+    /// The query's deadline passed before its chain completed. The
+    /// scheduler cancelled it cleanly at the deadline, releasing its slot
+    /// share; the accompanying [`crate::chain::ChainFailure`]-style report
+    /// carries the partial metrics of everything that ran first.
+    DeadlineExceeded {
+        /// The absolute deadline on the workload timeline, seconds.
+        deadline_s: f64,
+    },
+    /// The tenant spent its cross-chain retry budget: a retryable failure
+    /// that would normally back off and re-run instead fails the chain
+    /// fast, so one tenant's fault-retry storm cannot monopolise the
+    /// cluster. Partial metrics report what ran before the budget died.
+    RetryBudgetExhausted {
+        /// The tenant whose budget ran out.
+        tenant: String,
+        /// Retries the tenant was allowed across all of its chains.
+        budget: usize,
+    },
 }
 
 impl fmt::Display for MapRedError {
@@ -109,6 +145,19 @@ impl fmt::Display for MapRedError {
                 "job {job} skipped {skipped} malformed records, budget {budget}"
             ),
             MapRedError::EmptyChain => write!(f, "job chain has no jobs"),
+            MapRedError::QueueFull { tenant, capacity } => {
+                write!(f, "tenant {tenant}: admission queue full ({capacity} waiting), query shed")
+            }
+            MapRedError::Rejected { tenant, reason } => {
+                write!(f, "tenant {tenant}: admission rejected: {reason}")
+            }
+            MapRedError::DeadlineExceeded { deadline_s } => {
+                write!(f, "query cancelled at its deadline ({deadline_s} s)")
+            }
+            MapRedError::RetryBudgetExhausted { tenant, budget } => write!(
+                f,
+                "tenant {tenant}: retry budget of {budget} exhausted, chain failed fast"
+            ),
         }
     }
 }
@@ -146,6 +195,19 @@ mod tests {
                 budget: 2,
             },
             MapRedError::EmptyChain,
+            MapRedError::QueueFull {
+                tenant: "t0".into(),
+                capacity: 4,
+            },
+            MapRedError::Rejected {
+                tenant: "t1".into(),
+                reason: "unknown tenant".into(),
+            },
+            MapRedError::DeadlineExceeded { deadline_s: 120.0 },
+            MapRedError::RetryBudgetExhausted {
+                tenant: "t2".into(),
+                budget: 8,
+            },
         ] {
             assert!(!e.to_string().is_empty());
         }

@@ -42,7 +42,12 @@
 //!   re-fetched on mismatch, torn input records are skipped under a budget,
 //!   and failing nodes are blacklisted ([`BlacklistPolicy`]) — recovery is
 //!   charged in simulated time while results stay bit-identical, because
-//!   only checksum-clean canonical bytes ever reach the computation.
+//!   only checksum-clean canonical bytes ever reach the computation;
+//! * a multi-tenant [`scheduler`] co-runs many chains over the shared slot
+//!   pool with bounded admission queues, per-query deadlines with clean
+//!   cancellation, weighted fair-share slot allocation and per-tenant retry
+//!   budgets — the production contention setting of §VII-F, as a
+//!   deterministic discrete-event simulation.
 
 pub mod chain;
 pub mod config;
@@ -52,9 +57,12 @@ pub mod hash;
 pub mod hdfs;
 pub mod job;
 pub mod metrics;
+pub mod scheduler;
 pub mod trace;
 
-pub use chain::{retryable, run_chain, ChainFailure, ChainOutcome, JobChain};
+pub use chain::{
+    chain_seed, retryable, run_chain, ChainFailure, ChainOutcome, ChainSession, ChainStep, JobChain,
+};
 pub use config::{
     BlacklistPolicy, ClusterConfig, Compression, ContentionModel, CorruptionModel, FailureModel,
     NodeFailureModel, RetryPolicy, StragglerModel,
@@ -67,6 +75,10 @@ pub use job::{
     ReducerFactory,
 };
 pub use metrics::{ChainMetrics, JobMetrics};
+pub use scheduler::{
+    run_workload, Disposition, QueryReport, QueryRequest, SchedulerConfig, TenantSpec,
+    WorkloadReport,
+};
 pub use trace::{validate_chrome_trace, ArgValue, Trace, TraceEvent, TraceStats};
 
 /// Convenience result alias.

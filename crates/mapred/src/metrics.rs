@@ -113,7 +113,7 @@ impl fmt::Display for JobMetrics {
 }
 
 /// Metrics for a whole chain of jobs (one translated query).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ChainMetrics {
     /// Per-job metrics, in execution order (successful attempts only).
     pub jobs: Vec<JobMetrics>,

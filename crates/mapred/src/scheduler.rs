@@ -1,0 +1,687 @@
+//! Multi-tenant chain scheduler: admission control, deadlines, fair-share
+//! slot allocation and graceful degradation under overload.
+//!
+//! The paper's production argument (§VII-F) is about *contention*: on the
+//! Facebook cluster, many tenants' queries compete for the same slot pool,
+//! and plans with fewer jobs win because every extra job pays another trip
+//! through the shared scheduler. This module closes the loop by actually
+//! co-running many translated chains over one simulated cluster:
+//!
+//! * **Bounded admission.** Each tenant owns a FIFO queue with a capacity;
+//!   a query arriving at a full queue is *shed* with a typed
+//!   [`MapRedError::QueueFull`] — the scheduler never hangs and never
+//!   queues unboundedly.
+//! * **Deadlines.** A query may carry a deadline (relative to submission).
+//!   A chain that would still be running at its deadline is cancelled
+//!   *cleanly at the deadline*: its slot is released at that instant and
+//!   the report carries the partial [`ChainMetrics`] and partial trace of
+//!   everything that ran first.
+//! * **Weighted fair share.** Both admission order and per-step slot
+//!   shares follow tenant weights, so one tenant's fault-retry storm
+//!   cannot starve the others.
+//! * **Retry budgets.** Each tenant has a cross-chain retry budget; once
+//!   spent, further retryable failures fail fast with
+//!   [`MapRedError::RetryBudgetExhausted`] instead of backing off and
+//!   re-running — overload degrades to fast typed failures, not to an
+//!   ever-growing retry queue.
+//!
+//! Time is simulated, so the whole scheduler is a *deterministic
+//! discrete-event simulation*: chains interleave at job-attempt boundaries
+//! (a [`ChainSession`] step), events are ordered by simulated time with
+//! stable index tie-breaks, and a given (cluster seed, request list) always
+//! produces the identical report — across `exec_threads` settings too,
+//! because each job attempt is itself thread-invariant.
+
+use std::collections::VecDeque;
+
+use crate::chain::{retryable, ChainSession, ChainStep, JobChain};
+use crate::config::ContentionModel;
+use crate::engine::Cluster;
+use crate::error::MapRedError;
+use crate::metrics::ChainMetrics;
+use crate::trace::Trace;
+
+/// One tenant sharing the cluster.
+#[derive(Debug, Clone)]
+pub struct TenantSpec {
+    /// Tenant name, referenced by [`QueryRequest::tenant`].
+    pub name: String,
+    /// Fair-share weight: a weight-4 tenant gets twice the slot share of a
+    /// weight-2 tenant when both have chains running. Must be ≥ 1.
+    pub weight: u32,
+    /// Admission-queue capacity; a query arriving with this many already
+    /// waiting is shed with [`MapRedError::QueueFull`].
+    pub queue_capacity: usize,
+    /// Cross-chain retry budget. Every chain-level retry (backoff +
+    /// re-run) any of the tenant's chains performs spends one unit; at
+    /// zero, retryable failures fail fast with
+    /// [`MapRedError::RetryBudgetExhausted`].
+    pub retry_budget: usize,
+}
+
+impl TenantSpec {
+    /// A tenant with weight 1, the given queue capacity and retry budget.
+    #[must_use]
+    pub fn new(name: impl Into<String>, queue_capacity: usize, retry_budget: usize) -> Self {
+        TenantSpec {
+            name: name.into(),
+            weight: 1,
+            queue_capacity,
+            retry_budget,
+        }
+    }
+
+    /// Sets the fair-share weight (builder style).
+    #[must_use]
+    pub fn weight(mut self, weight: u32) -> Self {
+        self.weight = weight;
+        self
+    }
+}
+
+/// Scheduler-wide configuration.
+#[derive(Debug, Clone)]
+pub struct SchedulerConfig {
+    /// Chains running concurrently over the shared slot pool. Queued
+    /// queries wait for a running chain to finish (or die at their
+    /// deadline waiting).
+    pub max_running: usize,
+    /// The tenants. Requests naming an unknown tenant are rejected.
+    pub tenants: Vec<TenantSpec>,
+    /// Record a merged workload trace: a scheduler lane with
+    /// queue/admit/shed/cancel events plus every chain's own lanes,
+    /// shifted to workload-absolute time.
+    pub trace: bool,
+}
+
+/// One query submitted to the scheduler.
+#[derive(Debug)]
+pub struct QueryRequest {
+    /// Owning tenant (must match a [`TenantSpec::name`]).
+    pub tenant: String,
+    /// Label used in reports and trace lanes, e.g. `"t0/q17-3"`.
+    pub label: String,
+    /// The translated chain to run.
+    pub chain: JobChain,
+    /// Per-request seed driving scheduling-gap and backoff-jitter
+    /// randomness. Distinct seeds decorrelate co-running chains.
+    pub seed: u64,
+    /// Deadline in seconds *after submission*; `None` = run to completion.
+    pub deadline_s: Option<f64>,
+    /// Submission time on the workload clock, seconds.
+    pub submit_s: f64,
+}
+
+/// How a query's life ended. Every submitted query gets exactly one.
+#[derive(Debug, Clone)]
+pub enum Disposition {
+    /// The chain ran to completion; results are in the cluster's HDFS.
+    Completed(crate::chain::ChainOutcome),
+    /// Cancelled at its deadline; carries partial metrics and trace.
+    DeadlineCancelled(crate::chain::ChainFailure),
+    /// Never admitted: queue full or rejected at admission. Nothing ran.
+    Shed(MapRedError),
+    /// The chain failed while running (fault, time limit, exhausted
+    /// retries or retry budget); carries partial metrics and trace.
+    Failed(crate::chain::ChainFailure),
+}
+
+/// The scheduler's report for one submitted query.
+#[derive(Debug)]
+pub struct QueryReport {
+    /// Index of the request in the submitted batch.
+    pub index: usize,
+    /// Copied from the request.
+    pub tenant: String,
+    /// Copied from the request.
+    pub label: String,
+    /// Submission time, workload clock.
+    pub submit_s: f64,
+    /// When the chain got a slot; `None` if it never ran.
+    pub admitted_s: Option<f64>,
+    /// When the disposition was decided (completion, deadline, shed).
+    pub done_s: f64,
+    /// How it ended.
+    pub disposition: Disposition,
+}
+
+impl QueryReport {
+    /// Submission-to-disposition latency, the quantity the workload bench
+    /// reports percentiles of.
+    #[must_use]
+    pub fn latency_s(&self) -> f64 {
+        self.done_s - self.submit_s
+    }
+
+    /// Whether the query completed.
+    #[must_use]
+    pub fn completed(&self) -> bool {
+        matches!(self.disposition, Disposition::Completed(_))
+    }
+
+    /// Whether the query was shed at admission (nothing ran).
+    #[must_use]
+    pub fn shed(&self) -> bool {
+        matches!(self.disposition, Disposition::Shed(_))
+    }
+
+    /// The partial (or complete) metrics of whatever ran, if anything did.
+    #[must_use]
+    pub fn metrics(&self) -> Option<&ChainMetrics> {
+        match &self.disposition {
+            Disposition::Completed(o) => Some(&o.metrics),
+            Disposition::DeadlineCancelled(f) | Disposition::Failed(f) => Some(&f.metrics),
+            Disposition::Shed(_) => None,
+        }
+    }
+}
+
+/// The whole workload's outcome: one report per request (request order)
+/// plus the merged trace when tracing was on.
+#[derive(Debug)]
+pub struct WorkloadReport {
+    /// One report per submitted request, in submission-batch order.
+    pub reports: Vec<QueryReport>,
+    /// Merged workload trace ([`SchedulerConfig::trace`]).
+    pub trace: Option<Trace>,
+}
+
+/// A chain occupying one of the `max_running` slots.
+struct Running {
+    idx: usize,
+    tenant: usize,
+    admitted_s: f64,
+    /// Absolute deadline on the workload clock.
+    deadline_s: Option<f64>,
+    session: ChainSession,
+    /// Metrics snapshot taken before the in-flight step, for
+    /// deadline-cancellation accounting.
+    snapshot: ChainMetrics,
+    /// When the in-flight step started.
+    step_start_s: f64,
+    /// When the in-flight step's charge ends (or the deadline, if that
+    /// comes first).
+    event_s: f64,
+    /// Result of the eagerly-executed in-flight step, applied at
+    /// `event_s`. `None` = cancelled at deadline mid-step.
+    pending: Option<ChainStep>,
+}
+
+/// A queued (admitted-to-queue, not yet running) request.
+struct Waiting {
+    idx: usize,
+    submit_s: f64,
+}
+
+/// Runs a batch of requests through the multi-tenant scheduler on the
+/// shared cluster, to completion. Every request terminates in a typed
+/// [`Disposition`]; the function never hangs — queues are bounded, chains
+/// are finite, deadlines cancel.
+///
+/// The cluster's own `contention` model is treated as the *solo* share; a
+/// chain running alongside others gets `slot_share × (weight / Σ weights
+/// of running chains)` for each step it launches while they overlap. With
+/// no base model a synthetic one (share only, no gaps, no slowdown) is
+/// installed per step, so a chain running alone behaves exactly as under
+/// [`crate::chain::run_chain`].
+///
+/// # Panics
+///
+/// If `config.max_running` is 0, a tenant weight is 0, or two tenants
+/// share a name — configuration bugs, not runtime conditions.
+#[must_use]
+pub fn run_workload(
+    cluster: &mut Cluster,
+    config: &SchedulerConfig,
+    requests: Vec<QueryRequest>,
+) -> WorkloadReport {
+    assert!(config.max_running > 0, "scheduler needs at least one slot");
+    assert!(
+        config.tenants.iter().all(|t| t.weight > 0),
+        "tenant weights must be >= 1"
+    );
+    for (i, t) in config.tenants.iter().enumerate() {
+        assert!(
+            config.tenants[..i].iter().all(|u| u.name != t.name),
+            "duplicate tenant name {:?}",
+            t.name
+        );
+    }
+
+    let mut sched = Scheduler {
+        config,
+        base_contention: cluster.config.contention,
+        master: if config.trace {
+            Some(Trace::new())
+        } else {
+            None
+        },
+        queues: config.tenants.iter().map(|_| VecDeque::new()).collect(),
+        budget_left: config.tenants.iter().map(|t| t.retry_budget).collect(),
+        running: Vec::new(),
+        reports: Vec::new(),
+        requests,
+    };
+
+    // Arrivals sorted by (submit time, request index); the index tie-break
+    // keeps equal-time arrivals in batch order.
+    let mut order: Vec<usize> = (0..sched.requests.len()).collect();
+    order.sort_by(|&a, &b| {
+        sched.requests[a]
+            .submit_s
+            .total_cmp(&sched.requests[b].submit_s)
+            .then(a.cmp(&b))
+    });
+    let mut next_arrival = 0;
+
+    loop {
+        // Next step-completion among running chains: earliest event time,
+        // lowest request index on ties.
+        let completion = sched
+            .running
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| a.event_s.total_cmp(&b.event_s).then(a.idx.cmp(&b.idx)))
+            .map(|(slot, r)| (slot, r.event_s));
+        let arrival = order.get(next_arrival).map(|&idx| {
+            let t = sched.requests[idx].submit_s;
+            (idx, t)
+        });
+        match (completion, arrival) {
+            (None, None) => break,
+            // Completions beat arrivals on time ties: a slot freed at t is
+            // available to the query arriving at t.
+            (Some((slot, tc)), Some((_, ta))) if tc <= ta => {
+                sched.complete_step(cluster, slot);
+            }
+            (Some((slot, _)), None) => {
+                sched.complete_step(cluster, slot);
+            }
+            (_, Some((idx, t))) => {
+                next_arrival += 1;
+                sched.arrive(cluster, idx, t);
+            }
+        }
+    }
+
+    debug_assert!(sched.queues.iter().all(VecDeque::is_empty));
+    let Scheduler {
+        mut reports,
+        master,
+        ..
+    } = sched;
+    reports.sort_by_key(|r| r.index);
+    WorkloadReport {
+        reports,
+        trace: master,
+    }
+}
+
+struct Scheduler<'a> {
+    config: &'a SchedulerConfig,
+    base_contention: Option<ContentionModel>,
+    master: Option<Trace>,
+    queues: Vec<VecDeque<Waiting>>,
+    budget_left: Vec<usize>,
+    running: Vec<Running>,
+    reports: Vec<QueryReport>,
+    requests: Vec<QueryRequest>,
+}
+
+impl Scheduler<'_> {
+    fn tenant_index(&self, name: &str) -> Option<usize> {
+        self.config.tenants.iter().position(|t| t.name == name)
+    }
+
+    /// Absolute deadline of request `idx` on the workload clock.
+    fn abs_deadline(&self, idx: usize) -> Option<f64> {
+        let r = &self.requests[idx];
+        r.deadline_s.map(|d| r.submit_s + d)
+    }
+
+    fn shed(&mut self, idx: usize, now: f64, error: MapRedError) {
+        let r = &self.requests[idx];
+        if let Some(tr) = self.master.as_mut() {
+            tr.chain_instant("shed", format!("{}: {}", r.label, error), now);
+        }
+        self.reports.push(QueryReport {
+            index: idx,
+            tenant: r.tenant.clone(),
+            label: r.label.clone(),
+            submit_s: r.submit_s,
+            admitted_s: None,
+            done_s: now,
+            disposition: Disposition::Shed(error),
+        });
+    }
+
+    /// Handles one arrival: admission checks, enqueue, admission pass.
+    fn arrive(&mut self, cluster: &mut Cluster, idx: usize, now: f64) {
+        let tenant_name = self.requests[idx].tenant.clone();
+        let Some(t) = self.tenant_index(&tenant_name) else {
+            self.shed(
+                idx,
+                now,
+                MapRedError::Rejected {
+                    tenant: tenant_name,
+                    reason: "unknown tenant".into(),
+                },
+            );
+            return;
+        };
+        if self.requests[idx].deadline_s.is_some_and(|d| d <= 0.0) {
+            self.shed(
+                idx,
+                now,
+                MapRedError::Rejected {
+                    tenant: tenant_name,
+                    reason: "deadline expired at submission".into(),
+                },
+            );
+            return;
+        }
+        let capacity = self.config.tenants[t].queue_capacity;
+        if self.queues[t].len() >= capacity {
+            self.shed(
+                idx,
+                now,
+                MapRedError::QueueFull {
+                    tenant: tenant_name,
+                    capacity,
+                },
+            );
+            return;
+        }
+        self.queues[t].push_back(Waiting { idx, submit_s: now });
+        self.admission_pass(cluster, now);
+    }
+
+    /// Fills free slots from the queues: pick the tenant whose running
+    /// count per unit weight is lowest (stable lowest-index tie-break) —
+    /// weighted fair admission.
+    fn admission_pass(&mut self, cluster: &mut Cluster, now: f64) {
+        while self.running.len() < self.config.max_running {
+            let pick = self
+                .queues
+                .iter()
+                .enumerate()
+                .filter(|(_, q)| !q.is_empty())
+                .min_by(|(a, _), (b, _)| {
+                    let load = |t: usize| {
+                        let running = self.running.iter().filter(|r| r.tenant == t).count() as f64;
+                        running / f64::from(self.config.tenants[t].weight)
+                    };
+                    load(*a).total_cmp(&load(*b)).then(a.cmp(b))
+                })
+                .map(|(t, _)| t);
+            let Some(t) = pick else { break };
+            let w = self.queues[t].pop_front().expect("picked non-empty queue");
+            // A queued query whose deadline passed while waiting dies now,
+            // without ever taking a slot.
+            if let Some(dl) = self.abs_deadline(w.idx) {
+                if now >= dl {
+                    self.cancel_queued(w.idx, dl);
+                    continue;
+                }
+            }
+            self.admit(cluster, w, now);
+        }
+    }
+
+    /// A queued request whose deadline expired before admission: report a
+    /// clean cancellation with empty metrics (nothing ran).
+    fn cancel_queued(&mut self, idx: usize, deadline_s: f64) {
+        let r = &self.requests[idx];
+        if let Some(tr) = self.master.as_mut() {
+            tr.chain_span(
+                "queue",
+                format!("{} queued (died waiting)", r.label),
+                r.submit_s,
+                deadline_s - r.submit_s,
+            );
+            tr.chain_instant(
+                "cancelled",
+                format!("{} deadline while queued", r.label),
+                deadline_s,
+            );
+        }
+        self.reports.push(QueryReport {
+            index: idx,
+            tenant: r.tenant.clone(),
+            label: r.label.clone(),
+            submit_s: r.submit_s,
+            admitted_s: None,
+            done_s: deadline_s,
+            disposition: Disposition::DeadlineCancelled(crate::chain::ChainFailure {
+                error: MapRedError::DeadlineExceeded { deadline_s },
+                metrics: ChainMetrics::default(),
+                trace: None,
+            }),
+        });
+    }
+
+    fn admit(&mut self, cluster: &mut Cluster, w: Waiting, now: f64) {
+        let idx = w.idx;
+        let r = &self.requests[idx];
+        let tenant = self
+            .tenant_index(&r.tenant)
+            .expect("admitted request has a known tenant");
+        if let Some(tr) = self.master.as_mut() {
+            if now > w.submit_s {
+                tr.chain_span(
+                    "queue",
+                    format!("{} queued", r.label),
+                    w.submit_s,
+                    now - w.submit_s,
+                );
+            }
+            tr.chain_instant("admit", format!("{} admitted", r.label), now);
+        }
+        let mut session = if self.config.trace {
+            ChainSession::with_tracing(r.seed)
+        } else {
+            ChainSession::new(r.seed)
+        };
+        if self.budget_left[tenant] == 0 {
+            session.deny_retries(true);
+        }
+        let deadline_s = self.abs_deadline(idx);
+        let mut run = Running {
+            idx,
+            tenant,
+            admitted_s: now,
+            deadline_s,
+            session,
+            snapshot: ChainMetrics::default(),
+            step_start_s: now,
+            event_s: now,
+            pending: None,
+        };
+        self.run_step(cluster, &mut run, now);
+        self.running.push(run);
+    }
+
+    /// Eagerly executes the next step of `run`'s chain, charging it the
+    /// fair share in force at `now`. Sets `event_s`/`pending`; a step
+    /// whose charge crosses the deadline is converted into a cancellation
+    /// event at the deadline.
+    fn run_step(&mut self, cluster: &mut Cluster, run: &mut Running, now: f64) {
+        // Share = weight / Σ weights of chains running while this step
+        // launches (including this one). Sampled at launch and held for
+        // the step, like a coarse Hadoop slot grant.
+        let my_weight = f64::from(self.config.tenants[run.tenant].weight);
+        let total_weight: f64 = self
+            .running
+            .iter()
+            .map(|r| f64::from(self.config.tenants[r.tenant].weight))
+            .sum::<f64>()
+            + my_weight;
+        let share = my_weight / total_weight;
+        cluster.config.contention = Some(match self.base_contention {
+            Some(c) => ContentionModel {
+                slot_share: c.slot_share * share,
+                ..c
+            },
+            None => ContentionModel {
+                slot_share: share,
+                max_scheduling_gap_s: 0.0,
+                task_slowdown: 1.0,
+                seed: 0,
+            },
+        });
+        run.snapshot = run.session.metrics().clone();
+        run.step_start_s = now;
+        let step = run.session.step(cluster, &self.requests[run.idx].chain);
+        cluster.config.contention = self.base_contention;
+
+        if let ChainStep::Backoff { .. } = &step {
+            let t = run.tenant;
+            if self.budget_left[t] > 0 {
+                self.budget_left[t] -= 1;
+                if self.budget_left[t] == 0 {
+                    // Budget spent: this and every other running chain of
+                    // the tenant fails fast on its next retryable failure.
+                    run.session.deny_retries(true);
+                    for other in &mut self.running {
+                        if other.tenant == t {
+                            other.session.deny_retries(true);
+                        }
+                    }
+                }
+            }
+        }
+
+        let end_s = run.admitted_s + run.session.elapsed_s();
+        match run.deadline_s {
+            Some(dl) if end_s > dl => {
+                // The step won't finish in time: cancel at the deadline.
+                run.event_s = dl;
+                run.pending = None;
+            }
+            _ => {
+                run.event_s = end_s;
+                run.pending = Some(step);
+            }
+        }
+    }
+
+    /// Applies the in-flight step of `running[slot]` at its event time:
+    /// continue with the next step, or finish/cancel/fail and release the
+    /// slot.
+    fn complete_step(&mut self, cluster: &mut Cluster, slot: usize) {
+        let now = self.running[slot].event_s;
+        let pending = self.running[slot].pending.take();
+        match pending {
+            Some(ChainStep::Advanced | ChainStep::Backoff { .. }) => {
+                let mut run = self.running.swap_remove(slot);
+                self.run_step(cluster, &mut run, now);
+                self.running.push(run);
+                return;
+            }
+            Some(ChainStep::Finished) => {
+                let run = self.running.swap_remove(slot);
+                self.finish(run, now);
+            }
+            Some(ChainStep::Failed) => {
+                let run = self.running.swap_remove(slot);
+                self.fail(cluster, run, now);
+            }
+            None => {
+                let run = self.running.swap_remove(slot);
+                self.cancel_running(cluster, run);
+            }
+        }
+        // A slot was released — admit from the queues.
+        self.admission_pass(cluster, now);
+    }
+
+    fn finish(&mut self, mut run: Running, now: f64) {
+        let r = &self.requests[run.idx];
+        if let (Some(master), Some(mut lane)) = (self.master.as_mut(), run.session.take_trace()) {
+            lane.shift_s(run.admitted_s);
+            master.absorb(&r.label, lane);
+        }
+        self.reports.push(QueryReport {
+            index: run.idx,
+            tenant: r.tenant.clone(),
+            label: r.label.clone(),
+            submit_s: r.submit_s,
+            admitted_s: Some(run.admitted_s),
+            done_s: now,
+            disposition: Disposition::Completed(run.session.into_outcome()),
+        });
+    }
+
+    /// Takes the session's private lane, shifts it to workload-absolute
+    /// time, merges a copy into the master trace, and returns it for the
+    /// failure report.
+    fn harvest_lane(&mut self, run: &mut Running) -> Option<Trace> {
+        let mut lane = run.session.take_trace()?;
+        lane.shift_s(run.admitted_s);
+        if let Some(master) = self.master.as_mut() {
+            master.absorb(&self.requests[run.idx].label, lane.clone());
+        }
+        Some(lane)
+    }
+
+    fn fail(&mut self, cluster: &mut Cluster, mut run: Running, now: f64) {
+        let tenant = run.tenant;
+        let budget = self.config.tenants[tenant].retry_budget;
+        let deny = self.budget_left[tenant] == 0 && budget > 0;
+        let lane = self.harvest_lane(&mut run);
+        let mut failure = run.session.into_failure(cluster);
+        if lane.is_some() {
+            failure.trace = lane.map(Box::new);
+        }
+        // A retryable error that was denied its retry is the budget's
+        // doing — report it as such.
+        if deny && retryable(&failure.error) && cluster.config.retry.is_some() {
+            failure.error = MapRedError::RetryBudgetExhausted {
+                tenant: self.config.tenants[tenant].name.clone(),
+                budget,
+            };
+        }
+        let r = &self.requests[run.idx];
+        self.reports.push(QueryReport {
+            index: run.idx,
+            tenant: r.tenant.clone(),
+            label: r.label.clone(),
+            submit_s: r.submit_s,
+            admitted_s: Some(run.admitted_s),
+            done_s: now,
+            disposition: Disposition::Failed(failure),
+        });
+    }
+
+    /// Cancels a running chain at its deadline: the slot is released *at
+    /// the deadline*, partial metrics are the pre-step snapshot plus the
+    /// deadline-truncated share of the in-flight step charged as burned
+    /// failed-attempt time.
+    fn cancel_running(&mut self, cluster: &mut Cluster, mut run: Running) {
+        let deadline_s = run.deadline_s.expect("cancelled chain has a deadline");
+        let mut metrics = run.snapshot.clone();
+        metrics.failed_attempt_s += deadline_s - run.step_start_s;
+        let lane = self.harvest_lane(&mut run);
+        let label = self.requests[run.idx].label.clone();
+        if let Some(tr) = self.master.as_mut() {
+            tr.chain_instant("cancelled", format!("{label} deadline mid-run"), deadline_s);
+        }
+        run.session
+            .abandon(MapRedError::DeadlineExceeded { deadline_s });
+        let mut failure = run.session.into_failure(cluster);
+        failure.metrics = metrics;
+        if lane.is_some() {
+            failure.trace = lane.map(Box::new);
+        }
+        let r = &self.requests[run.idx];
+        self.reports.push(QueryReport {
+            index: run.idx,
+            tenant: r.tenant.clone(),
+            label: r.label.clone(),
+            submit_s: r.submit_s,
+            admitted_s: Some(run.admitted_s),
+            done_s: deadline_s,
+            disposition: Disposition::DeadlineCancelled(failure),
+        });
+    }
+}

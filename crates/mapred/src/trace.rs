@@ -143,10 +143,27 @@ impl Trace {
     }
 
     /// Records a chain-scheduler span (pid 0, lane 0): inter-job gaps,
-    /// retry backoffs, failed job attempts.
+    /// retry backoffs, failed job attempts, admission-queue waits.
     pub fn chain_span(&mut self, cat: &'static str, name: String, start_s: f64, dur_s: f64) {
         self.events
             .push(TraceEvent::span(0, cat, name, start_s, dur_s));
+    }
+
+    /// Records a chain-scheduler instant (pid 0, lane 0): admission,
+    /// deadline cancellation, load shedding.
+    pub fn chain_instant(&mut self, cat: &'static str, name: String, ts_s: f64) {
+        self.events.push(TraceEvent::instant(0, cat, name, ts_s));
+    }
+
+    /// Shifts every recorded event `dt_s` later on the timeline. The
+    /// multi-tenant scheduler records each chain's lane in chain-local time
+    /// (admission = 0) and shifts it to workload-absolute time on
+    /// completion, so merged traces of co-running chains line up.
+    pub fn shift_s(&mut self, dt_s: f64) {
+        for e in &mut self.events {
+            e.start_s += dt_s;
+        }
+        self.cursor_s += dt_s;
     }
 
     /// Commits one successful job attempt's buffered events under a new

@@ -111,10 +111,14 @@ fn config(threads: Option<usize>, seed: u64) -> ClusterConfig {
             seed: seed ^ 0xC0DE,
         }),
         skip_bad_records: 1_000_000,
+        // Jittered backoff: the jitter derives from the chain seed, never
+        // thread timing, so it must be bit-identical across exec_threads
+        // like everything else here.
         retry: Some(RetryPolicy {
             max_retries: 8,
             backoff_base_s: 1.0,
             backoff_factor: 2.0,
+            jitter: 0.5,
             ..RetryPolicy::default()
         }),
         ..ClusterConfig::default()

@@ -443,3 +443,36 @@ fn corrupt_block_is_retryable_and_recovers_under_policy() {
         "0.25² per block over many blocks × 40 seeds must kill one"
     );
 }
+
+#[test]
+fn chain_failure_carries_the_partial_trace() {
+    // A chain that dies mid-way still hands back an inspectable timeline:
+    // the committed first job's spans plus the failure itself.
+    let mut c = Cluster::new(many_task_config());
+    c.enable_tracing();
+    load(&mut c);
+    let mut chain = JobChain::new();
+    chain.push(sum_job("ok", "data/t", "tmp/ok"));
+    chain.push(sum_job("doomed", "data/nonexistent", "out/never"));
+    let failure = run_chain(&mut c, &chain).unwrap_err();
+    assert!(matches!(failure.error, MapRedError::NoSuchFile(_)));
+    assert_eq!(failure.metrics.jobs.len(), 1, "first job completed");
+
+    let trace = failure.trace.as_ref().expect("tracing was on");
+    assert!(!trace.is_empty());
+    // The committed first job's spans are in the partial trace.
+    assert!(trace.events().iter().any(|e| e.cat == "map"));
+    assert_eq!(trace.process_labels().len(), 1);
+    ysmart_mapred::validate_chrome_trace(&trace.to_chrome_json())
+        .expect("partial trace exports as valid Chrome JSON");
+}
+
+#[test]
+fn chain_failure_without_tracing_has_no_trace() {
+    let mut c = Cluster::new(many_task_config());
+    load(&mut c);
+    let mut chain = JobChain::new();
+    chain.push(sum_job("doomed", "data/nonexistent", "out/never"));
+    let failure = run_chain(&mut c, &chain).unwrap_err();
+    assert!(failure.trace.is_none());
+}
