@@ -9,14 +9,18 @@
 //! Usage:
 //!
 //! ```text
-//! bench [--record-baseline] [--iterations N] [--out PATH] [--smoke]
+//! bench [--record-baseline] [--iterations N] [--out PATH] [--smoke] [--compare]
 //! ```
 //!
-//! Results go to `BENCH_wallclock.json`. The first recorded run (via
-//! `--record-baseline`) pins `baseline_s`; later runs keep that baseline
-//! and update `current_s`/`speedup`, so the perf trajectory of the
-//! execution engine is visible across PRs. `--smoke` runs one query at a
-//! tiny scale and writes nothing — a CI liveness check.
+//! Every case runs twice per iteration — once in text format, once
+//! columnar — so the A/B shows up in `text_s`/`columnar_s`; `current_s`
+//! is the columnar number (the engine's default-best path). Results go to
+//! `BENCH_wallclock.json`. The first recorded run (via `--record-baseline`)
+//! pins `baseline_s`; later runs keep that baseline and update
+//! `current_s`/`speedup`, so the perf trajectory of the execution engine
+//! is visible across PRs. `--smoke` runs one query at a tiny scale and
+//! writes nothing — a CI liveness check. `--compare` is the CI perf gate:
+//! it fails if the columnar path is slower than text.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -24,7 +28,7 @@ use std::time::Instant;
 
 use ysmart_core::{Strategy, YSmart};
 use ysmart_datagen::{ClicksSpec, TpchSpec};
-use ysmart_mapred::ClusterConfig;
+use ysmart_mapred::{ClusterConfig, DataFormat};
 use ysmart_queries::{
     clicks_workloads, oracle_execute, rows_approx_equal, tpch_workloads, Workload,
 };
@@ -70,14 +74,16 @@ fn fig10_cases() -> Vec<Case> {
 
 const STRATEGIES: [Strategy; 3] = [Strategy::YSmart, Strategy::Hive, Strategy::Pig];
 
-/// Executes every strategy of one case, returning wall-clock seconds spent
-/// inside `execute_sql` (engine build and table loading are not timed).
-/// DNF outcomes (the paper's Pig disk-full case) still count the time the
-/// engine spent reaching them.
-fn run_case(case: &Case, verify: bool) -> f64 {
+/// Executes every strategy of one case under `format`, returning
+/// wall-clock seconds spent inside `execute_sql` (engine build and table
+/// loading are not timed). DNF outcomes (the paper's Pig disk-full case)
+/// still count the time the engine spent reaching them.
+fn run_case(case: &Case, verify: bool, format: DataFormat) -> f64 {
     let mut elapsed = 0.0;
     for strategy in STRATEGIES {
-        let mut engine = YSmart::new(case.workload.catalog.clone(), case.config.clone());
+        let mut config = case.config.clone();
+        config.data_format = format;
+        let mut engine = YSmart::new(case.workload.catalog.clone(), config);
         case.workload.load_into(&mut engine).expect("load");
         let real_bytes = engine.cluster.hdfs.total_bytes().max(1);
         engine.cluster.config.size_multiplier = (case.target_gb * 1e9) / real_bytes as f64;
@@ -118,25 +124,56 @@ fn read_json_number(text: &str, key: &str) -> Option<f64> {
     rest[..end].parse().ok()
 }
 
-fn smoke() {
+fn smoke_case() -> Case {
     let tpch = tpch_workloads(&TpchSpec {
         scale: 0.05,
         seed: 2024,
     });
     let w = tpch.iter().find(|w| w.name == "q17").expect("workload");
-    let case = Case {
+    Case {
         workload: w.clone(),
         config: ClusterConfig::small_local(),
         target_gb: 0.1,
-    };
-    let s = run_case(&case, true);
-    println!("smoke: q17 @0.1GB all strategies in {s:.3}s wall-clock (verified)");
+    }
+}
+
+fn smoke() {
+    let case = smoke_case();
+    let t = run_case(&case, true, DataFormat::Text);
+    let c = run_case(&case, true, DataFormat::Columnar);
+    println!("smoke: q17 @0.1GB all strategies, text {t:.3}s + columnar {c:.3}s (verified)");
+}
+
+/// CI perf gate: the columnar path must not be slower than text. The
+/// smoke case is too small to time reliably, so this uses the first real
+/// fig10 case (Q17 at full generator scale) and takes minimum-of-N on
+/// both sides to shed scheduler noise.
+fn compare() {
+    let case = fig10_cases().into_iter().next().expect("fig10 case");
+    // Verified warm-up in both formats.
+    run_case(&case, true, DataFormat::Text);
+    run_case(&case, true, DataFormat::Columnar);
+    let (mut text, mut col) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..5 {
+        text = text.min(run_case(&case, false, DataFormat::Text));
+        col = col.min(run_case(&case, false, DataFormat::Columnar));
+    }
+    let ratio = text / col;
+    println!("compare: text {text:.3}s vs columnar {col:.3}s ({ratio:.2}x)");
+    assert!(
+        col <= text,
+        "columnar path regressed: {col:.3}s vs text {text:.3}s"
+    );
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--smoke") {
         smoke();
+        return;
+    }
+    if args.iter().any(|a| a == "--compare") {
+        compare();
         return;
     }
     let record_baseline = args.iter().any(|a| a == "--record-baseline");
@@ -154,28 +191,38 @@ fn main() {
         .unwrap_or_else(|| "BENCH_wallclock.json".to_string());
 
     let cases = fig10_cases();
-    // Untimed verified pass: a fast engine that returns wrong rows would
-    // make every number below meaningless.
+    // Untimed verified pass, both formats: a fast engine that returns
+    // wrong rows would make every number below meaningless.
     for case in &cases {
-        run_case(case, true);
+        run_case(case, true, DataFormat::Text);
+        run_case(case, true, DataFormat::Columnar);
     }
 
-    let mut per_iter: Vec<f64> = Vec::with_capacity(iterations);
+    let mut text_best = f64::INFINITY;
+    let mut columnar_best = f64::INFINITY;
     let mut per_query: Vec<(String, f64)> = cases
         .iter()
         .map(|c| (c.workload.name.to_string(), f64::INFINITY))
         .collect();
     for iter in 0..iterations {
-        let mut total = 0.0;
+        let mut text_total = 0.0;
+        let mut col_total = 0.0;
         for (case, slot) in cases.iter().zip(per_query.iter_mut()) {
-            let s = run_case(case, false);
+            text_total += run_case(case, false, DataFormat::Text);
+            let s = run_case(case, false, DataFormat::Columnar);
             slot.1 = slot.1.min(s);
-            total += s;
+            col_total += s;
         }
-        println!("iteration {}: {total:.3}s", iter + 1);
-        per_iter.push(total);
+        println!(
+            "iteration {}: text {text_total:.3}s, columnar {col_total:.3}s",
+            iter + 1
+        );
+        text_best = text_best.min(text_total);
+        columnar_best = columnar_best.min(col_total);
     }
-    let current_s = per_iter.iter().copied().fold(f64::INFINITY, f64::min);
+    let (text_s, columnar_s) = (text_best, columnar_best);
+    // The headline number is the engine's best path.
+    let current_s = columnar_s;
 
     let baseline_s = if record_baseline {
         current_s
@@ -192,6 +239,8 @@ fn main() {
     let _ = writeln!(json, "  \"suite\": \"fig10\",");
     let _ = writeln!(json, "  \"iterations\": {iterations},");
     let _ = writeln!(json, "  \"baseline_s\": {baseline_s:.4},");
+    let _ = writeln!(json, "  \"text_s\": {text_s:.4},");
+    let _ = writeln!(json, "  \"columnar_s\": {columnar_s:.4},");
     let _ = writeln!(json, "  \"current_s\": {current_s:.4},");
     let _ = writeln!(json, "  \"speedup\": {speedup:.3},");
     json.push_str("  \"queries\": {\n");
@@ -202,6 +251,7 @@ fn main() {
     json.push_str("  }\n}\n");
     std::fs::write(&out_path, &json).expect("write BENCH_wallclock.json");
     println!(
-        "fig10 suite wall-clock: {current_s:.3}s (baseline {baseline_s:.3}s, speedup {speedup:.2}x) -> {out_path}"
+        "fig10 suite wall-clock: text {text_s:.3}s, columnar {columnar_s:.3}s \
+         (baseline {baseline_s:.3}s, speedup {speedup:.2}x) -> {out_path}"
     );
 }

@@ -12,11 +12,12 @@
 //!   and write one merged Chrome-trace JSON (default
 //!   `results/fig10_trace.json`), loadable in Perfetto / `chrome://tracing`.
 //! * `--smoke` — a seconds-long subset (Q17 only, tiny scale) for CI.
+//! * `--format text|columnar` — storage/shuffle format (default text).
 
 use ysmart_bench::{execute_verified_traced, pgsql_seconds, print_breakdown, FigRow};
 use ysmart_core::Strategy;
 use ysmart_datagen::{ClicksSpec, TpchSpec};
-use ysmart_mapred::{validate_chrome_trace, ClusterConfig, Trace};
+use ysmart_mapred::{validate_chrome_trace, ClusterConfig, DataFormat, Trace};
 use ysmart_queries::{clicks_workloads, tpch_workloads, Workload};
 
 fn run_query(w: &Workload, config: &ClusterConfig, target_gb: f64, master: &mut Option<Trace>) {
@@ -75,6 +76,7 @@ fn run_query(w: &Workload, config: &ClusterConfig, target_gb: f64, master: &mut 
 struct Options {
     smoke: bool,
     trace_path: Option<String>,
+    format: DataFormat,
 }
 
 fn parse_args() -> Options {
@@ -82,6 +84,7 @@ fn parse_args() -> Options {
     let mut opts = Options {
         smoke: false,
         trace_path: None,
+        format: DataFormat::Text,
     };
     let mut i = 0;
     while i < argv.len() {
@@ -95,8 +98,25 @@ fn parse_args() -> Options {
                     opts.trace_path = Some("results/fig10_trace.json".into());
                 }
             }
+            "--format" => {
+                i += 1;
+                opts.format = match argv.get(i).map(String::as_str) {
+                    Some("text") => DataFormat::Text,
+                    Some("columnar") => DataFormat::Columnar,
+                    other => {
+                        eprintln!(
+                            "--format expects `text` or `columnar`, got {:?}",
+                            other.unwrap_or("<none>")
+                        );
+                        std::process::exit(2);
+                    }
+                };
+            }
             other => {
-                eprintln!("unknown argument: {other} (expected --smoke and/or --trace [path])");
+                eprintln!(
+                    "unknown argument: {other} \
+                     (expected --smoke, --trace [path], and/or --format text|columnar)"
+                );
                 std::process::exit(2);
             }
         }
@@ -134,8 +154,15 @@ fn write_trace(master: &Trace, path: &str) {
 
 fn main() {
     let opts = parse_args();
-    println!("=== Fig. 10: small local cluster ===");
-    let config = ClusterConfig::small_local();
+    println!(
+        "=== Fig. 10: small local cluster ({} format) ===",
+        match opts.format {
+            DataFormat::Text => "text",
+            DataFormat::Columnar => "columnar",
+        }
+    );
+    let mut config = ClusterConfig::small_local();
+    config.data_format = opts.format;
     let mut master = opts.trace_path.as_ref().map(|_| Trace::new());
 
     if opts.smoke {

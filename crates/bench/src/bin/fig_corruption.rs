@@ -18,7 +18,7 @@
 use ysmart_bench::{execute_verified, fmt_secs};
 use ysmart_core::{FaultOptions, Strategy};
 use ysmart_datagen::{ClicksSpec, TpchSpec};
-use ysmart_mapred::ClusterConfig;
+use ysmart_mapred::{ClusterConfig, DataFormat};
 use ysmart_queries::{clicks_workloads, tpch_workloads, Workload};
 
 const RATES: [f64; 3] = [0.0, 1e-4, 1e-3];
@@ -48,10 +48,18 @@ impl Cell {
 
 /// Small HDFS blocks so the workloads' real data spans enough blocks and
 /// shuffle segments for per-block/per-segment corruption draws to matter.
-fn cluster() -> ClusterConfig {
+fn cluster(format: DataFormat) -> ClusterConfig {
     ClusterConfig {
         hdfs_block_mb: 0.01,
+        data_format: format,
         ..ClusterConfig::ec2(10)
+    }
+}
+
+fn format_name(format: DataFormat) -> &'static str {
+    match format {
+        DataFormat::Text => "text",
+        DataFormat::Columnar => "columnar",
     }
 }
 
@@ -116,91 +124,107 @@ fn main() {
     }
 
     let systems = [("ysmart", Strategy::YSmart), ("hive", Strategy::Hive)];
-    let mut json_systems = Vec::new();
-    // Max-rate average overhead per system, for the headline comparison.
-    let mut max_rate_overhead = Vec::new();
+    let mut json_formats = Vec::new();
 
-    for (sys, strategy) in systems {
-        emit(&format!("--- {sys} ---"));
-        emit("  rate        total    overhead   verify   blocks  segs  records  blisted  retries");
+    // The whole sweep runs once per storage format: recovery must be
+    // format-independent (every run is oracle-verified either way), and the
+    // YSmart-vs-Hive integrity-overhead ordering must hold in both.
+    for format in [DataFormat::Text, DataFormat::Columnar] {
+        emit(&format!("=== storage format: {} ===", format_name(format)));
+        let mut json_systems = Vec::new();
+        // Max-rate average overhead per system, for the headline comparison.
+        let mut max_rate_overhead = Vec::new();
 
-        // Healthy baseline: no corruption model at all, so no checksum pass
-        // is charged. The delta against it prices the whole integrity
-        // layer: verification plus recovery.
-        let mut healthy = Vec::new();
-        for w in &workloads {
-            let out = execute_verified(w, strategy, &cluster(), target_gb).expect("healthy run");
-            healthy.push(out.total_s());
-        }
+        for (sys, strategy) in systems {
+            emit(&format!("--- {sys} ---"));
+            emit("  rate        total    overhead   verify   blocks  segs  records  blisted  retries");
 
-        let mut cells = Vec::new();
-        for &rate in rates {
-            let mut cell = Cell::default();
-            for (wi, w) in workloads.iter().enumerate() {
-                for seed in 0..seeds {
-                    let mut config = cluster();
-                    FaultOptions::corrupted(rate, seed ^ (wi as u64) << 8).apply(&mut config);
-                    let out = execute_verified(w, strategy, &config, target_gb)
-                        .expect("oracle-verified corrupted run");
-                    cell.runs += 1;
-                    cell.total_s += out.total_s();
-                    cell.overhead_s += out.total_s() - healthy[wi];
-                    cell.verify_s += out.metrics.total_verify_s();
-                    for j in &out.metrics.jobs {
-                        cell.corrupt_blocks += j.corrupt_blocks_detected;
-                        cell.refetched_segments += j.refetched_segments;
-                        cell.skipped_records += j.skipped_records;
-                        cell.blacklisted_nodes += j.blacklisted_nodes as u64;
+            // Healthy baseline: no corruption model at all, so no checksum pass
+            // is charged. The delta against it prices the whole integrity
+            // layer: verification plus recovery.
+            let mut healthy = Vec::new();
+            for w in &workloads {
+                let out = execute_verified(w, strategy, &cluster(format), target_gb)
+                    .expect("healthy run");
+                healthy.push(out.total_s());
+            }
+
+            let mut cells = Vec::new();
+            for &rate in rates {
+                let mut cell = Cell::default();
+                for (wi, w) in workloads.iter().enumerate() {
+                    for seed in 0..seeds {
+                        let mut config = cluster(format);
+                        FaultOptions::corrupted(rate, seed ^ (wi as u64) << 8).apply(&mut config);
+                        let out = execute_verified(w, strategy, &config, target_gb)
+                            .expect("oracle-verified corrupted run");
+                        cell.runs += 1;
+                        cell.total_s += out.total_s();
+                        cell.overhead_s += out.total_s() - healthy[wi];
+                        cell.verify_s += out.metrics.total_verify_s();
+                        for j in &out.metrics.jobs {
+                            cell.corrupt_blocks += j.corrupt_blocks_detected;
+                            cell.refetched_segments += j.refetched_segments;
+                            cell.skipped_records += j.skipped_records;
+                            cell.blacklisted_nodes += j.blacklisted_nodes as u64;
+                        }
+                        cell.retries += out.metrics.retries as u64;
                     }
-                    cell.retries += out.metrics.retries as u64;
                 }
+                let n = cell.runs as f64;
+                emit(&format!(
+                    "  {:<9}{}  {}  {}  {:>6}  {:>4}  {:>7}  {:>7}  {:>7}",
+                    rate,
+                    fmt_secs(cell.total_s / n),
+                    fmt_secs(cell.overhead_s / n),
+                    fmt_secs(cell.verify_s / n),
+                    cell.corrupt_blocks,
+                    cell.refetched_segments,
+                    cell.skipped_records,
+                    cell.blacklisted_nodes,
+                    cell.retries,
+                ));
+                if rate > 0.0 {
+                    assert!(
+                        cell.events() > 0,
+                        "{sys}: rate {rate} must trigger integrity events across the sweep"
+                    );
+                }
+                cells.push((rate, cell));
             }
-            let n = cell.runs as f64;
-            emit(&format!(
-                "  {:<9}{}  {}  {}  {:>6}  {:>4}  {:>7}  {:>7}  {:>7}",
-                rate,
-                fmt_secs(cell.total_s / n),
-                fmt_secs(cell.overhead_s / n),
-                fmt_secs(cell.verify_s / n),
-                cell.corrupt_blocks,
-                cell.refetched_segments,
-                cell.skipped_records,
-                cell.blacklisted_nodes,
-                cell.retries,
+
+            let last = cells.last().expect("at least one rate");
+            max_rate_overhead.push((sys, last.1.overhead_s / last.1.runs as f64));
+            let rows: Vec<String> = cells.iter().map(|(r, c)| json_cell(*r, c)).collect();
+            json_systems.push(format!(
+                "{{\"system\":\"{sys}\",\"rates\":[{}]}}",
+                rows.join(",")
             ));
-            if rate > 0.0 {
-                assert!(
-                    cell.events() > 0,
-                    "{sys}: rate {rate} must trigger integrity events across the sweep"
-                );
-            }
-            cells.push((rate, cell));
         }
 
-        let last = cells.last().expect("at least one rate");
-        max_rate_overhead.push((sys, last.1.overhead_s / last.1.runs as f64));
-        let rows: Vec<String> = cells.iter().map(|(r, c)| json_cell(*r, c)).collect();
-        json_systems.push(format!(
-            "{{\"system\":\"{sys}\",\"rates\":[{}]}}",
-            rows.join(",")
+        let (ys, hv) = (max_rate_overhead[0].1, max_rate_overhead[1].1);
+        emit("");
+        emit(&format!(
+            "At the highest rate, integrity overhead: YSmart {} vs Hive {} — fewer",
+            fmt_secs(ys),
+            fmt_secs(hv)
         ));
-    }
+        emit("jobs mean fewer bytes checksummed and fewer corruption exposures.");
+        assert!(
+            ys < hv,
+            "{}: YSmart must pay less integrity overhead than Hive ({ys:.1}s vs {hv:.1}s)",
+            format_name(format)
+        );
+        json_formats.push(format!(
+            "{{\"format\":\"{}\",\"systems\":[{}]}}",
+            format_name(format),
+            json_systems.join(",")
+        ));
+    } // format sweep
 
-    let (ys, hv) = (max_rate_overhead[0].1, max_rate_overhead[1].1);
     emit("");
-    emit(&format!(
-        "At the highest rate, integrity overhead: YSmart {} vs Hive {} — fewer",
-        fmt_secs(ys),
-        fmt_secs(hv)
-    ));
-    emit("jobs mean fewer bytes checksummed and fewer corruption exposures.");
-    assert!(
-        ys < hv,
-        "YSmart must pay less integrity overhead than Hive ({ys:.1}s vs {hv:.1}s)"
-    );
-    emit("");
-    emit("All runs verified against the relational oracle: corruption changed");
-    emit("simulated time only, never a single result row.");
+    emit("All runs verified against the relational oracle, in both storage");
+    emit("formats: corruption changed simulated time only, never a result row.");
 
     let query_names: Vec<String> = workloads
         .iter()
@@ -209,12 +233,12 @@ fn main() {
     let json = format!(
         concat!(
             "{{\"figure\":\"corruption\",\"target_gb\":{},\"seeds\":{},",
-            "\"queries\":[{}],\"systems\":[{}]}}\n"
+            "\"queries\":[{}],\"formats\":[{}]}}\n"
         ),
         target_gb,
         seeds,
         query_names.join(","),
-        json_systems.join(",")
+        json_formats.join(",")
     );
 
     std::fs::create_dir_all("results").expect("results dir");

@@ -9,8 +9,9 @@
 use ysmart_mapred::metrics::ChainMetrics;
 use ysmart_mapred::{run_chain, Cluster, ClusterConfig, JobChain};
 use ysmart_plan::{analyze_with_stats, build_batch_plan, build_plan, Catalog, Plan, Statistics};
-use ysmart_rel::codec::{decode_line, encode_line};
-use ysmart_rel::{Row, Schema};
+use ysmart_rel::codec::decode_line;
+use ysmart_rel::colbatch::decode_frames;
+use ysmart_rel::{ColumnBatch, Row, Schema};
 
 use crate::compile::{compile, compile_batch, BatchTranslation, Translation};
 use crate::error::CoreError;
@@ -96,14 +97,15 @@ impl YSmart {
     }
 
     /// Loads rows into HDFS under `data/<name>`. The table must exist in
-    /// the catalog; rows are encoded in the pipe-delimited text format.
+    /// the catalog; rows are stored in the cluster's configured
+    /// [`ysmart_mapred::DataFormat`] — pipe-delimited text lines, or
+    /// columnar binary frames.
     ///
     /// # Errors
     ///
     /// Unknown table, or rows whose width disagrees with the schema.
     pub fn load_table(&mut self, name: &str, rows: &[Row]) -> Result<(), CoreError> {
         let schema = self.catalog.table(name)?.clone();
-        let mut lines = Vec::with_capacity(rows.len());
         for r in rows {
             if r.len() != schema.len() {
                 return Err(CoreError::Translate(format!(
@@ -112,14 +114,13 @@ impl YSmart {
                     schema.len()
                 )));
             }
-            lines.push(encode_line(r));
         }
         // Table statistics feed the cost-informed PK tie-break and the
         // reduce-task cardinality caps.
         let columns: Vec<String> = schema.fields().iter().map(|f| f.name.clone()).collect();
         self.stats
             .add_table(name, Statistics::scan_table(&columns, rows));
-        self.cluster.load_table(name, lines);
+        self.cluster.load_table_rows(name, rows);
         Ok(())
     }
 
@@ -213,6 +214,9 @@ impl YSmart {
     /// lines.
     pub fn decode_output(&self, translation: &Translation) -> Result<Vec<Row>, CoreError> {
         let file = self.cluster.hdfs.get(&translation.output_path)?;
+        if file.is_columnar() {
+            return Ok(decode_frames(&file.frames)?);
+        }
         let mut rows = Vec::with_capacity(file.lines.len());
         for line in &file.lines {
             rows.push(decode_line(line, &translation.output_schema)?);
@@ -270,17 +274,39 @@ impl YSmart {
             run_chain(&mut self.cluster, &chain).map_err(ysmart_mapred::MapRedError::from)?;
         let mut queries_out = Vec::with_capacity(translation.outputs.len());
         for loc in &translation.outputs {
-            let lines = self.cluster.hdfs.get(&loc.path)?.lines.clone();
+            let file = self.cluster.hdfs.get(&loc.path)?;
             let mut rows = Vec::new();
-            for line in &lines {
-                let payload = match loc.tag {
-                    None => line.as_str(),
-                    Some(want) => match line.split_once('|') {
-                        Some((tag, rest)) if tag.parse::<i64>() == Ok(want) => rest,
-                        _ => continue,
-                    },
-                };
-                rows.push(decode_line(payload, &loc.schema)?);
+            if file.is_columnar() {
+                // A tagged multi-output file carries the stream tag as a
+                // leading Int column; keep this member's rows, drop the tag.
+                for frame in &file.frames {
+                    let batch = ColumnBatch::decode_frame(frame)?;
+                    match loc.tag {
+                        None => rows.extend(batch.to_rows()),
+                        Some(want) => {
+                            let mask: Vec<bool> = (0..batch.num_rows())
+                                .map(|r| {
+                                    batch
+                                        .columns()
+                                        .first()
+                                        .is_some_and(|c| c.value(r).as_int() == Some(want))
+                                })
+                                .collect();
+                            rows.extend(batch.filter(&mask).slice_cols(1).to_rows());
+                        }
+                    }
+                }
+            } else {
+                for line in &file.lines {
+                    let payload = match loc.tag {
+                        None => line.as_str(),
+                        Some(want) => match line.split_once('|') {
+                            Some((tag, rest)) if tag.parse::<i64>() == Ok(want) => rest,
+                            _ => continue,
+                        },
+                    };
+                    rows.push(decode_line(payload, &loc.schema)?);
+                }
             }
             queries_out.push((rows, loc.schema.clone()));
         }
@@ -451,6 +477,81 @@ mod tests {
         let mut e2 = engine();
         let hive = e2.execute_sql(sql, Strategy::Hive).unwrap();
         assert_eq!(sorted(&out.rows), sorted(&hive.rows));
+    }
+
+    fn engine_columnar() -> YSmart {
+        let mut catalog = Catalog::new();
+        catalog.add_table(
+            "clicks",
+            Schema::of(
+                "clicks",
+                &[
+                    ("uid", DataType::Int),
+                    ("page_id", DataType::Int),
+                    ("cid", DataType::Int),
+                    ("ts", DataType::Int),
+                ],
+            ),
+        );
+        let config = ClusterConfig {
+            data_format: ysmart_mapred::DataFormat::Columnar,
+            ..ClusterConfig::default()
+        };
+        let mut e = YSmart::new(catalog, config);
+        let mut rows = Vec::new();
+        for uid in 0..3i64 {
+            for i in 0..20i64 {
+                rows.push(row![uid, i, i % 5, uid * 1000 + i]);
+            }
+        }
+        e.load_table("clicks", &rows).unwrap();
+        e
+    }
+
+    #[test]
+    fn columnar_format_matches_text_results() {
+        for sql in [
+            "SELECT cid, count(*) FROM clicks GROUP BY cid",
+            "SELECT uid, ts FROM clicks WHERE cid = 0",
+            "SELECT c1.uid, count(*) FROM clicks AS c1, clicks AS c2 \
+             WHERE c1.uid = c2.uid AND c1.cid = 1 AND c2.cid = 2 GROUP BY c1.uid",
+            "SELECT uid, ts FROM clicks ORDER BY ts DESC LIMIT 4",
+        ] {
+            let text = engine().execute_sql(sql, Strategy::YSmart).unwrap();
+            let col = engine_columnar()
+                .execute_sql(sql, Strategy::YSmart)
+                .unwrap();
+            assert_eq!(sorted(&text.rows), sorted(&col.rows), "{sql}");
+            assert!(
+                col.metrics.jobs.iter().any(|j| j.encoded_bytes > 0),
+                "columnar run must account encoded frame bytes: {sql}"
+            );
+            assert_eq!(
+                text.metrics
+                    .jobs
+                    .iter()
+                    .map(|j| j.encoded_bytes)
+                    .sum::<u64>(),
+                0,
+                "text run must not report encoded bytes: {sql}"
+            );
+        }
+    }
+
+    #[test]
+    fn columnar_batch_decodes_tagged_outputs() {
+        let sqls = [
+            "SELECT cid, count(*) FROM clicks GROUP BY cid",
+            "SELECT cid, count(*) FROM clicks WHERE uid = 1 GROUP BY cid",
+        ];
+        let text = engine().execute_batch(&sqls, Strategy::YSmart).unwrap();
+        let col = engine_columnar()
+            .execute_batch(&sqls, Strategy::YSmart)
+            .unwrap();
+        assert_eq!(text.queries.len(), col.queries.len());
+        for (t, c) in text.queries.iter().zip(&col.queries) {
+            assert_eq!(sorted(&t.0), sorted(&c.0));
+        }
     }
 
     #[test]

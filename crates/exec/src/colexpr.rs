@@ -1,0 +1,495 @@
+//! Vectorized predicate evaluation over [`ColumnBatch`]es.
+//!
+//! [`eval_mask`] evaluates a predicate [`Expr`] against a whole batch at
+//! once, returning one Kleene truth value per row (`Some(true)` /
+//! `Some(false)` / `None` = SQL unknown) — the columnar counterpart of
+//! [`Expr::eval_predicate`] called row by row, with identical semantics:
+//! a row passes the predicate iff its mask slot is `Some(true)`.
+//!
+//! Only the shapes the translated plans actually produce get fast paths:
+//! comparisons of a column against a literal (typed per-column kernels; a
+//! dictionary-encoded string column is compared once per *dictionary
+//! entry*, not once per row) or against another column (Q21's
+//! `l_receiptdate > l_commitdate`), `AND`/`OR`/`NOT` in Kleene logic, and
+//! `IS [NOT] NULL` of a column. Anything else returns `None` and the
+//! caller falls back to materializing rows — correctness never depends on
+//! a fast path existing. Every supported shape is total (comparisons
+//! yield unknown, never an error), so the mask path cannot diverge from
+//! the row evaluator on error behaviour.
+
+use std::cmp::Ordering;
+
+use ysmart_rel::colbatch::{Column, ColumnBatch};
+use ysmart_rel::{BinOp, Expr, UnOp, Value};
+
+/// One Kleene truth value per batch row.
+pub type Mask = Vec<Option<bool>>;
+
+/// Does `ord` satisfy the comparison `op`? Mirrors the row evaluator's
+/// ordering-to-bool mapping exactly.
+fn ord_matches(op: BinOp, ord: Ordering) -> bool {
+    match op {
+        BinOp::Eq => ord == Ordering::Equal,
+        BinOp::NotEq => ord != Ordering::Equal,
+        BinOp::Lt => ord == Ordering::Less,
+        BinOp::LtEq => ord != Ordering::Greater,
+        BinOp::Gt => ord == Ordering::Greater,
+        BinOp::GtEq => ord != Ordering::Less,
+        _ => unreachable!("comparison op"),
+    }
+}
+
+fn combine(op: BinOp, l: Mask, r: Mask) -> Mask {
+    l.into_iter()
+        .zip(r)
+        .map(|(a, b)| match op {
+            BinOp::And => match (a, b) {
+                (Some(false), _) | (_, Some(false)) => Some(false),
+                (Some(true), Some(true)) => Some(true),
+                _ => None,
+            },
+            BinOp::Or => match (a, b) {
+                (Some(true), _) | (_, Some(true)) => Some(true),
+                (Some(false), Some(false)) => Some(false),
+                _ => None,
+            },
+            _ => unreachable!("logic op"),
+        })
+        .collect()
+}
+
+/// Comparison of a column against a literal. `flipped` means the literal
+/// was the left operand (`lit OP col`), handled by reversing the ordering.
+fn cmp_col_lit(col: &Column, lit: &Value, op: BinOp, flipped: bool, rows: usize) -> Mask {
+    let fix = |ord: Ordering| if flipped { ord.reverse() } else { ord };
+    match (col, lit) {
+        (_, Value::Null) => vec![None; rows],
+        (Column::Int { data, nulls }, Value::Int(b)) => data
+            .iter()
+            .zip(nulls)
+            .map(|(a, &n)| (!n).then(|| ord_matches(op, fix(a.cmp(b)))))
+            .collect(),
+        (Column::Int { data, nulls }, Value::Float(b)) => data
+            .iter()
+            .zip(nulls)
+            .map(|(a, &n)| {
+                if n {
+                    None
+                } else {
+                    (*a as f64).partial_cmp(b).map(|o| ord_matches(op, fix(o)))
+                }
+            })
+            .collect(),
+        (Column::Float { data, nulls }, Value::Int(_) | Value::Float(_)) => {
+            let b = lit.as_float().expect("numeric literal");
+            data.iter()
+                .zip(nulls)
+                .map(|(a, &n)| {
+                    if n {
+                        None
+                    } else {
+                        a.partial_cmp(&b).map(|o| ord_matches(op, fix(o)))
+                    }
+                })
+                .collect()
+        }
+        (Column::Bool { data, nulls }, Value::Bool(b)) => data
+            .iter()
+            .zip(nulls)
+            .map(|(a, &n)| (!n).then(|| ord_matches(op, fix(a.cmp(b)))))
+            .collect(),
+        (Column::Str { dict, idx, nulls }, Value::Str(s)) => {
+            // One comparison per distinct string, then an index lookup per
+            // row — the dictionary-encoding payoff.
+            let table: Vec<bool> = dict
+                .iter()
+                .map(|d| ord_matches(op, fix(d.as_str().cmp(s.as_str()))))
+                .collect();
+            idx.iter()
+                .zip(nulls)
+                .map(|(&i, &n)| (!n).then(|| table[i as usize]))
+                .collect()
+        }
+        (Column::Var(vals), _) => vals
+            .iter()
+            .map(|v| v.sql_cmp(lit).map(|o| ord_matches(op, fix(o))))
+            .collect(),
+        // Cross-type comparisons (e.g. a string column against an integer
+        // literal): `Value::sql_cmp` yields `None` for every non-null pair
+        // and NULLs compare unknown too, so the whole mask is unknown.
+        _ => vec![None; rows],
+    }
+}
+
+/// Comparison of two columns element-wise, mirroring the row evaluator's
+/// `sql_cmp` semantics: NULL on either side compares unknown, numerics
+/// widen, and mismatched types are unknown per pair.
+fn cmp_col_col(a: &Column, b: &Column, op: BinOp, rows: usize) -> Mask {
+    match (a, b) {
+        (
+            Column::Int {
+                data: da,
+                nulls: na,
+            },
+            Column::Int {
+                data: db,
+                nulls: nb,
+            },
+        ) => da
+            .iter()
+            .zip(db)
+            .zip(na.iter().zip(nb))
+            .map(|((x, y), (&nx, &ny))| (!nx && !ny).then(|| ord_matches(op, x.cmp(y))))
+            .collect(),
+        (
+            Column::Float {
+                data: da,
+                nulls: na,
+            },
+            Column::Float {
+                data: db,
+                nulls: nb,
+            },
+        ) => da
+            .iter()
+            .zip(db)
+            .zip(na.iter().zip(nb))
+            .map(|((x, y), (&nx, &ny))| {
+                if nx || ny {
+                    None
+                } else {
+                    x.partial_cmp(y).map(|o| ord_matches(op, o))
+                }
+            })
+            .collect(),
+        (
+            Column::Int {
+                data: da,
+                nulls: na,
+            },
+            Column::Float {
+                data: db,
+                nulls: nb,
+            },
+        ) => da
+            .iter()
+            .zip(db)
+            .zip(na.iter().zip(nb))
+            .map(|((x, y), (&nx, &ny))| {
+                if nx || ny {
+                    None
+                } else {
+                    (*x as f64).partial_cmp(y).map(|o| ord_matches(op, o))
+                }
+            })
+            .collect(),
+        (
+            Column::Float {
+                data: da,
+                nulls: na,
+            },
+            Column::Int {
+                data: db,
+                nulls: nb,
+            },
+        ) => da
+            .iter()
+            .zip(db)
+            .zip(na.iter().zip(nb))
+            .map(|((x, y), (&nx, &ny))| {
+                if nx || ny {
+                    None
+                } else {
+                    x.partial_cmp(&(*y as f64)).map(|o| ord_matches(op, o))
+                }
+            })
+            .collect(),
+        (
+            Column::Bool {
+                data: da,
+                nulls: na,
+            },
+            Column::Bool {
+                data: db,
+                nulls: nb,
+            },
+        ) => da
+            .iter()
+            .zip(db)
+            .zip(na.iter().zip(nb))
+            .map(|((x, y), (&nx, &ny))| (!nx && !ny).then(|| ord_matches(op, x.cmp(y))))
+            .collect(),
+        (
+            Column::Str {
+                dict: dict_a,
+                idx: idx_a,
+                nulls: na,
+            },
+            Column::Str {
+                dict: dict_b,
+                idx: idx_b,
+                nulls: nb,
+            },
+        ) => idx_a
+            .iter()
+            .zip(idx_b)
+            .zip(na.iter().zip(nb))
+            .map(|((&ia, &ib), (&nx, &ny))| {
+                (!nx && !ny).then(|| ord_matches(op, dict_a[ia as usize].cmp(&dict_b[ib as usize])))
+            })
+            .collect(),
+        // Mixed or Var-typed pairs: per-row `sql_cmp` on materialized
+        // values — still one pass, no row materialization.
+        _ => (0..rows)
+            .map(|r| a.value(r).sql_cmp(&b.value(r)).map(|o| ord_matches(op, o)))
+            .collect(),
+    }
+}
+
+/// Evaluates `expr` as a predicate over every row of `batch` at once.
+///
+/// Returns `None` when the expression has a shape without a vectorized
+/// kernel (arithmetic, out-of-bounds column references) — the caller must
+/// then fall back to the row evaluator.
+#[must_use]
+pub fn eval_mask(expr: &Expr, batch: &ColumnBatch) -> Option<Mask> {
+    let rows = batch.num_rows();
+    match expr {
+        Expr::Literal(v) => Some(vec![v.as_bool(); rows]),
+        Expr::Binary { op, lhs, rhs } => match op {
+            BinOp::And | BinOp::Or => {
+                let l = eval_mask(lhs, batch)?;
+                let r = eval_mask(rhs, batch)?;
+                Some(combine(*op, l, r))
+            }
+            BinOp::Eq | BinOp::NotEq | BinOp::Lt | BinOp::LtEq | BinOp::Gt | BinOp::GtEq => {
+                match (&**lhs, &**rhs) {
+                    (Expr::Column(i), Expr::Literal(v)) => {
+                        Some(cmp_col_lit(batch.columns().get(*i)?, v, *op, false, rows))
+                    }
+                    (Expr::Literal(v), Expr::Column(i)) => {
+                        Some(cmp_col_lit(batch.columns().get(*i)?, v, *op, true, rows))
+                    }
+                    (Expr::Column(i), Expr::Column(j)) => Some(cmp_col_col(
+                        batch.columns().get(*i)?,
+                        batch.columns().get(*j)?,
+                        *op,
+                        rows,
+                    )),
+                    _ => None,
+                }
+            }
+            // Arithmetic doesn't yield a truth value; let the row path
+            // handle (and reject) it.
+            BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div => None,
+        },
+        Expr::Unary { op, operand } => match op {
+            UnOp::Not => {
+                let m = eval_mask(operand, batch)?;
+                Some(m.into_iter().map(|v| v.map(|b| !b)).collect())
+            }
+            UnOp::IsNull | UnOp::IsNotNull => {
+                let Expr::Column(i) = &**operand else {
+                    return None;
+                };
+                let col = batch.columns().get(*i)?;
+                let want = *op == UnOp::IsNull;
+                Some(
+                    (0..rows)
+                        .map(|r| Some(col.value(r).is_null() == want))
+                        .collect(),
+                )
+            }
+            UnOp::Neg => None,
+        },
+        // A bare column as a predicate: only boolean columns make sense,
+        // everything else evaluates to unknown like the row path.
+        Expr::Column(i) => match batch.columns().get(*i)? {
+            Column::Bool { data, nulls } => Some(
+                data.iter()
+                    .zip(nulls)
+                    .map(|(&b, &n)| (!n).then_some(b))
+                    .collect(),
+            ),
+            Column::Var(vals) => Some(vals.iter().map(Value::as_bool).collect()),
+            _ => Some(vec![None; rows]),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ysmart_rel::{row, Row};
+
+    fn batch(rows: &[Row]) -> ColumnBatch {
+        ColumnBatch::from_rows(rows).unwrap()
+    }
+
+    /// Every mask slot must equal the row evaluator's verdict.
+    fn assert_matches_rows(e: &Expr, rows: &[Row]) {
+        let b = batch(rows);
+        let mask = eval_mask(e, &b).expect("mask kernel exists");
+        for (r, row) in rows.iter().enumerate() {
+            let via_row = e.eval_predicate(row).unwrap();
+            assert_eq!(
+                mask[r] == Some(true),
+                via_row,
+                "row {r}: mask {:?} vs eval_predicate {via_row} for {e}",
+                mask[r]
+            );
+        }
+    }
+
+    #[test]
+    fn int_comparisons_match_row_eval() {
+        let rows = vec![row![1i64, 10i64], row![5i64, 3i64], row![7i64, 7i64]];
+        for op in [
+            BinOp::Eq,
+            BinOp::NotEq,
+            BinOp::Lt,
+            BinOp::LtEq,
+            BinOp::Gt,
+            BinOp::GtEq,
+        ] {
+            assert_matches_rows(&Expr::binary(op, Expr::col(0), Expr::lit(5i64)), &rows);
+            assert_matches_rows(&Expr::binary(op, Expr::lit(5i64), Expr::col(0)), &rows);
+        }
+    }
+
+    #[test]
+    fn col_vs_col_comparisons_match_row_eval() {
+        // Typed same-type pairs (Q21's date-vs-date shape), widened
+        // numeric pairs, strings, and NULLs on either side.
+        let int_rows = vec![
+            row![1i64, 10i64],
+            row![5i64, 3i64],
+            row![7i64, 7i64],
+            row![Value::Null, 1i64],
+            row![2i64, Value::Null],
+        ];
+        let float_rows = vec![row![1.5f64, 2i64], row![3.0f64, 3i64], row![9.5f64, 1i64]];
+        let str_rows = vec![row!["a", "b"], row!["b", "b"], row!["c", "a"]];
+        for op in [
+            BinOp::Eq,
+            BinOp::NotEq,
+            BinOp::Lt,
+            BinOp::LtEq,
+            BinOp::Gt,
+            BinOp::GtEq,
+        ] {
+            let e = Expr::binary(op, Expr::col(0), Expr::col(1));
+            assert_matches_rows(&e, &int_rows);
+            assert_matches_rows(&e, &float_rows);
+            assert_matches_rows(&e, &str_rows);
+            assert_matches_rows(&Expr::binary(op, Expr::col(1), Expr::col(0)), &float_rows);
+        }
+    }
+
+    #[test]
+    fn str_dictionary_comparison() {
+        let rows = vec![row!["F", 1i64], row!["M", 2i64], row!["F", 3i64]];
+        let e = Expr::col(0).eq(Expr::lit("F"));
+        let b = batch(&rows);
+        assert_eq!(
+            eval_mask(&e, &b).unwrap(),
+            vec![Some(true), Some(false), Some(true)]
+        );
+        assert_matches_rows(
+            &Expr::binary(BinOp::Lt, Expr::col(0), Expr::lit("M")),
+            &rows,
+        );
+    }
+
+    #[test]
+    fn mixed_numeric_comparison() {
+        let rows = vec![row![1i64, 0.5f64], row![2i64, 2.5f64]];
+        assert_matches_rows(
+            &Expr::binary(BinOp::Gt, Expr::col(1), Expr::lit(1.0f64)),
+            &rows,
+        );
+        assert_matches_rows(
+            &Expr::binary(BinOp::LtEq, Expr::col(0), Expr::lit(1.5f64)),
+            &rows,
+        );
+    }
+
+    #[test]
+    fn null_compares_unknown() {
+        let rows = vec![
+            Row::new(vec![Value::Null, Value::Int(1)]),
+            Row::new(vec![Value::Int(3), Value::Int(1)]),
+        ];
+        let e = Expr::binary(BinOp::Gt, Expr::col(0), Expr::lit(1i64));
+        let b = batch(&rows);
+        assert_eq!(eval_mask(&e, &b).unwrap(), vec![None, Some(true)]);
+        // NULL literal: unknown everywhere.
+        let e = Expr::col(1).eq(Expr::Literal(Value::Null));
+        assert_eq!(eval_mask(&e, &b).unwrap(), vec![None, None]);
+    }
+
+    #[test]
+    fn kleene_and_or_not() {
+        let rows = vec![
+            Row::new(vec![Value::Int(5), Value::Null]),
+            Row::new(vec![Value::Int(1), Value::Int(9)]),
+            Row::new(vec![Value::Int(5), Value::Int(0)]),
+        ];
+        let gt = Expr::binary(BinOp::Gt, Expr::col(0), Expr::lit(3i64));
+        let lt = Expr::binary(BinOp::Lt, Expr::col(1), Expr::lit(5i64));
+        assert_matches_rows(&gt.clone().and(lt.clone()), &rows);
+        assert_matches_rows(&gt.clone().or(lt.clone()), &rows);
+        let not = Expr::Unary {
+            op: UnOp::Not,
+            operand: Box::new(gt.and(lt)),
+        };
+        assert_matches_rows(&not, &rows);
+    }
+
+    #[test]
+    fn is_null_kernels() {
+        let rows = vec![
+            Row::new(vec![Value::Null]),
+            Row::new(vec![Value::Str("x".into())]),
+        ];
+        let b = batch(&rows);
+        let isnull = Expr::Unary {
+            op: UnOp::IsNull,
+            operand: Box::new(Expr::col(0)),
+        };
+        assert_eq!(
+            eval_mask(&isnull, &b).unwrap(),
+            vec![Some(true), Some(false)]
+        );
+        let notnull = Expr::Unary {
+            op: UnOp::IsNotNull,
+            operand: Box::new(Expr::col(0)),
+        };
+        assert_eq!(
+            eval_mask(&notnull, &b).unwrap(),
+            vec![Some(false), Some(true)]
+        );
+    }
+
+    #[test]
+    fn cross_type_comparison_is_unknown() {
+        let rows = vec![row!["a", 1i64]];
+        let e = Expr::col(0).eq(Expr::lit(1i64));
+        assert_eq!(eval_mask(&e, &batch(&rows)).unwrap(), vec![None]);
+    }
+
+    #[test]
+    fn unsupported_shapes_fall_back() {
+        let rows = vec![row![1i64, 2i64]];
+        let b = batch(&rows);
+        // Arithmetic inside a predicate: no kernel.
+        let arith = Expr::binary(
+            BinOp::Gt,
+            Expr::binary(BinOp::Add, Expr::col(0), Expr::lit(1i64)),
+            Expr::lit(0i64),
+        );
+        assert!(eval_mask(&arith, &b).is_none());
+        // Out-of-bounds column: no kernel (row path reports the error).
+        assert!(eval_mask(&Expr::col(9).eq(Expr::lit(1i64)), &b).is_none());
+    }
+}

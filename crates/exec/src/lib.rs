@@ -23,6 +23,7 @@
 //! per-task mapper/reducer factories the simulator requires.
 
 pub mod blueprint;
+pub mod colexpr;
 pub mod combiner;
 pub mod error;
 pub mod mapper;
@@ -32,6 +33,7 @@ pub mod rowop;
 pub use blueprint::{
     EmitSpec, InputSpec, JobBlueprint, MapBranch, OpKind, PartialAgg, ROp, RSource, StreamSpec,
 };
+pub use colexpr::eval_mask;
 pub use combiner::PartialAggCombiner;
 pub use error::ExecError;
 pub use mapper::CommonMapper;

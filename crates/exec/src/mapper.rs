@@ -27,9 +27,11 @@ use std::sync::Arc;
 
 use ysmart_mapred::{MapOutput, Mapper};
 use ysmart_rel::codec::{decode_line, decode_line_projected};
+use ysmart_rel::colbatch::{Column, ColumnBatch};
 use ysmart_rel::{Expr, Row, Value};
 
 use crate::blueprint::JobBlueprint;
+use crate::colexpr::{eval_mask, Mask};
 
 /// The CMF mapper for one input of a job.
 #[derive(Debug)]
@@ -282,6 +284,188 @@ impl Mapper for CommonMapper {
         };
         out.emit(key, self.pad(value));
     }
+
+    fn map_batch(&mut self, batch: &ColumnBatch, out: &mut MapOutput) {
+        // Per-branch visibility, resolved batch-at-a-time where a kernel
+        // exists; `RowEval` rows materialize lazily below.
+        enum Vis {
+            Always,
+            Mask(Mask),
+            RowEval,
+        }
+        let input = &self.blueprint.inputs[self.input_idx];
+        // Tagged multi-output files carry the tag as a leading Int column
+        // (the columnar form of the `tag|rest` line prefix): keep matching
+        // rows, drop the tag column.
+        let owned;
+        let batch = match input.tag_filter {
+            None => batch,
+            Some(want) => {
+                if batch.num_rows() == 0 {
+                    return;
+                }
+                let mask: Vec<bool> = match batch.columns().first() {
+                    Some(Column::Int { data, nulls }) => data
+                        .iter()
+                        .zip(nulls)
+                        .map(|(&t, &n)| !n && t == want)
+                        .collect(),
+                    Some(col) => (0..batch.num_rows())
+                        .map(|r| col.value(r).as_int() == Some(want))
+                        .collect(),
+                    None => return,
+                };
+                owned = batch.filter(&mask).slice_cols(1);
+                &owned
+            }
+        };
+        let rows = batch.num_rows();
+        // The text path surfaces a wrong-width record as a decode error;
+        // a wrong-width batch is the same data problem, counted per row.
+        if rows > 0 && batch.columns().len() != input.schema.len() {
+            for _ in 0..rows {
+                out.record_bad();
+            }
+            return;
+        }
+        let viz: Vec<Vis> = input
+            .branches
+            .iter()
+            .map(|b| match &b.predicate {
+                None => Vis::Always,
+                Some(p) => match eval_mask(p, batch) {
+                    Some(m) => Vis::Mask(m),
+                    None => Vis::RowEval,
+                },
+            })
+            .collect();
+        let cols = batch.columns();
+        for r in 0..rows {
+            out.add_work(input.branches.len() as u64 - 1);
+            let mut forbidden = self.foreign_mask;
+            let mut any = false;
+            let mut cached: Option<Row> = None;
+            for (b, vis) in input.branches.iter().zip(&viz) {
+                let visible = match vis {
+                    Vis::Always => true,
+                    Vis::Mask(m) => m[r] == Some(true),
+                    Vis::RowEval => {
+                        let row = cached.get_or_insert_with(|| batch.row(r));
+                        let p = b.predicate.as_ref().expect("row-eval branch has predicate");
+                        match p.eval_predicate(row) {
+                            Ok(v) => v,
+                            Err(e) => {
+                                out.record_fatal(format!(
+                                    "predicate failed in {}: {e}",
+                                    self.blueprint.name
+                                ));
+                                return;
+                            }
+                        }
+                    }
+                };
+                if visible {
+                    any = true;
+                    out.record_dispatch(b.stream);
+                } else {
+                    forbidden |= 1 << b.stream;
+                }
+            }
+            if !any {
+                continue;
+            }
+            let key = match &self.plain_keys {
+                Some(kcols) if kcols.iter().all(|&c| c < cols.len()) => {
+                    Row::new(kcols.iter().map(|&c| cols[c].value(r)).collect())
+                }
+                Some(_) => {
+                    out.record_fatal(format!(
+                        "key expr failed in {}: column out of range",
+                        self.blueprint.name
+                    ));
+                    return;
+                }
+                None => {
+                    let row = cached.get_or_insert_with(|| batch.row(r));
+                    let key: Result<Row, _> = input.key_exprs.iter().map(|e| e.eval(row)).collect();
+                    match key {
+                        Ok(k) => k,
+                        Err(err) => {
+                            out.record_fatal(format!(
+                                "key expr failed in {}: {err}",
+                                self.blueprint.name
+                            ));
+                            return;
+                        }
+                    }
+                }
+            };
+
+            if self.blueprint.map_only {
+                let projected = match &self.value_move {
+                    Some(vcols) => Row::new(vcols.iter().map(|&c| cols[c].value(r)).collect()),
+                    None => {
+                        let row = cached.get_or_insert_with(|| batch.row(r));
+                        let carried = row.project(&input.value_cols);
+                        let projected: Result<Row, _> = self.blueprint.streams[0]
+                            .projection
+                            .iter()
+                            .map(|e| e.eval(&carried))
+                            .collect();
+                        match projected {
+                            Ok(p) => p,
+                            Err(err) => {
+                                out.record_fatal(format!(
+                                    "projection failed in {}: {err}",
+                                    self.blueprint.name
+                                ));
+                                return;
+                            }
+                        }
+                    }
+                };
+                out.emit(key, projected);
+                continue;
+            }
+
+            let value = if self.tagged {
+                let mut vals = Vec::with_capacity(input.value_cols.len() + 1);
+                vals.push(Value::Int(forbidden as i64));
+                match &self.value_move {
+                    Some(vcols) => vals.extend(vcols.iter().map(|&c| cols[c].value(r))),
+                    None => {
+                        let row = cached.get_or_insert_with(|| batch.row(r));
+                        vals.extend(row.project(&input.value_cols).into_values());
+                    }
+                }
+                Row::new(vals)
+            } else {
+                match &self.value_move {
+                    Some(vcols) => Row::new(vcols.iter().map(|&c| cols[c].value(r)).collect()),
+                    None => {
+                        let row = cached.get_or_insert_with(|| batch.row(r));
+                        let carried = row.project(&input.value_cols);
+                        let projected: Result<Row, _> = self.blueprint.streams[0]
+                            .projection
+                            .iter()
+                            .map(|e| e.eval(&carried))
+                            .collect();
+                        match projected {
+                            Ok(p) => p,
+                            Err(err) => {
+                                out.record_fatal(format!(
+                                    "projection failed in {}: {err}",
+                                    self.blueprint.name
+                                ));
+                                return;
+                            }
+                        }
+                    }
+                }
+            };
+            out.emit(key, self.pad(value));
+        }
+    }
 }
 
 impl CommonMapper {
@@ -460,6 +644,90 @@ mod tests {
         m0.map("1|2", &mut out);
         let tag = out.values()[0].get(0).unwrap().as_int().unwrap();
         assert_eq!(tag, 0b10, "stream 1 must not see input 0's pairs");
+    }
+
+    #[test]
+    fn map_batch_matches_row_path() {
+        // The same records through the text path and the columnar path
+        // must emit identical keys, values, dispatch counts and work.
+        let bp = blueprint(
+            vec![
+                MapBranch {
+                    stream: 0,
+                    predicate: Some(Expr::binary(BinOp::Gt, Expr::col(1), Expr::lit(10i64))),
+                },
+                MapBranch {
+                    stream: 1,
+                    predicate: Some(Expr::binary(BinOp::Lt, Expr::col(1), Expr::lit(100i64))),
+                },
+            ],
+            2,
+        );
+        let rows = vec![
+            ysmart_rel::row![1i64, 42i64],
+            ysmart_rel::row![2i64, 5i64],
+            ysmart_rel::row![3i64, 1000i64],
+            ysmart_rel::row![4i64, 10i64],
+        ];
+        let mut text_out = MapOutput::default();
+        let mut m = CommonMapper::new(Arc::clone(&bp), 0);
+        for r in &rows {
+            m.map(&ysmart_rel::codec::encode_line(r), &mut text_out);
+        }
+        let mut col_out = MapOutput::default();
+        let mut m = CommonMapper::new(bp, 0);
+        let batch = ysmart_rel::ColumnBatch::from_rows(&rows).unwrap();
+        m.map_batch(&batch, &mut col_out);
+        assert_eq!(text_out.keys(), col_out.keys());
+        assert_eq!(text_out.values(), col_out.values());
+        assert_eq!(text_out.work(), col_out.work());
+        assert_eq!(text_out.take_dispatches(), col_out.take_dispatches());
+    }
+
+    #[test]
+    fn map_batch_tag_filter_keeps_only_matching_rows() {
+        // An intermediate tagged file: leading Int tag column; the mapper
+        // for tag 1 must only see rows tagged 1 (with the tag stripped).
+        let bp = Arc::new(JobBlueprint {
+            inputs: vec![InputSpec {
+                tag_filter: Some(1),
+                ..bp_input()
+            }],
+            ..(*blueprint(
+                vec![MapBranch {
+                    stream: 0,
+                    predicate: None,
+                }],
+                1,
+            ))
+            .clone()
+        });
+        let mut m = CommonMapper::new(bp, 0);
+        let rows = vec![
+            ysmart_rel::row![0i64, 7i64, 1i64],
+            ysmart_rel::row![1i64, 8i64, 2i64],
+            ysmart_rel::row![1i64, 9i64, 3i64],
+        ];
+        let batch = ysmart_rel::ColumnBatch::from_rows(&rows).unwrap();
+        let mut out = MapOutput::default();
+        m.map_batch(&batch, &mut out);
+        assert_eq!(out.len(), 2, "tag-0 row dropped");
+        assert_eq!(out.keys()[0], ysmart_rel::row![8i64]);
+        assert_eq!(out.values()[1], ysmart_rel::row![9i64, 3i64]);
+    }
+
+    fn bp_input() -> InputSpec {
+        InputSpec {
+            path: "data/t".into(),
+            schema: schema(),
+            key_exprs: vec![Expr::col(0)],
+            value_cols: vec![0, 1],
+            branches: vec![MapBranch {
+                stream: 0,
+                predicate: None,
+            }],
+            tag_filter: None,
+        }
     }
 
     #[test]

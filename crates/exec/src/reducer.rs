@@ -23,7 +23,6 @@ use std::sync::Arc;
 
 use ysmart_mapred::{ReduceOutput, Reducer};
 use ysmart_plan::JoinKind;
-use ysmart_rel::codec::{encode_line, encode_line_into};
 use ysmart_rel::{AggState, Expr, Row, Value};
 
 use crate::blueprint::{EmitSpec, JobBlueprint, OpKind, RSource};
@@ -42,6 +41,10 @@ pub struct CommonReducer {
     /// Per-stream dispatch buffers, cleared and refilled for every key
     /// group instead of reallocated — reduce tasks see thousands of groups.
     streams: Vec<Vec<Row>>,
+    /// Retired dispatch rows, recycled across key groups: a projected row
+    /// reuses a spare row's allocation instead of hitting the allocator
+    /// once per dispatched value.
+    spare: Vec<Vec<Value>>,
 }
 
 /// One operator's output: owned rows, or an alias back to its input when
@@ -75,6 +78,7 @@ impl CommonReducer {
             tagged,
             plain_projections,
             streams,
+            spare: Vec::new(),
         }
     }
 
@@ -99,12 +103,19 @@ impl Reducer for CommonReducer {
     fn reduce(&mut self, _key: &Row, values: &[Row], out: &mut ReduceOutput) {
         let bp = &self.blueprint;
         // ---- Algorithm 1: one pass over the values, dispatch by tag ------
+        // Retire the previous group's dispatch rows into the spare pool
+        // instead of freeing them.
         for s in &mut self.streams {
-            s.clear();
+            self.spare.extend(s.drain(..).map(Row::into_values));
         }
-        // Strip the Pig-style serialisation pad before any processing.
+        // Strip the Pig-style serialisation pad (one trailing column)
+        // before any processing. Tagged dispatch already re-slices every
+        // value, so there the pad is dropped by shortening that slice; only
+        // direct mode — where the group's rows feed the op DAG as-is — has
+        // to materialise unpadded rows.
+        let pad_cols = usize::from(bp.pad_bytes > 0);
         let unpadded: Vec<Row>;
-        let values: &[Row] = if bp.pad_bytes > 0 {
+        let values: &[Row] = if pad_cols > 0 && !self.tagged {
             unpadded = values
                 .iter()
                 .map(|v| {
@@ -140,7 +151,7 @@ impl Reducer for CommonReducer {
         if self.tagged {
             for v in values {
                 let tag = v.get(0).ok().and_then(Value::as_int).unwrap_or(0) as u64;
-                let vals = &v.values()[1..];
+                let vals = &v.values()[1..v.len() - pad_cols];
                 // Materialised only for streams with computed projections.
                 let mut carried: Option<Row> = None;
                 for (s, spec) in bp.streams.iter().enumerate() {
@@ -150,14 +161,25 @@ impl Reducer for CommonReducer {
                     out.add_work(1);
                     out.record_dispatch(s);
                     let projected: Result<Row, String> = match &self.plain_projections[s] {
-                        Some(cols) => cols
-                            .iter()
-                            .map(|&c| {
-                                vals.get(c)
-                                    .cloned()
-                                    .ok_or_else(|| format!("column {c} out of range"))
-                            })
-                            .collect(),
+                        Some(cols) => {
+                            let mut buf = self.spare.pop().unwrap_or_default();
+                            buf.clear();
+                            buf.reserve(cols.len());
+                            let mut missing = None;
+                            for &c in cols {
+                                match vals.get(c) {
+                                    Some(v) => buf.push(v.clone()),
+                                    None => {
+                                        missing = Some(c);
+                                        break;
+                                    }
+                                }
+                            }
+                            match missing {
+                                None => Ok(Row::new(buf)),
+                                Some(c) => Err(format!("column {c} out of range")),
+                            }
+                        }
                         None => {
                             let carried = carried.get_or_insert_with(|| Row::new(vals.to_vec()));
                             spec.projection
@@ -280,20 +302,69 @@ impl Reducer for CommonReducer {
         }
 
         // ---- emit only the final source(s) (§VI-B) -------------------------
-        match &bp.emit {
-            EmitSpec::Single(src) => {
-                for row in Self::source_rows(&stream_views, &op_outputs, *src) {
-                    out.emit_line(encode_line(row));
+        // Typed rows, not pre-rendered lines: the engine renders text or
+        // packs columnar frames depending on the job's data format. An
+        // emit source that resolves to an op's owned output is *moved*
+        // out, not cloned — for intermediate jobs this is the entire next
+        // job's input; only stream-backed emits (borrowed from the value
+        // slice) still copy.
+        // Resolve alias chains up front: `Ok(op)` for an owned op output,
+        // `Err(stream)` for a stream-backed source.
+        let resolve = |op_outputs: &[OpRows], mut src: RSource| -> Result<usize, usize> {
+            loop {
+                match src {
+                    RSource::Stream(s) => return Err(s),
+                    RSource::Op(o) => match &op_outputs[o] {
+                        OpRows::Owned(_) => return Ok(o),
+                        OpRows::Alias(a) => src = *a,
+                    },
                 }
             }
+        };
+        match &bp.emit {
+            EmitSpec::Single(src) => match resolve(&op_outputs, *src) {
+                Ok(o) => {
+                    let OpRows::Owned(rows) = &mut op_outputs[o] else {
+                        unreachable!("resolve returns owned ops")
+                    };
+                    for row in std::mem::take(rows) {
+                        out.emit_row(row);
+                    }
+                }
+                Err(s) => {
+                    for row in stream_views[s] {
+                        out.emit_row(row.clone());
+                    }
+                }
+            },
             EmitSpec::Tagged(srcs) => {
-                use std::fmt::Write as _;
-                for (tag, src) in srcs.iter().enumerate() {
-                    for row in Self::source_rows(&stream_views, &op_outputs, *src) {
-                        let mut line = String::new();
-                        write!(line, "{tag}|").expect("write to String");
-                        encode_line_into(row, &mut line);
-                        out.emit_line(line);
+                let resolved: Vec<Result<usize, usize>> =
+                    srcs.iter().map(|&s| resolve(&op_outputs, s)).collect();
+                for (tag, res) in resolved.iter().enumerate() {
+                    match *res {
+                        // Move only the last emit backed by this op — an
+                        // earlier take would empty a repeated source.
+                        Ok(o) if !resolved[tag + 1..].contains(&Ok(o)) => {
+                            let OpRows::Owned(rows) = &mut op_outputs[o] else {
+                                unreachable!("resolve returns owned ops")
+                            };
+                            for row in std::mem::take(rows) {
+                                out.emit_tagged_row(tag as i64, row);
+                            }
+                        }
+                        Ok(o) => {
+                            let OpRows::Owned(rows) = &op_outputs[o] else {
+                                unreachable!("resolve returns owned ops")
+                            };
+                            for row in rows {
+                                out.emit_tagged_row(tag as i64, row.clone());
+                            }
+                        }
+                        Err(s) => {
+                            for row in stream_views[s] {
+                                out.emit_tagged_row(tag as i64, row.clone());
+                            }
+                        }
                     }
                 }
             }

@@ -243,6 +243,25 @@ impl Default for BlacklistPolicy {
     }
 }
 
+/// On-wire representation of table data, shuffle segments and intermediate
+/// job outputs.
+///
+/// `Text` is the seed format: `|`-delimited lines everywhere, re-parsed by
+/// every mapper. `Columnar` moves [`ysmart_rel::ColumnBatch`] frames
+/// instead — typed column vectors with dictionary-encoded strings and
+/// per-column-chunk XXH64 checksums — and keeps the text codec only at the
+/// ingest/output boundary. Both formats produce identical query results
+/// and are individually deterministic across thread counts; simulated
+/// times and byte counts differ because the encoded bytes differ.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DataFormat {
+    /// Pipe-delimited text lines (the seed data path).
+    #[default]
+    Text,
+    /// Columnar binary frames with per-column checksums.
+    Columnar,
+}
+
 /// The cluster and its cost model.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ClusterConfig {
@@ -317,6 +336,8 @@ pub struct ClusterConfig {
     /// Number of reduce tasks per job (Hadoop default: ~0.95 × reduce
     /// slots). `None` derives it from the cluster size.
     pub reduce_tasks: Option<usize>,
+    /// Wire format for table data, shuffle segments and intermediates.
+    pub data_format: DataFormat,
 }
 
 impl Default for ClusterConfig {
@@ -350,6 +371,7 @@ impl Default for ClusterConfig {
             size_multiplier: 1.0,
             exec_threads: None,
             reduce_tasks: None,
+            data_format: DataFormat::default(),
         }
     }
 }

@@ -53,13 +53,16 @@ use std::collections::BinaryHeap;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use ysmart_rel::codec::encode_line;
-use ysmart_rel::Row;
+use ysmart_rel::colbatch::DEFAULT_FRAME_ROWS;
 
-use crate::config::ClusterConfig;
+use crate::norm::NormArena;
+use ysmart_rel::{ColumnBatch, Row, Value};
+
+use crate::config::{ClusterConfig, DataFormat};
 use crate::error::MapRedError;
 use crate::hash::{checksum_bytes, hash_row, partition};
 use crate::hdfs::Hdfs;
-use crate::job::{JobSpec, MapOutput, ReduceOutput};
+use crate::job::{JobSpec, MapOutput, ReduceEmit, ReduceOutput};
 use crate::metrics::JobMetrics;
 use crate::trace::{ArgValue, Trace, TraceEvent, SPEC_LANE_BASE};
 
@@ -131,9 +134,25 @@ impl Cluster {
         std::mem::swap(&mut self.trace, slot);
     }
 
-    /// Loads a table into HDFS at `data/<name>`.
+    /// Loads a table into HDFS at `data/<name>` as text lines.
     pub fn load_table(&mut self, name: &str, lines: Vec<String>) {
         self.hdfs.put(&format!("data/{name}"), lines);
+    }
+
+    /// Loads a table at `data/<name>` in the cluster's configured
+    /// [`DataFormat`]: text lines, or encoded columnar frames of
+    /// [`DEFAULT_FRAME_ROWS`] rows each. Rows the frame codec rejects
+    /// (non-uniform widths, non-finite floats) fall back to text so the
+    /// load never fails.
+    pub fn load_table_rows(&mut self, name: &str, rows: &[Row]) {
+        let path = format!("data/{name}");
+        if self.config.data_format == DataFormat::Columnar {
+            if let Some((frames, _, _)) = encode_rows_to_frames(rows) {
+                self.hdfs.put_frames(&path, frames);
+                return;
+            }
+        }
+        self.hdfs.put(&path, rows.iter().map(encode_line).collect());
     }
 
     /// The conventional HDFS path of a loaded table.
@@ -167,6 +186,16 @@ impl From<MapRedError> for AttemptFailure {
             wasted_s: 0.0,
         }
     }
+}
+
+/// One map task's slice of its input file: contiguous text lines, or
+/// contiguous encoded columnar frames (`base` is the index of the first
+/// frame within the file, seeding per-frame replica corruption draws the
+/// way the task index seeds per-block draws in text mode).
+#[derive(Clone, Copy)]
+enum TaskInput<'a> {
+    Lines(&'a [String]),
+    Frames { frames: &'a [Vec<u8>], base: usize },
 }
 
 /// Internal per-map-task result. The map output is a *sorted run* already
@@ -254,28 +283,60 @@ pub fn run_job_attempt(
     let mut tev: Vec<TraceEvent> = Vec::new();
 
     // ---- split ----------------------------------------------------------
-    // Splits are contiguous line ranges, so tasks borrow slices of the
-    // files already in HDFS — no copy of the input per job. The borrows
-    // end before the job's output is written back.
+    // Splits are contiguous line (or frame) ranges, so tasks borrow slices
+    // of the files already in HDFS — no copy of the input per job. The
+    // borrows end before the job's output is written back. Columnar files
+    // split on frame boundaries (a task reads whole frames), the way text
+    // splits on line boundaries; the format is detected per file, so a
+    // columnar-mode job reading a text fallback file still works.
     let block_real_bytes = (cfg.hdfs_block_mb * 1e6 / mult).max(1.0);
-    let mut tasks: Vec<(usize, &[String])> = Vec::new(); // (input idx, lines)
+    let mut tasks: Vec<(usize, TaskInput)> = Vec::new(); // (input idx, records)
     let mut hdfs_read_real: u64 = 0;
     for (input_idx, input) in spec.inputs.iter().enumerate() {
         let file = cluster.hdfs.get(&input.path)?;
         hdfs_read_real += file.bytes();
-        let lines = &file.lines;
-        let mut start = 0;
-        let mut chunk_bytes = 0.0;
-        for (i, line) in lines.iter().enumerate() {
-            chunk_bytes += line.len() as f64 + 1.0;
-            if chunk_bytes >= block_real_bytes {
-                tasks.push((input_idx, &lines[start..=i]));
-                start = i + 1;
-                chunk_bytes = 0.0;
+        if file.is_columnar() {
+            let frames = &file.frames;
+            let mut start = 0;
+            let mut chunk_bytes = 0.0;
+            for (i, frame) in frames.iter().enumerate() {
+                chunk_bytes += frame.len() as f64;
+                if chunk_bytes >= block_real_bytes {
+                    tasks.push((
+                        input_idx,
+                        TaskInput::Frames {
+                            frames: &frames[start..=i],
+                            base: start,
+                        },
+                    ));
+                    start = i + 1;
+                    chunk_bytes = 0.0;
+                }
             }
-        }
-        if start < lines.len() || file_is_empty_input(&tasks, input_idx) {
-            tasks.push((input_idx, &lines[start..]));
+            if start < frames.len() {
+                tasks.push((
+                    input_idx,
+                    TaskInput::Frames {
+                        frames: &frames[start..],
+                        base: start,
+                    },
+                ));
+            }
+        } else {
+            let lines = &file.lines;
+            let mut start = 0;
+            let mut chunk_bytes = 0.0;
+            for (i, line) in lines.iter().enumerate() {
+                chunk_bytes += line.len() as f64 + 1.0;
+                if chunk_bytes >= block_real_bytes {
+                    tasks.push((input_idx, TaskInput::Lines(&lines[start..=i])));
+                    start = i + 1;
+                    chunk_bytes = 0.0;
+                }
+            }
+            if start < lines.len() || file_is_empty_input(&tasks, input_idx) {
+                tasks.push((input_idx, TaskInput::Lines(&lines[start..])));
+            }
         }
     }
 
@@ -300,7 +361,7 @@ pub fn run_job_attempt(
         tasks
             .iter()
             .enumerate()
-            .map(|(idx, (input_idx, lines))| {
+            .map(|(idx, (input_idx, task_input))| {
                 run_map_task(
                     &cfg,
                     spec,
@@ -308,7 +369,7 @@ pub fn run_job_attempt(
                     attempt,
                     idx,
                     *input_idx,
-                    lines,
+                    *task_input,
                     num_reducers,
                     map_only,
                     mult,
@@ -318,7 +379,7 @@ pub fn run_job_attempt(
             .collect()
     } else {
         let chunk = tasks.len().div_ceil(threads);
-        type TaskSlice<'a> = (usize, &'a [(usize, &'a [String])]);
+        type TaskSlice<'a> = (usize, &'a [(usize, TaskInput<'a>)]);
         let task_slices: Vec<TaskSlice> = tasks
             .chunks(chunk)
             .enumerate()
@@ -337,7 +398,7 @@ pub fn run_job_attempt(
                             slice
                                 .iter()
                                 .enumerate()
-                                .map(|(off, (input_idx, lines))| {
+                                .map(|(off, (input_idx, task_input))| {
                                     run_map_task(
                                         cfg_ref,
                                         spec,
@@ -345,7 +406,7 @@ pub fn run_job_attempt(
                                         attempt,
                                         base + off,
                                         *input_idx,
-                                        lines,
+                                        *task_input,
                                         num_reducers,
                                         map_only,
                                         mult,
@@ -579,17 +640,35 @@ pub fn run_job_attempt(
 
     // ---- map-only completion ---------------------------------------------
     if map_only {
-        let mut lines = Vec::new();
-        let mut out_bytes = 0u64;
-        for r in &results {
-            for (_, seg) in &r.runs {
-                for v in &seg.values {
-                    let line = encode_line(v);
-                    out_bytes += line.len() as u64 + 1;
-                    lines.push(line);
-                }
+        let mut rows: Vec<Row> = Vec::new();
+        for r in results {
+            for (_, seg) in r.runs {
+                rows.extend(seg.values);
             }
         }
+        let out_records = rows.len() as u64;
+        // Columnar mode writes the output as encoded frames; rows the
+        // frame codec rejects (non-uniform widths) fall back to text.
+        let encoded = (cfg.data_format == DataFormat::Columnar)
+            .then(|| encode_rows_to_frames(&rows))
+            .flatten();
+        let (out_bytes, lines, frames) = match encoded {
+            Some((frames, bytes, dicts)) => {
+                metrics.encoded_bytes += bytes;
+                metrics.dict_entries += dicts;
+                (bytes, Vec::new(), frames)
+            }
+            None => {
+                let mut lines = Vec::with_capacity(rows.len());
+                let mut bytes = 0u64;
+                for v in &rows {
+                    let line = encode_line(v);
+                    bytes += line.len() as u64 + 1;
+                    lines.push(line);
+                }
+                (bytes, lines, Vec::new())
+            }
+        };
         let sim_out = out_bytes as f64 * mult;
         // Map-only jobs still write output to HDFS with replication.
         let write_s = cfg.net_seconds(sim_out * f64::from(cfg.replication))
@@ -608,12 +687,16 @@ pub fn run_job_attempt(
         }
         metrics.map_time_s += write_s;
         metrics.hdfs_write_bytes = scale_u64(out_bytes, mult);
-        metrics.out_records = scale_u64(lines.len() as u64, mult);
+        metrics.out_records = scale_u64(out_records, mult);
         check_time(&cfg, metrics.map_time_s).map_err(|error| AttemptFailure {
             error,
             wasted_s: metrics.map_time_s,
         })?;
-        cluster.hdfs.put(&spec.output, lines);
+        if frames.is_empty() {
+            cluster.hdfs.put(&spec.output, lines);
+        } else {
+            cluster.hdfs.put_frames(&spec.output, frames);
+        }
         commit_job_trace(cluster, spec, attempt, &metrics, tev);
         return Ok(metrics);
     }
@@ -647,14 +730,44 @@ pub fn run_job_attempt(
     // Per-partition integrity detail for the trace's fetch/verify spans.
     let mut part_verify = vec![0.0f64; num_reducers];
     let mut part_refetches = vec![0u64; num_reducers];
+    let columnar = cfg.data_format == DataFormat::Columnar;
+    let mut seg_encoded_bytes = 0u64;
+    let mut seg_dict_entries = 0u64;
     for (t, r) in results.into_iter().enumerate() {
         let weight = r.weight;
         for (p, seg) in r.runs {
             let p = p as usize;
-            let mut bytes = 0.0f64;
-            for (k, v) in seg.keys.iter().zip(&seg.values) {
-                bytes += (k.size_bytes() + v.size_bytes() + 2) as f64;
-            }
+            // Wire form of the segment: columnar mode encodes one frame of
+            // `key ⧺ value` rows (per-column-chunk checksums), falling back
+            // to the text framing when widths are non-uniform across the
+            // segment; text mode counts text framing bytes.
+            // Real wire bytes are built only when the corruption model
+            // will actually flip bits in them; otherwise the exact frame
+            // size comes from `segment_frame_stats` with no encoding pass.
+            let need_wire = cfg.corruption.is_some_and(|m| m.segment_rate > 0.0);
+            let seg_frame = if columnar && need_wire {
+                segment_frame(&seg)
+            } else {
+                None
+            };
+            let frame_stats = match &seg_frame {
+                Some((frame, dicts)) => Some((frame.len() as u64, *dicts)),
+                None if columnar && !need_wire => segment_frame_stats(&seg),
+                None => None,
+            };
+            let bytes = match frame_stats {
+                Some((len, dicts)) => {
+                    seg_encoded_bytes += len;
+                    seg_dict_entries += dicts;
+                    len as f64
+                }
+                None => seg
+                    .keys
+                    .iter()
+                    .zip(&seg.values)
+                    .map(|(k, v)| (k.size_bytes() + v.size_bytes() + 2) as f64)
+                    .sum(),
+            };
             shuffle_sim_bytes[p] += bytes * weight;
             shuffle_sim_records[p] += seg.keys.len() as f64 * weight;
             if let Some(model) = cfg.corruption.filter(|m| m.segment_rate > 0.0) {
@@ -674,20 +787,33 @@ pub fn run_job_attempt(
                         // fetched copy of the segment's canonical bytes and
                         // run the real detection path. The garbled copy is
                         // discarded; `seg`'s rows are the mapper's stored
-                        // (canonical) output.
-                        let canon = segment_canon_bytes(&seg);
+                        // (canonical) output. In columnar mode the frame's
+                        // per-column-chunk checksums do the detecting (the
+                        // flip localises to one column's chunk); in text
+                        // mode it is the whole-segment XXH64.
+                        let (canon, is_frame) = match seg_frame {
+                            Some((ref frame, _)) => (frame.clone(), true),
+                            None => (segment_canon_bytes(&seg), false),
+                        };
                         let stored = checksum_bytes(&canon);
                         loop {
                             let bit = rng.gen::<u64>() as usize % (canon.len() * 8);
                             let mut garbled = canon.clone();
                             garbled[bit / 8] ^= 1 << (bit % 8);
-                            if checksum_bytes(&garbled) == stored {
+                            let undetected = if is_frame {
+                                ColumnBatch::decode_frame(&garbled).is_ok()
+                            } else {
+                                checksum_bytes(&garbled) == stored
+                            };
+                            if undetected {
                                 // A checksum collision lets the flip through
                                 // undetected — excluded for single-bit flips
-                                // by the avalanche test in `hash`, but when
-                                // it happens it is *counted* in every build
-                                // profile (JobMetrics::checksum_collisions),
-                                // not debug-asserted away.
+                                // by the avalanche test in `hash` (and the
+                                // exhaustive flip test in `rel::colbatch`),
+                                // but when it happens it is *counted* in
+                                // every build profile
+                                // (JobMetrics::checksum_collisions), not
+                                // debug-asserted away.
                                 seg_collisions += 1;
                                 break;
                             }
@@ -781,6 +907,7 @@ pub fn run_job_attempt(
         shuffle_sim_bytes: &shuffle_sim_bytes,
         shuffle_sim_records: &shuffle_sim_records,
         refetch_extra_s: &refetch_extra_s,
+        columnar,
     };
     let reduce_threads = exec_threads(&cfg).min(num_reducers.max(1));
     let reduce_results: Vec<ReduceTaskResult> = if reduce_threads <= 1 || num_reducers < 2 {
@@ -848,7 +975,10 @@ pub fn run_job_attempt(
     let mut reduce_speculative = 0usize;
     let mut reduce_spec_slot_s = 0.0f64;
     let mut reduce_times: Vec<f64> = Vec::with_capacity(num_reducers);
-    let mut all_lines: Vec<String> = Vec::new();
+    // Per-task output, in partition order: each task produced either text
+    // lines or columnar frames (never both).
+    let mut outs: Vec<(Vec<String>, Vec<Vec<u8>>)> = Vec::with_capacity(num_reducers);
+    let mut out_records_total = 0u64;
     let mut out_bytes = 0u64;
     let mut reduce_fatal: Option<MapRedError> = None;
     let mut rinfo: Vec<RSpanInfo> = Vec::with_capacity(if tracing { num_reducers } else { 0 });
@@ -858,6 +988,9 @@ pub fn run_job_attempt(
         wasted_s += r.wasted_s;
         reexecuted_tasks += r.reexecuted;
         out_bytes += r.out_bytes;
+        out_records_total += r.out_records;
+        metrics.encoded_bytes += r.encoded_bytes;
+        metrics.dict_entries += r.dict_entries;
         reduce_times.push(r.time_s);
         if reduce_fatal.is_none() {
             reduce_fatal = r.fatal;
@@ -870,10 +1003,10 @@ pub fn run_job_attempt(
                 fetch_frac: r.fetch_frac,
                 speculative: r.speculative,
                 spec_slot_s: r.spec_slot_s,
-                out_records: r.lines.len() as u64,
+                out_records: r.out_records,
             });
         }
-        all_lines.extend(r.lines);
+        outs.push((r.lines, r.frames));
     }
     let reduce_slots = if nodes_lost > 0 || blacklisted > 0 {
         cfg.surviving_reduce_slots((nodes - nodes_lost - blacklisted).max(1))
@@ -892,7 +1025,9 @@ pub fn run_job_attempt(
     metrics.reduce_time_s = reduce_makespan;
     metrics.shuffle_bytes = total_shuffle_sim as u64;
     metrics.hdfs_write_bytes = scale_u64(out_bytes, mult);
-    metrics.out_records = scale_u64(all_lines.len() as u64, mult);
+    metrics.out_records = scale_u64(out_records_total, mult);
+    metrics.encoded_bytes += seg_encoded_bytes;
+    metrics.dict_entries += seg_dict_entries;
     metrics.reduce_tasks = num_reducers;
     metrics.speculative_tasks = speculative_tasks + reduce_speculative;
     metrics.speculative_slot_s += reduce_spec_slot_s;
@@ -975,7 +1110,28 @@ pub fn run_job_attempt(
             wasted_s: metrics.map_time_s + metrics.reduce_time_s,
         }
     })?;
-    cluster.hdfs.put(&spec.output, all_lines);
+    let any_lines = outs.iter().any(|(l, _)| !l.is_empty());
+    let any_frames = outs.iter().any(|(_, f)| !f.is_empty());
+    if any_frames && !any_lines {
+        let frames: Vec<Vec<u8>> = outs.into_iter().flat_map(|(_, f)| f).collect();
+        cluster.hdfs.put_frames(&spec.output, frames);
+    } else {
+        // Text output — or the pathological mixed case where only some
+        // partitions' rows were frame-packable: render frames back to
+        // their (byte-identical) text lines so the file stays one format.
+        let mut all_lines: Vec<String> = Vec::new();
+        for (lines, frames) in outs {
+            for frame in frames {
+                if let Ok(batch) = ColumnBatch::decode_frame(&frame) {
+                    for i in 0..batch.num_rows() {
+                        all_lines.push(encode_line(&batch.row(i)));
+                    }
+                }
+            }
+            all_lines.extend(lines);
+        }
+        cluster.hdfs.put(&spec.output, all_lines);
+    }
     commit_job_trace(cluster, spec, attempt, &metrics, tev);
     Ok(metrics)
 }
@@ -1037,6 +1193,18 @@ fn commit_job_trace(
         }
         tev.push(ev);
     }
+    if metrics.encoded_bytes > 0 {
+        tev.push(
+            TraceEvent::instant(
+                0,
+                "encoded",
+                format!("{} columnar encoding", spec.name),
+                cursor,
+            )
+            .arg("encoded_bytes", ArgValue::U64(metrics.encoded_bytes))
+            .arg("dict_entries", ArgValue::U64(metrics.dict_entries)),
+        );
+    }
     let label = if attempt == 0 {
         spec.name.clone()
     } else {
@@ -1057,7 +1225,7 @@ fn run_map_task(
     attempt: usize,
     task_idx: usize,
     input_idx: usize,
-    lines: &[String],
+    task_input: TaskInput<'_>,
     num_reducers: usize,
     map_only: bool,
     mult: f64,
@@ -1068,29 +1236,64 @@ fn run_map_task(
         base ^ job_hash ^ attempt_mix(attempt) ^ (task_idx as u64 + 1).wrapping_mul(SPLITMIX)
     };
     let input = &spec.inputs[input_idx];
+    let real_in_bytes: u64 = match task_input {
+        TaskInput::Lines(lines) => lines.iter().map(|l| l.len() as u64 + 1).sum(),
+        TaskInput::Frames { frames, .. } => frames.iter().map(|f| f.len() as u64).sum(),
+    };
 
     // ---- block integrity (checksummed HDFS read) ---------------------
-    // The block is read through its checksum; corrupt replicas cost an
-    // extra read + verify pass each, and a block with no clean replica
-    // left kills the whole job attempt after its burned time is charged.
+    // The block is read through its checksum — one whole-block XXH64 for
+    // text, per-column-chunk XXH64s per frame for columnar; corrupt
+    // replicas cost an extra read + verify pass each, and a block (or
+    // frame) with no clean replica left kills the whole job attempt after
+    // its burned time is charged.
     let mut corrupt_replicas = 0u64;
     let mut verify_s = 0.0f64;
     let mut integrity_extra_s = 0.0f64;
     let mut collisions = 0u64;
     if let Some(model) = cfg.corruption {
-        let sim_bytes = lines.iter().map(|l| l.len() as f64 + 1.0).sum::<f64>() * mult;
+        let sim_bytes = real_in_bytes as f64 * mult;
         let checksum_pass_s = sim_bytes / 1e9 * CHECKSUM_CPU_S_PER_GB;
-        match crate::hdfs::read_block_verified(
-            lines,
-            &input.path,
-            task_idx,
-            cfg.replication,
-            &model,
-            attempt,
-        ) {
-            Ok(read) => {
-                corrupt_replicas = u64::from(read.corrupt_replicas);
-                collisions = u64::from(read.collisions);
+        let outcome = match task_input {
+            TaskInput::Lines(lines) => crate::hdfs::read_block_verified(
+                lines,
+                &input.path,
+                task_idx,
+                cfg.replication,
+                &model,
+                attempt,
+            )
+            .map(|read| (u64::from(read.corrupt_replicas), u64::from(read.collisions))),
+            TaskInput::Frames { frames, base } => {
+                let mut totals = Ok((0u64, 0u64));
+                for (i, frame) in frames.iter().enumerate() {
+                    match crate::hdfs::read_frame_verified(
+                        frame,
+                        &input.path,
+                        base + i,
+                        cfg.replication,
+                        &model,
+                        attempt,
+                    ) {
+                        Ok(read) => {
+                            if let Ok((cr, col)) = &mut totals {
+                                *cr += u64::from(read.corrupt_replicas);
+                                *col += u64::from(read.collisions);
+                            }
+                        }
+                        Err(error) => {
+                            totals = Err(error);
+                            break;
+                        }
+                    }
+                }
+                totals
+            }
+        };
+        match outcome {
+            Ok((cr, col)) => {
+                corrupt_replicas = cr;
+                collisions = col;
                 verify_s = checksum_pass_s * (1.0 + corrupt_replicas as f64);
                 // Each failed replica was fully read and verified before
                 // the failover re-read.
@@ -1126,28 +1329,66 @@ fn run_map_task(
 
     let mut mapper = (input.mapper)();
     let mut out = MapOutput::default();
-    // One pair per line at most — reserve once, never regrow mid-task.
-    out.reserve(lines.len());
     // Torn-record injection: with `record_rate`, a garbled extra line —
     // the real line plus one bogus field holding a control byte — follows
     // a real one, like a partially-written append. The extra field makes
     // it undecodable under *any* schema (field count always off by one),
     // so a robust mapper skips it via `record_bad` and real records are
     // untouched: results stay oracle-identical while skips are counted.
+    // Columnar frames are binary (a torn append is caught by the frame
+    // checksums before any row decodes), so the same per-row draws count
+    // the detected-and-skipped record directly.
     let record_rate = cfg.corruption.map_or(0.0, |m| m.record_rate);
     let mut record_rng = (record_rate > 0.0).then(|| {
         let seed = cfg.corruption.map_or(0, |m| m.seed);
         StdRng::seed_from_u64(task_seed(seed ^ 0x0BAD_5EED))
     });
-    let mut in_bytes = 0u64;
-    for line in lines {
-        in_bytes += line.len() as u64 + 1;
-        mapper.map(line, &mut out);
-        if let Some(rng) = record_rng.as_mut() {
-            if rng.gen::<f64>() < record_rate {
-                let garbage = format!("{line}|\u{1}");
-                mapper.map(&garbage, &mut out);
+    let in_bytes = real_in_bytes;
+    let in_records: u64;
+    match task_input {
+        TaskInput::Lines(lines) => {
+            // One pair per line at most — reserve once, never regrow
+            // mid-task.
+            out.reserve(lines.len());
+            in_records = lines.len() as u64;
+            for line in lines {
+                mapper.map(line, &mut out);
+                if let Some(rng) = record_rng.as_mut() {
+                    if rng.gen::<f64>() < record_rate {
+                        let garbage = format!("{line}|\u{1}");
+                        mapper.map(&garbage, &mut out);
+                    }
+                }
             }
+        }
+        TaskInput::Frames { frames, .. } => {
+            let mut rows_total = 0u64;
+            for frame in frames {
+                match ColumnBatch::decode_frame(frame) {
+                    Ok(batch) => {
+                        out.reserve(batch.num_rows());
+                        rows_total += batch.num_rows() as u64;
+                        mapper.map_batch(&batch, &mut out);
+                        if let Some(rng) = record_rng.as_mut() {
+                            for _ in 0..batch.num_rows() {
+                                if rng.gen::<f64>() < record_rate {
+                                    out.record_bad();
+                                }
+                            }
+                        }
+                    }
+                    Err(e) => {
+                        // A stored frame that fails decoding outside the
+                        // injected-corruption path is a real integrity
+                        // violation — surface it as a typed job failure.
+                        out.record_fatal(format!(
+                            "undecodable columnar frame in {}: {e}",
+                            input.path
+                        ));
+                    }
+                }
+            }
+            in_records = rows_total;
         }
     }
     let skipped_records = out.bad_records();
@@ -1164,41 +1405,66 @@ fn run_map_task(
     // re-splitting anything.
     let mut runs: Vec<(u32, PartitionRun)> = Vec::new();
     if !map_only {
-        let parts: Vec<u32> = keys
-            .iter()
-            .map(|k| partition(k, num_reducers) as u32)
+        // Encode each normalized key once into one flat arena; the sort
+        // (and every later merge/group comparison) then compares key
+        // bytes, falling back to value `Row`s only on key ties.
+        let arena = NormArena::from_keys(&keys);
+        // Sort packed `(partition, key prefix, index)` entries: the two
+        // integers resolve almost every comparison from a flat array —
+        // equal prefixes fall back to the arena slices, and full key ties
+        // to the value rows. Unstable is safe: residual ties are fully
+        // equal (partition, key, value) triples, so any ordering of them
+        // yields the same run.
+        let mut entries: Vec<(u32, u64, u32)> = (0..keys.len())
+            .map(|i| {
+                (
+                    partition(&keys[i], num_reducers) as u32,
+                    arena.prefix8(i),
+                    i as u32,
+                )
+            })
             .collect();
-        let mut idx: Vec<u32> = (0..keys.len() as u32).collect();
-        // Unstable is safe: ties are fully equal (partition, key, value)
-        // triples, so any ordering of them yields the same run.
-        idx.sort_unstable_by(|&a, &b| {
-            let (a, b) = (a as usize, b as usize);
-            parts[a]
-                .cmp(&parts[b])
-                .then_with(|| (&keys[a], &values[a]).cmp(&(&keys[b], &values[b])))
+        entries.sort_unstable_by(|a, b| {
+            (a.0, a.1).cmp(&(b.0, b.1)).then_with(|| {
+                let (i, j) = (a.2 as usize, b.2 as usize);
+                arena
+                    .key(i)
+                    .cmp(arena.key(j))
+                    .then_with(|| values[i].cmp(&values[j]))
+            })
         });
         let mut start = 0usize;
-        while start < idx.len() {
-            let p = parts[idx[start] as usize];
+        while start < entries.len() {
+            let p = entries[start].0;
             let mut end = start + 1;
-            while end < idx.len() && parts[idx[end] as usize] == p {
+            while end < entries.len() && entries[end].0 == p {
                 end += 1;
             }
             let mut seg = PartitionRun {
                 keys: Vec::with_capacity(end - start),
                 values: Vec::with_capacity(end - start),
+                norms: NormArena::with_capacity(end - start),
             };
-            for &i in &idx[start..end] {
+            for &(_, _, i) in &entries[start..end] {
                 let i = i as usize;
                 seg.keys.push(std::mem::take(&mut keys[i]));
                 seg.values.push(std::mem::take(&mut values[i]));
+                seg.norms.push_encoded(arena.key(i));
             }
             runs.push((p, seg));
             start = end;
         }
     } else {
-        // Map-only output is written as-is; keep it as one pseudo-segment.
-        runs.push((0, PartitionRun { keys, values }));
+        // Map-only output is written as-is; keep it as one pseudo-segment
+        // (no shuffle, so no normalized keys needed).
+        runs.push((
+            0,
+            PartitionRun {
+                keys,
+                values,
+                norms: NormArena::default(),
+            },
+        ));
     }
     let pair_bytes = |(k, v): (&Row, &Row)| -> u64 { (k.size_bytes() + v.size_bytes() + 2) as u64 };
     let seg_bytes =
@@ -1215,18 +1481,23 @@ fn run_map_task(
         for (_, seg) in &mut runs {
             let mut new_keys: Vec<Row> = Vec::new();
             let mut new_values: Vec<Row> = Vec::new();
+            let mut new_norms = NormArena::default();
             let mut i = 0;
             while i < seg.keys.len() {
+                let key_norm = seg.norms.key(i);
                 let mut j = i + 1;
-                while j < seg.keys.len() && seg.keys[j] == seg.keys[i] {
+                while j < seg.keys.len() && seg.norms.key(j) == key_norm {
                     j += 1;
                 }
                 let mut combined = combiner.combine(&seg.keys[i], &seg.values[i..j]);
                 // Keep the run sorted within the key group, as the shuffle
-                // merge requires of its inputs.
-                combined.sort();
+                // merge requires of its inputs: the group's outputs share
+                // one key, so ordering by value orders the (key, value)
+                // pairs.
+                combined.sort_unstable();
                 let n = combined.len();
                 for (m, v) in combined.into_iter().enumerate() {
+                    new_norms.push_encoded(seg.norms.key(i));
                     new_keys.push(if m + 1 == n {
                         std::mem::take(&mut seg.keys[i])
                     } else {
@@ -1238,6 +1509,7 @@ fn run_map_task(
             }
             seg.keys = new_keys;
             seg.values = new_values;
+            seg.norms = new_norms;
             combined_bytes += seg_bytes(seg);
         }
         if user_fatal.is_none() {
@@ -1255,7 +1527,7 @@ fn run_map_task(
 
     // ---- cost model for this task ------------------------------------
     let sim_in_bytes = in_bytes as f64 * mult;
-    let sim_records = lines.len() as f64 * mult;
+    let sim_records = in_records as f64 * mult;
     let read_s = cfg.locality * cfg.disk_seconds(sim_in_bytes)
         + (1.0 - cfg.locality) * cfg.net_seconds(sim_in_bytes);
     let cpu_s =
@@ -1333,7 +1605,7 @@ fn run_map_task(
         weight,
         time_s,
         spill_bytes: spill_sim_bytes as u64,
-        in_records: lines.len() as u64,
+        in_records,
         out_records,
         failed_attempts,
         corrupt_replicas,
@@ -1346,10 +1618,191 @@ fn run_map_task(
 }
 
 /// One partition's contiguous segment of one map task's sorted run —
-/// parallel key/value columns, sorted by `(key, value)`.
+/// parallel key/value columns, sorted by `(key, value)`. `norms` carries
+/// each key's [`crate::norm`] encoding so the shuffle merge and reducer
+/// grouping compare key bytes, touching value `Row`s only on key ties.
 struct PartitionRun {
     keys: Vec<Row>,
     values: Vec<Row>,
+    norms: NormArena,
+}
+
+/// Encodes rows into columnar frames of [`DEFAULT_FRAME_ROWS`] rows each,
+/// returning `(frames, total bytes, dictionary entries)`. `None` when any
+/// chunk is rejected by the frame codec (non-uniform widths, non-finite
+/// floats) — callers fall back to the text encoding.
+fn encode_rows_to_frames(rows: &[Row]) -> Option<(Vec<Vec<u8>>, u64, u64)> {
+    let mut frames = Vec::with_capacity(rows.len().div_ceil(DEFAULT_FRAME_ROWS.max(1)));
+    let mut bytes = 0u64;
+    let mut dicts = 0u64;
+    for chunk in rows.chunks(DEFAULT_FRAME_ROWS.max(1)) {
+        let batch = ColumnBatch::from_rows(chunk).ok()?;
+        dicts += batch.dict_entries();
+        let frame = batch.encode_frame();
+        bytes += frame.len() as u64;
+        frames.push(frame);
+    }
+    Some((frames, bytes, dicts))
+}
+
+/// Columnar wire form of one shuffle segment: a single encoded frame of
+/// `key ⧺ value` rows, plus its dictionary-entry count. `None` for empty
+/// segments or when pair widths are non-uniform across the segment (the
+/// mixed-width values of some merged mappers) — the caller falls back to
+/// the text framing of [`segment_canon_bytes`].
+fn segment_frame(seg: &PartitionRun) -> Option<(Vec<u8>, u64)> {
+    if seg.keys.is_empty() {
+        return None;
+    }
+    let rows: Vec<Row> = seg
+        .keys
+        .iter()
+        .zip(&seg.values)
+        .map(|(k, v)| {
+            let mut vals = Vec::with_capacity(k.values().len() + v.values().len());
+            vals.extend(k.values().iter().cloned());
+            vals.extend(v.values().iter().cloned());
+            Row::new(vals)
+        })
+        .collect();
+    let batch = ColumnBatch::from_rows(&rows).ok()?;
+    Some((batch.encode_frame(), batch.dict_entries()))
+}
+
+/// Exact encoded size and dictionary-entry count of [`segment_frame`]'s
+/// frame, computed without materializing rows, columns or bytes — the
+/// shuffle's byte accounting needs only the numbers unless a corruption
+/// model wants real wire bytes to flip. Agrees with `segment_frame`
+/// byte-for-byte (asserted by `segment_frame_stats_match_real_encoding`),
+/// including its `None` fallbacks (empty or width-mixed segments,
+/// non-finite floats).
+fn segment_frame_stats(seg: &PartitionRun) -> Option<(u64, u64)> {
+    let nrows = seg.keys.len();
+    if nrows == 0 {
+        return None;
+    }
+    let width = seg.keys[0].len() + seg.values[0].len();
+    for (k, v) in seg.keys.iter().zip(&seg.values) {
+        if k.len() + v.len() != width {
+            return None;
+        }
+    }
+    // Column chunk sizes under `ColumnBatch`'s type inference: a column
+    // is typed when every non-null value shares one type (all-null ⇒
+    // Int), otherwise Var. Rows almost always share one key width, which
+    // pins each column to the key side or the value side — resolved once
+    // per column instead of branching per cell on the hot path.
+    let kw = seg.keys[0].len();
+    let uniform_split = seg.keys.iter().all(|k| k.len() == kw);
+    let mut chunks = 0u64;
+    let mut dicts = 0u64;
+    for c in 0..width {
+        let (bytes, d) = if uniform_split {
+            let (src, cc) = if c < kw {
+                (&seg.keys, c)
+            } else {
+                (&seg.values, c - kw)
+            };
+            column_chunk_stats(nrows, |r| &src[r].values()[cc])?
+        } else {
+            column_chunk_stats(nrows, |r| {
+                let k = &seg.keys[r];
+                if c < k.len() {
+                    &k.values()[c]
+                } else {
+                    &seg.values[r].values()[c - k.len()]
+                }
+            })?
+        };
+        chunks += bytes;
+        dicts += d;
+    }
+    let header = 4 + 2 + 4 + width as u64 * 13 + 8;
+    Some((header + chunks, dicts))
+}
+
+/// Encoded chunk bytes and dictionary-entry count of one column under
+/// `ColumnBatch`'s inference, reading cells through `cell`. `None` when a
+/// non-finite float forces the frame codec's fallback.
+fn column_chunk_stats<'a>(nrows: usize, cell: impl Fn(usize) -> &'a Value) -> Option<(u64, u64)> {
+    #[derive(PartialEq, Clone, Copy)]
+    enum Ty {
+        None,
+        Int,
+        Float,
+        Bool,
+        Str,
+        Mixed,
+    }
+    let mut ty = Ty::None;
+    for r in 0..nrows {
+        let vt = match cell(r) {
+            Value::Null => continue,
+            Value::Int(_) => Ty::Int,
+            Value::Float(f) => {
+                if !f.is_finite() {
+                    return None;
+                }
+                Ty::Float
+            }
+            Value::Bool(_) => Ty::Bool,
+            Value::Str(_) => Ty::Str,
+        };
+        ty = match ty {
+            Ty::None => vt,
+            t if t == vt => t,
+            _ => Ty::Mixed,
+        };
+    }
+    let mut dicts = 0u64;
+    let bytes = match ty {
+        Ty::None | Ty::Int | Ty::Float => nrows as u64 * 9,
+        Ty::Bool => nrows as u64 * 2,
+        Ty::Str => {
+            let mut dict: std::collections::HashSet<&str, ysmart_rel::colbatch::FnvBuildHasher> =
+                std::collections::HashSet::default();
+            let mut dict_bytes = 0u64;
+            for r in 0..nrows {
+                if let Value::Str(v) = cell(r) {
+                    if dict.insert(v.as_str()) {
+                        dict_bytes += 4 + v.len() as u64;
+                    }
+                }
+            }
+            dicts = dict.len() as u64;
+            nrows as u64 * 5 + 4 + dict_bytes
+        }
+        Ty::Mixed => (0..nrows)
+            .map(|r| match cell(r) {
+                Value::Null => 1,
+                Value::Bool(_) => 2,
+                Value::Int(_) | Value::Float(_) => 9,
+                Value::Str(v) => 5 + v.len() as u64,
+            })
+            .sum(),
+    };
+    Some((bytes, dicts))
+}
+
+/// Packs a reduce task's emissions into columnar frames, with the stream
+/// tag of tagged rows folded in as a leading `Int` column (the text
+/// rendering's `tag|` prefix, typed). `None` when any emission is a
+/// pre-rendered line or a chunk is rejected by the frame codec.
+fn pack_emits(emits: &[ReduceEmit]) -> Option<(Vec<Vec<u8>>, u64, u64)> {
+    let mut rows = Vec::with_capacity(emits.len());
+    for e in emits {
+        match e {
+            ReduceEmit::Line(_) => return None,
+            ReduceEmit::Row { tag: None, row } => rows.push(row.clone()),
+            ReduceEmit::Row { tag: Some(t), row } => {
+                let mut vals = Vec::with_capacity(row.values().len() + 1);
+                vals.push(Value::Int(*t));
+                vals.extend(row.values().iter().cloned());
+                rows.push(Row::new(vals));
+            }
+        }
+    }
+    encode_rows_to_frames(&rows)
 }
 
 /// Canonical wire encoding of a shuffle segment — the byte stream its
@@ -1384,12 +1837,21 @@ struct ReduceCtx<'a> {
     /// checksum verification of arriving segments, corrupt-fetch retries
     /// with backoff, and re-executed mappers whose output stayed corrupt.
     refetch_extra_s: &'a [f64],
+    /// Whether the job writes its output as columnar frames.
+    columnar: bool,
 }
 
-/// Internal per-reduce-task result.
+/// Internal per-reduce-task result. Output is either text `lines` or
+/// columnar `frames`, never both in one task.
 struct ReduceTaskResult {
     time_s: f64,
     lines: Vec<String>,
+    frames: Vec<Vec<u8>>,
+    out_records: u64,
+    /// Actual encoded frame bytes this task produced (0 in text mode).
+    encoded_bytes: u64,
+    /// Dictionary entries across this task's frames (0 in text mode).
+    dict_entries: u64,
     out_bytes: u64,
     speculative: usize,
     spec_slot_s: f64,
@@ -1412,74 +1874,114 @@ struct ReduceTaskResult {
 /// index first — exactly the order the previous global stable sort
 /// produced — so key groups reach the reducer in an order independent of
 /// how the merge is scheduled.
-fn merge_runs(mut runs: Vec<PartitionRun>) -> (Vec<Row>, Vec<Row>) {
-    runs.retain(|r| !r.keys.is_empty());
-    if runs.len() <= 1 {
-        return runs
-            .pop()
-            .map_or((Vec::new(), Vec::new()), |r| (r.keys, r.values));
+fn merge_runs(runs: Vec<PartitionRun>) -> MergedRun {
+    let mut runs: Vec<PartitionRun> = runs.into_iter().filter(|r| !r.keys.is_empty()).collect();
+    let total: usize = runs.iter().map(|r| r.keys.len()).sum();
+    let mut out = MergedRun {
+        keys: Vec::with_capacity(total),
+        values: Vec::with_capacity(total),
+        group_starts: Vec::new(),
+    };
+    if runs.len() == 1 {
+        let r = runs.pop().expect("one run");
+        for i in 0..r.norms.len() {
+            if i == 0 || r.norms.key(i) != r.norms.key(i - 1) {
+                out.group_starts.push(i as u32);
+            }
+        }
+        out.keys = r.keys;
+        out.values = r.values;
+        return out;
     }
-    // Tournament merge over a min-heap of run heads: every pair is moved
-    // exactly once, with O(log k) comparisons per pop — the run index in
-    // the heap order breaks ties toward the earliest task.
-    let total = runs.iter().map(|r| r.keys.len()).sum();
-    let mut keys = Vec::with_capacity(total);
-    let mut values = Vec::with_capacity(total);
-    let mut pos = vec![0usize; runs.len()];
-    let mut heap = BinaryHeap::with_capacity(runs.len());
-    for (i, r) in runs.iter_mut().enumerate() {
-        heap.push(MergeHead {
-            key: std::mem::take(&mut r.keys[0]),
-            value: std::mem::take(&mut r.values[0]),
-            run: i as u32,
-        });
-        pos[i] = 1;
+    if runs.is_empty() {
+        return out;
     }
-    while let Some(MergeHead { key, value, run }) = heap.pop() {
-        keys.push(key);
-        values.push(value);
-        let r = &mut runs[run as usize];
-        let p = pos[run as usize];
-        if p < r.keys.len() {
-            pos[run as usize] = p + 1;
-            heap.push(MergeHead {
-                key: std::mem::take(&mut r.keys[p]),
-                value: std::mem::take(&mut r.values[p]),
-                run,
-            });
+    // Tournament merge over a min-heap of run heads: O(log k) comparisons
+    // per pop, each a key *byte* compare falling back to the value `Row`
+    // only on key ties — the run index breaks full ties toward the
+    // earliest task. Heads borrow key encodings from the runs' arenas and
+    // value rows from the runs themselves, so the merge first computes the
+    // order (and the group boundaries), then moves every pair exactly once.
+    struct Head<'a> {
+        /// First eight key bytes as an integer — resolves most
+        /// comparisons without touching the slices.
+        prefix: u64,
+        key: &'a [u8],
+        value: &'a Row,
+        run: u32,
+    }
+    impl PartialEq for Head<'_> {
+        fn eq(&self, other: &Self) -> bool {
+            self.cmp(other) == std::cmp::Ordering::Equal
         }
     }
-    (keys, values)
-}
-
-/// One run's current head inside the merge heap. The `Ord` impl is
-/// *reversed* (`BinaryHeap` is a max-heap) so the smallest
-/// `(key, value, run)` triple pops first: equal pairs surface in task
-/// order, exactly like the global stable sort the merge replaced.
-struct MergeHead {
-    key: Row,
-    value: Row,
-    run: u32,
-}
-
-impl PartialEq for MergeHead {
-    fn eq(&self, other: &Self) -> bool {
-        self.cmp(other) == std::cmp::Ordering::Equal
+    impl Eq for Head<'_> {}
+    impl PartialOrd for Head<'_> {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
     }
+    impl Ord for Head<'_> {
+        // Reversed: `BinaryHeap` is a max-heap, the smallest head must
+        // pop first.
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            other
+                .prefix
+                .cmp(&self.prefix)
+                .then_with(|| other.key.cmp(self.key))
+                .then_with(|| other.value.cmp(self.value))
+                .then_with(|| other.run.cmp(&self.run))
+        }
+    }
+    let mut order: Vec<(u32, u32)> = Vec::with_capacity(total);
+    {
+        let mut pos = vec![0usize; runs.len()];
+        let mut heap = BinaryHeap::with_capacity(runs.len());
+        for (i, r) in runs.iter().enumerate() {
+            heap.push(Head {
+                prefix: r.norms.prefix8(0),
+                key: r.norms.key(0),
+                value: &r.values[0],
+                run: i as u32,
+            });
+            pos[i] = 1;
+        }
+        let mut prev_key: Option<&[u8]> = None;
+        while let Some(Head { key, run, .. }) = heap.pop() {
+            let r = run as usize;
+            if prev_key != Some(key) {
+                out.group_starts.push(order.len() as u32);
+                prev_key = Some(key);
+            }
+            order.push((run, (pos[r] - 1) as u32));
+            let p = pos[r];
+            if p < runs[r].keys.len() {
+                pos[r] = p + 1;
+                heap.push(Head {
+                    prefix: runs[r].norms.prefix8(p),
+                    key: runs[r].norms.key(p),
+                    value: &runs[r].values[p],
+                    run,
+                });
+            }
+        }
+    }
+    for (run, i) in order {
+        let (run, i) = (run as usize, i as usize);
+        out.keys.push(std::mem::take(&mut runs[run].keys[i]));
+        out.values.push(std::mem::take(&mut runs[run].values[i]));
+    }
+    out
 }
 
-impl Eq for MergeHead {}
-
-impl PartialOrd for MergeHead {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl Ord for MergeHead {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (&other.key, &other.value, other.run).cmp(&(&self.key, &self.value, self.run))
-    }
+/// The merged, fully sorted pair columns of one reduce task. Key groups
+/// are pre-delimited: group `g` spans
+/// `group_starts[g]..group_starts[g + 1]` (the last runs to the end).
+#[derive(Default)]
+struct MergedRun {
+    keys: Vec<Row>,
+    values: Vec<Row>,
+    group_starts: Vec<u32>,
 }
 
 /// Runs one reduce task: merges its shuffle segments, streams each key
@@ -1494,24 +1996,39 @@ fn run_reduce_task(
     runs: Vec<PartitionRun>,
 ) -> ReduceTaskResult {
     let cfg = ctx.cfg;
-    let (keys, values) = merge_runs(runs);
+    let merged = merge_runs(runs);
+    let MergedRun {
+        keys,
+        values,
+        group_starts,
+    } = merged;
     let mut reducer = reducer_factory();
     let mut out = ReduceOutput::default();
     let real_records = keys.len() as f64;
-    let mut i = 0;
-    while i < keys.len() {
-        let mut j = i + 1;
-        while j < keys.len() && keys[j] == keys[i] {
-            j += 1;
-        }
+    for (g, &start) in group_starts.iter().enumerate() {
+        let i = start as usize;
+        let j = group_starts
+            .get(g + 1)
+            .map_or(keys.len(), |&next| next as usize);
         reducer.reduce(&keys[i], &values[i..j], &mut out);
-        i = j;
     }
     let reduce_work = out.work();
     let fatal = out.take_fatal().map(MapRedError::User);
     let dispatches = out.take_dispatches();
-    let lines = out.into_lines();
-    let out_bytes: u64 = lines.iter().map(|l| l.len() as u64 + 1).sum();
+    let emits = out.into_emits();
+    let out_records = emits.len() as u64;
+    // Columnar mode packs row emissions into binary frames; emissions the
+    // frame codec can't take (pre-rendered lines, non-uniform widths) fall
+    // back to text rendering, byte-identical to a self-formatting reducer.
+    let (lines, frames, out_bytes, encoded_bytes, dict_entries) =
+        match ctx.columnar.then(|| pack_emits(&emits)).flatten() {
+            Some((frames, bytes, dicts)) => (Vec::new(), frames, bytes, bytes, dicts),
+            None => {
+                let lines: Vec<String> = emits.iter().map(ReduceEmit::to_line).collect();
+                let bytes: u64 = lines.iter().map(|l| l.len() as u64 + 1).sum();
+                (lines, Vec::new(), bytes, 0, 0)
+            }
+        };
 
     let sim_in = ctx.shuffle_sim_bytes[p] * ctx.compress_ratio;
     let sim_raw_in = ctx.shuffle_sim_bytes[p];
@@ -1574,6 +2091,10 @@ fn run_reduce_task(
     ReduceTaskResult {
         time_s,
         lines,
+        frames,
+        out_records,
+        encoded_bytes,
+        dict_entries,
         out_bytes,
         speculative,
         spec_slot_s,
@@ -1604,7 +2125,7 @@ fn exec_threads(cfg: &ClusterConfig) -> usize {
 
 /// Whether input `idx` has produced no task yet (empty files still get one
 /// task so their output path exists).
-fn file_is_empty_input(tasks: &[(usize, &[String])], idx: usize) -> bool {
+fn file_is_empty_input(tasks: &[(usize, TaskInput<'_>)], idx: usize) -> bool {
     !tasks.iter().any(|(i, _)| *i == idx)
 }
 
@@ -1679,6 +2200,76 @@ mod tests {
     use super::*;
     use crate::job::{Combiner, JobSpec, Mapper, Reducer};
     use ysmart_rel::{row, Value};
+
+    /// `segment_frame_stats` must agree with the real encoder on every
+    /// segment shape it claims to size: typed columns, dictionaries with
+    /// repeats, nulls, Var fallbacks — and must return `None` exactly when
+    /// the encoder falls back to text.
+    #[test]
+    fn segment_frame_stats_match_real_encoding() {
+        let seg = |pairs: Vec<(Row, Row)>| {
+            let (keys, values): (Vec<Row>, Vec<Row>) = pairs.into_iter().unzip();
+            let norms = NormArena::from_keys(&keys);
+            PartitionRun {
+                keys,
+                values,
+                norms,
+            }
+        };
+        let cases = [
+            seg(vec![(row![1i64], row![2i64, "apple"])]),
+            seg(vec![
+                (row![1i64, "k"], row![1.5f64, true, "apple"]),
+                (row![2i64, "k"], row![2.5f64, false, "apple"]),
+                (row![3i64, "m"], row![-0.5f64, true, "banana"]),
+            ]),
+            // Nulls in every column, all-null column, empty strings.
+            seg(vec![
+                (
+                    Row::new(vec![Value::Null, Value::Null]),
+                    Row::new(vec![Value::Null, Value::Str(String::new())]),
+                ),
+                (
+                    Row::new(vec![Value::Int(4), Value::Null]),
+                    Row::new(vec![Value::Null, Value::Str("x".into())]),
+                ),
+            ]),
+            // Mixed-type column -> Var chunk.
+            seg(vec![
+                (row![1i64], row![Value::Int(1)]),
+                (row![2i64], row![Value::Str("s".into())]),
+                (row![3i64], row![Value::Bool(true)]),
+                (row![4i64], row![Value::Float(0.25)]),
+                (row![5i64], row![Value::Null]),
+            ]),
+            // Uniform total width with shifted key/value split.
+            seg(vec![
+                (row![1i64], row!["a", 2i64]),
+                (row![2i64, "b"], row![3i64]),
+            ]),
+        ];
+        for (i, seg) in cases.iter().enumerate() {
+            let real = segment_frame(seg);
+            let stats = segment_frame_stats(seg);
+            match (real, stats) {
+                (Some((frame, dicts)), Some((len, sdicts))) => {
+                    assert_eq!(frame.len() as u64, len, "case {i}: size");
+                    assert_eq!(dicts, sdicts, "case {i}: dict entries");
+                }
+                (None, None) => {}
+                (r, s) => panic!("case {i}: encoder {:?} vs stats {s:?}", r.map(|_| ())),
+            }
+        }
+        // Fallback cases: empty and width-mixed segments size as None on
+        // both paths.
+        let empty = seg(vec![]);
+        assert!(segment_frame(&empty).is_none() && segment_frame_stats(&empty).is_none());
+        let mixed = seg(vec![
+            (row![1i64], row![2i64]),
+            (row![1i64], row![2i64, 3i64]),
+        ]);
+        assert!(segment_frame(&mixed).is_none() && segment_frame_stats(&mixed).is_none());
+    }
 
     /// Word-count-style mapper: `<key>|<n>` lines.
     struct KvMapper;

@@ -51,97 +51,22 @@ pub fn partition(key: &Row, num_reducers: usize) -> usize {
     (hash_row(key) % num_reducers as u64) as usize
 }
 
-// XXH64 primes (Yann Collet's xxHash, public domain).
-const XXP1: u64 = 0x9E37_79B1_85EB_CA87;
-const XXP2: u64 = 0xC2B2_AE3D_27D4_EB4F;
-const XXP3: u64 = 0x1656_67B1_9E37_79F9;
-const XXP4: u64 = 0x85EB_CA77_C2B2_AE63;
-const XXP5: u64 = 0x27D4_EB2F_1656_67C5;
-
-#[inline]
-fn xx_round(acc: u64, input: u64) -> u64 {
-    acc.wrapping_add(input.wrapping_mul(XXP2))
-        .rotate_left(31)
-        .wrapping_mul(XXP1)
-}
-
-#[inline]
-fn xx_merge(acc: u64, val: u64) -> u64 {
-    (acc ^ xx_round(0, val))
-        .wrapping_mul(XXP1)
-        .wrapping_add(XXP4)
-}
-
-#[inline]
-fn read_u64(b: &[u8]) -> u64 {
-    u64::from_le_bytes(b[..8].try_into().expect("8 bytes"))
-}
-
 /// XXH64 checksum of a byte slice — the per-block checksum of the
 /// simulated HDFS. A single flipped bit anywhere in the block changes the
 /// checksum (full avalanche), which is what block-corruption detection and
-/// shuffle-segment verification rely on.
+/// shuffle-segment verification rely on. The implementation lives in
+/// [`ysmart_rel::colbatch`], where the columnar frame codec uses the same
+/// function for its per-column chunk checksums.
 #[must_use]
 pub fn checksum_bytes(data: &[u8]) -> u64 {
-    checksum_bytes_seeded(data, 0)
+    ysmart_rel::colbatch::xxh64(data, 0)
 }
 
 /// [`checksum_bytes`] with an explicit seed (used by tests to confirm
 /// seed-independence of detection, and available for keyed checksums).
 #[must_use]
 pub fn checksum_bytes_seeded(data: &[u8], seed: u64) -> u64 {
-    let len = data.len() as u64;
-    let mut rest = data;
-    let mut h = if rest.len() >= 32 {
-        let mut v1 = seed.wrapping_add(XXP1).wrapping_add(XXP2);
-        let mut v2 = seed.wrapping_add(XXP2);
-        let mut v3 = seed;
-        let mut v4 = seed.wrapping_sub(XXP1);
-        while rest.len() >= 32 {
-            v1 = xx_round(v1, read_u64(&rest[0..]));
-            v2 = xx_round(v2, read_u64(&rest[8..]));
-            v3 = xx_round(v3, read_u64(&rest[16..]));
-            v4 = xx_round(v4, read_u64(&rest[24..]));
-            rest = &rest[32..];
-        }
-        let mut h = v1
-            .rotate_left(1)
-            .wrapping_add(v2.rotate_left(7))
-            .wrapping_add(v3.rotate_left(12))
-            .wrapping_add(v4.rotate_left(18));
-        h = xx_merge(h, v1);
-        h = xx_merge(h, v2);
-        h = xx_merge(h, v3);
-        xx_merge(h, v4)
-    } else {
-        seed.wrapping_add(XXP5)
-    };
-    h = h.wrapping_add(len);
-    while rest.len() >= 8 {
-        h = (h ^ xx_round(0, read_u64(rest)))
-            .rotate_left(27)
-            .wrapping_mul(XXP1)
-            .wrapping_add(XXP4);
-        rest = &rest[8..];
-    }
-    if rest.len() >= 4 {
-        let k = u64::from(u32::from_le_bytes(rest[..4].try_into().expect("4 bytes")));
-        h = (h ^ k.wrapping_mul(XXP1))
-            .rotate_left(23)
-            .wrapping_mul(XXP2)
-            .wrapping_add(XXP3);
-        rest = &rest[4..];
-    }
-    for &b in rest {
-        h = (h ^ u64::from(b).wrapping_mul(XXP5))
-            .rotate_left(11)
-            .wrapping_mul(XXP1);
-    }
-    h ^= h >> 33;
-    h = h.wrapping_mul(XXP2);
-    h ^= h >> 29;
-    h = h.wrapping_mul(XXP3);
-    h ^ (h >> 32)
+    ysmart_rel::colbatch::xxh64(data, seed)
 }
 
 #[cfg(test)]

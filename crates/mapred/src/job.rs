@@ -9,7 +9,7 @@
 //! Mappers and reducers are built per task from factories, mirroring how
 //! Hadoop instantiates a fresh object per task attempt.
 
-use ysmart_rel::Row;
+use ysmart_rel::{codec::encode_line, ColumnBatch, Row};
 
 /// Key/value pairs emitted by a mapper, with byte and work accounting.
 ///
@@ -130,20 +130,72 @@ impl MapOutput {
     }
 }
 
-/// Lines emitted by a reducer (its output file content), with work
+/// One record emitted by a reducer: either a pre-rendered text line or a
+/// typed row (optionally tagged with the merged-output stream it belongs
+/// to, the way merged CMR jobs prefix intermediate lines with `tag|`).
+///
+/// Row emissions let the engine keep records *typed* end to end: in
+/// columnar mode they are packed into binary frames without a text
+/// round-trip; in text mode they render to exactly the line the reducer
+/// would have formatted itself.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReduceEmit {
+    /// A pre-rendered output line (legacy text path).
+    Line(String),
+    /// A typed output row, with an optional merged-stream tag.
+    Row {
+        /// Merged-output stream tag (`Some` renders as a `tag|` prefix in
+        /// text mode and a leading `Int` column in columnar mode).
+        tag: Option<i64>,
+        /// The record itself.
+        row: Row,
+    },
+}
+
+impl ReduceEmit {
+    /// Renders this emission to its text-mode line.
+    #[must_use]
+    pub fn to_line(&self) -> String {
+        match self {
+            ReduceEmit::Line(line) => line.clone(),
+            ReduceEmit::Row { tag: None, row } => encode_line(row),
+            ReduceEmit::Row { tag: Some(t), row } => format!("{t}|{}", encode_line(row)),
+        }
+    }
+}
+
+/// Records emitted by a reducer (its output file content), with work
 /// accounting.
 #[derive(Debug, Default)]
 pub struct ReduceOutput {
-    lines: Vec<String>,
+    emits: Vec<ReduceEmit>,
     work: u64,
     dispatches: Vec<u64>,
     fatal: Option<String>,
 }
 
 impl ReduceOutput {
-    /// Emits one output record.
+    /// Emits one pre-rendered output line.
     pub fn emit_line(&mut self, line: String) {
-        self.lines.push(line);
+        self.emits.push(ReduceEmit::Line(line));
+    }
+
+    /// Emits one typed output row. Prefer this over [`emit_line`]
+    /// (self-formatting): typed rows stay binary in columnar mode.
+    ///
+    /// [`emit_line`]: ReduceOutput::emit_line
+    pub fn emit_row(&mut self, row: Row) {
+        self.emits.push(ReduceEmit::Row { tag: None, row });
+    }
+
+    /// Emits one typed output row tagged with merged-output stream `tag` —
+    /// the intermediate format of merged (CMR) jobs, whose text rendering
+    /// is `tag|field|field|…`.
+    pub fn emit_tagged_row(&mut self, tag: i64, row: Row) {
+        self.emits.push(ReduceEmit::Row {
+            tag: Some(tag),
+            row,
+        });
     }
 
     /// Charges extra CPU work units beyond the per-record baseline — how a
@@ -160,10 +212,22 @@ impl ReduceOutput {
         self.work
     }
 
-    /// The lines emitted so far.
+    /// The emissions so far, rendered to their text-mode lines.
     #[must_use]
-    pub fn lines(&self) -> &[String] {
-        &self.lines
+    pub fn lines(&self) -> Vec<String> {
+        self.emits.iter().map(ReduceEmit::to_line).collect()
+    }
+
+    /// Number of records emitted so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.emits.len()
+    }
+
+    /// Whether nothing has been emitted.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.emits.is_empty()
     }
 
     /// Counts one value dispatched to merged output stream `stream` — how a
@@ -201,10 +265,18 @@ impl ReduceOutput {
         self.fatal.take()
     }
 
-    /// Consumes the buffer.
+    /// Consumes the buffer, rendering every emission to its text line —
+    /// byte-identical to what a self-formatting reducer would have written.
     #[must_use]
     pub fn into_lines(self) -> Vec<String> {
-        self.lines
+        self.emits.iter().map(ReduceEmit::to_line).collect()
+    }
+
+    /// Consumes the buffer into raw emissions, preserving emit order (the
+    /// columnar output path packs `Row` emissions into binary frames).
+    #[must_use]
+    pub fn into_emits(self) -> Vec<ReduceEmit> {
+        self.emits
     }
 }
 
@@ -213,6 +285,20 @@ impl ReduceOutput {
 pub trait Mapper {
     /// Processes one record. Emitting nothing drops the record (selection).
     fn map(&mut self, line: &str, out: &mut MapOutput);
+
+    /// Processes one columnar batch. The default renders each row back to
+    /// its text line and feeds [`Mapper::map`], so every line-oriented
+    /// mapper works unchanged under
+    /// [`crate::config::DataFormat::Columnar`]; vectorizing mappers
+    /// override it to read column vectors directly.
+    fn map_batch(&mut self, batch: &ColumnBatch, out: &mut MapOutput) {
+        let mut line = String::new();
+        for r in 0..batch.num_rows() {
+            line.clear();
+            ysmart_rel::codec::encode_line_into(&batch.row(r), &mut line);
+            self.map(&line, out);
+        }
+    }
 }
 
 /// A reduce function: receives one key and all values for it.
@@ -439,6 +525,32 @@ mod tests {
     fn reduce_output_accumulates() {
         let mut out = ReduceOutput::default();
         out.emit_line("x|y".into());
-        assert_eq!(out.lines(), &["x|y".to_string()]);
+        assert_eq!(out.lines(), vec!["x|y".to_string()]);
+    }
+
+    #[test]
+    fn row_emissions_render_like_hand_formatted_lines() {
+        let mut out = ReduceOutput::default();
+        out.emit_row(row![7i64, "a"]);
+        out.emit_tagged_row(2, row![7i64, "a"]);
+        out.emit_line("7|a".into());
+        assert_eq!(
+            out.into_lines(),
+            vec!["7|a".to_string(), "2|7|a".to_string(), "7|a".to_string()]
+        );
+    }
+
+    #[test]
+    fn default_map_batch_replays_text_lines() {
+        struct Echo;
+        impl Mapper for Echo {
+            fn map(&mut self, line: &str, out: &mut MapOutput) {
+                out.emit(row![line], Row::default());
+            }
+        }
+        let batch = ColumnBatch::from_rows(&[row![1i64, "x"], row![2i64, "y"]]).unwrap();
+        let mut out = MapOutput::default();
+        Echo.map_batch(&batch, &mut out);
+        assert_eq!(out.keys(), &[row!["1|x"], row!["2|y"]]);
     }
 }

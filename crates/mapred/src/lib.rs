@@ -57,6 +57,7 @@ pub mod hash;
 pub mod hdfs;
 pub mod job;
 pub mod metrics;
+pub mod norm;
 pub mod scheduler;
 pub mod trace;
 
@@ -64,15 +65,15 @@ pub use chain::{
     chain_seed, retryable, run_chain, ChainFailure, ChainOutcome, ChainSession, ChainStep, JobChain,
 };
 pub use config::{
-    BlacklistPolicy, ClusterConfig, Compression, ContentionModel, CorruptionModel, FailureModel,
-    NodeFailureModel, RetryPolicy, StragglerModel,
+    BlacklistPolicy, ClusterConfig, Compression, ContentionModel, CorruptionModel, DataFormat,
+    FailureModel, NodeFailureModel, RetryPolicy, StragglerModel,
 };
 pub use engine::{run_job, run_job_attempt, AttemptFailure, Cluster};
 pub use error::MapRedError;
-pub use hdfs::{read_block_verified, BlockRead, Hdfs};
+pub use hdfs::{read_block_verified, read_frame_verified, BlockRead, Hdfs};
 pub use job::{
-    Combiner, JobInput, JobSpec, MapOutput, Mapper, MapperFactory, ReduceOutput, Reducer,
-    ReducerFactory,
+    Combiner, JobInput, JobSpec, MapOutput, Mapper, MapperFactory, ReduceEmit, ReduceOutput,
+    Reducer, ReducerFactory,
 };
 pub use metrics::{ChainMetrics, JobMetrics};
 pub use scheduler::{

@@ -78,6 +78,15 @@ pub struct JobMetrics {
     /// by the avalanche test in [`crate::hash`]), but when it happens it is
     /// counted in every build profile rather than debug-asserted away.
     pub checksum_collisions: u64,
+    /// Actual encoded columnar frame bytes this job produced (shuffle
+    /// segments plus output frames) when running under
+    /// [`crate::config::DataFormat::Columnar`]. Zero in text mode — the
+    /// Text/Columnar delta is the columnar win, visible per job.
+    pub encoded_bytes: u64,
+    /// Dictionary entries materialised across all columnar frames the job
+    /// encoded — how much string deduplication the dictionary encoding
+    /// achieved. Zero in text mode.
+    pub dict_entries: u64,
     /// Per-output-stream record counts dispatched by the map side of a
     /// merged (CMF) job: element `i` counts records routed to merged query
     /// branch `i`. Empty for jobs whose mappers don't report streams.

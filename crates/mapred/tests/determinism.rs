@@ -14,11 +14,15 @@
 //! is exactly the robustness the engine's bad-record budget models.
 
 use ysmart_mapred::{
-    run_chain, Cluster, ClusterConfig, CorruptionModel, FailureModel, JobChain, JobSpec, MapOutput,
-    NodeFailureModel, ReduceOutput, Reducer, RetryPolicy, StragglerModel,
+    run_chain, Cluster, ClusterConfig, CorruptionModel, DataFormat, FailureModel, JobChain,
+    JobSpec, MapOutput, NodeFailureModel, ReduceOutput, Reducer, RetryPolicy, StragglerModel,
 };
 use ysmart_mapred::{validate_chrome_trace, ChainMetrics, JobMetrics, Mapper, Trace};
+use ysmart_rel::codec::encode_line;
+use ysmart_rel::colbatch::decode_frames;
 use ysmart_rel::{row, Row};
+
+const FORMATS: [DataFormat; 2] = [DataFormat::Text, DataFormat::Columnar];
 
 struct KvMapper;
 impl Mapper for KvMapper {
@@ -40,7 +44,9 @@ impl Reducer for SumReducer {
             .iter()
             .map(|v| v.get(0).unwrap().as_int().unwrap())
             .sum();
-        out.emit_line(format!("{}|{}", key.get(0).unwrap(), s));
+        // A typed row: rendered as "k|s" in text mode, packed into a
+        // columnar frame otherwise.
+        out.emit_row(row![key.get(0).unwrap().clone(), s]);
     }
 }
 
@@ -80,12 +86,13 @@ fn two_job_chain() -> JobChain {
 
 /// Tiny HDFS blocks force many map tasks, so the threaded path actually
 /// chunks work across workers instead of degenerating to one slice.
-fn config(threads: Option<usize>, seed: u64) -> ClusterConfig {
+fn config(threads: Option<usize>, seed: u64, format: DataFormat) -> ClusterConfig {
     ClusterConfig {
         nodes: 6,
         hdfs_block_mb: 0.0002, // ~200 real bytes per split
         size_multiplier: 50_000.0,
         exec_threads: threads,
+        data_format: format,
         stragglers: Some(StragglerModel {
             probability: 0.2,
             slowdown: 5.0,
@@ -125,26 +132,96 @@ fn config(threads: Option<usize>, seed: u64) -> ClusterConfig {
     }
 }
 
-/// Runs the chain under `threads` and returns (output lines in stored
-/// order, per-job metrics).
-fn run(threads: Option<usize>, seed: u64) -> (Vec<String>, Vec<JobMetrics>) {
-    let mut cluster = Cluster::new(config(threads, seed));
-    let lines: Vec<String> = (0..800).map(|i| format!("{}|{}", i % 40, i)).collect();
-    cluster.load_table("t", lines);
+/// Loads the input table in the cluster's configured format (typed rows:
+/// text lines or columnar frames, byte-identical text either way).
+fn load_input(cluster: &mut Cluster) {
+    let rows: Vec<Row> = (0..800i64).map(|i| row![i % 40, i]).collect();
+    cluster.load_table_rows("t", &rows);
+}
+
+/// The stored bytes of an output file: text lines and raw columnar
+/// frames. Comparing both proves bit-identity in either format.
+fn stored(cluster: &Cluster, path: &str) -> (Vec<String>, Vec<Vec<u8>>) {
+    let file = cluster.hdfs.get(path).unwrap();
+    (file.lines.clone(), file.frames.clone())
+}
+
+/// Renders an output file to canonical text lines regardless of format —
+/// the cross-format comparison key.
+fn canonical(lines: &[String], frames: &[Vec<u8>]) -> Vec<String> {
+    if frames.is_empty() {
+        lines.to_vec()
+    } else {
+        decode_frames(frames)
+            .expect("stored frames decode")
+            .iter()
+            .map(encode_line)
+            .collect()
+    }
+}
+
+/// Runs the chain under `threads` and returns (output lines, output
+/// frames, per-job metrics).
+#[allow(clippy::type_complexity)]
+fn run(
+    threads: Option<usize>,
+    seed: u64,
+    format: DataFormat,
+) -> (Vec<String>, Vec<Vec<u8>>, Vec<JobMetrics>) {
+    let mut cluster = Cluster::new(config(threads, seed, format));
+    load_input(&mut cluster);
     let outcome = run_chain(&mut cluster, &two_job_chain()).expect("chain");
-    let lines = cluster.hdfs.get("out/final").unwrap().lines.clone();
-    (lines, outcome.metrics.jobs)
+    let (lines, frames) = stored(&cluster, "out/final");
+    (lines, frames, outcome.metrics.jobs)
 }
 
 #[test]
 fn threaded_execution_is_bit_identical_to_serial() {
     // None resolves to the machine's core count; 1 forces the serial path;
-    // 4 exercises chunked scoped threads regardless of the host.
-    let (serial_lines, serial_metrics) = run(Some(1), 42);
-    for threads in [None, Some(4)] {
-        let (lines, metrics) = run(threads, 42);
-        assert_eq!(lines, serial_lines, "output differs under {threads:?}");
-        assert_eq!(metrics, serial_metrics, "metrics differ under {threads:?}");
+    // 4 exercises chunked scoped threads regardless of the host. Both data
+    // formats must hold the guarantee, down to the raw frame bytes.
+    for format in FORMATS {
+        let (serial_lines, serial_frames, serial_metrics) = run(Some(1), 42, format);
+        for threads in [None, Some(4)] {
+            let (lines, frames, metrics) = run(threads, 42, format);
+            assert_eq!(
+                lines, serial_lines,
+                "{format:?}: lines differ under {threads:?}"
+            );
+            assert_eq!(
+                frames, serial_frames,
+                "{format:?}: frames differ under {threads:?}"
+            );
+            assert_eq!(
+                metrics, serial_metrics,
+                "{format:?}: metrics differ under {threads:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn formats_agree_on_canonical_output() {
+    // Text and columnar runs store different bytes but must decode to the
+    // same records, fault injection and all (torn-record injection never
+    // drops real records in either format).
+    for seed in [42u64, 7] {
+        let (tl, tf, tm) = run(Some(4), seed, DataFormat::Text);
+        let (cl, cf, cm) = run(Some(4), seed, DataFormat::Columnar);
+        assert!(
+            tf.is_empty() && !cf.is_empty(),
+            "formats must differ on disk"
+        );
+        assert_eq!(
+            canonical(&tl, &tf),
+            canonical(&cl, &cf),
+            "seed {seed}: canonical outputs differ across formats"
+        );
+        assert_eq!(tm.iter().map(|j| j.encoded_bytes).sum::<u64>(), 0);
+        assert!(
+            cm.iter().all(|j| j.encoded_bytes > 0),
+            "columnar jobs account frame bytes"
+        );
     }
 }
 
@@ -152,14 +229,20 @@ fn threaded_execution_is_bit_identical_to_serial() {
 fn determinism_holds_across_fault_seeds() {
     // Sweep seeds so different straggler/failure/node-loss draws (including
     // retried attempts) all stay schedule-independent.
-    for seed in [1u64, 7, 99, 1234, 777_777] {
-        let (serial_lines, serial_metrics) = run(Some(1), seed);
-        let (threaded_lines, threaded_metrics) = run(Some(4), seed);
-        assert_eq!(threaded_lines, serial_lines, "seed {seed}: lines differ");
-        assert_eq!(
-            threaded_metrics, serial_metrics,
-            "seed {seed}: metrics differ"
-        );
+    for format in FORMATS {
+        for seed in [1u64, 7, 99, 1234, 777_777] {
+            let (serial_lines, serial_frames, serial_metrics) = run(Some(1), seed, format);
+            let (lines, frames, metrics) = run(Some(4), seed, format);
+            assert_eq!(lines, serial_lines, "{format:?} seed {seed}: lines differ");
+            assert_eq!(
+                frames, serial_frames,
+                "{format:?} seed {seed}: frames differ"
+            );
+            assert_eq!(
+                metrics, serial_metrics,
+                "{format:?} seed {seed}: metrics differ"
+            );
+        }
     }
 }
 
@@ -167,32 +250,37 @@ fn determinism_holds_across_fault_seeds() {
 fn corruption_events_fire_in_the_combined_sweep() {
     // The thread-count comparisons above are only meaningful if injected
     // corruption actually does something at these rates.
-    let (_, metrics) = run(Some(1), 42);
-    let events: u64 = metrics
-        .iter()
-        .map(|j| j.corrupt_blocks_detected + j.refetched_segments + j.skipped_records)
-        .sum();
-    assert!(events > 0, "corruption must fire in the combined config");
-    assert!(metrics.iter().any(|j| j.verify_s > 0.0));
+    for format in FORMATS {
+        let (_, _, metrics) = run(Some(1), 42, format);
+        let events: u64 = metrics
+            .iter()
+            .map(|j| j.corrupt_blocks_detected + j.refetched_segments + j.skipped_records)
+            .sum();
+        assert!(
+            events > 0,
+            "{format:?}: corruption must fire in the combined config"
+        );
+        assert!(metrics.iter().any(|j| j.verify_s > 0.0), "{format:?}");
+    }
 }
 
 #[test]
 fn repeated_runs_are_reproducible() {
     // Same configuration twice: the whole pipeline (RNG draws included)
     // must reproduce exactly — no hidden global state.
-    let a = run(None, 5);
-    let b = run(None, 5);
-    assert_eq!(a.0, b.0);
-    assert_eq!(a.1, b.1);
+    for format in FORMATS {
+        let a = run(None, 5, format);
+        let b = run(None, 5, format);
+        assert_eq!(a, b, "{format:?}");
+    }
 }
 
 /// Runs the chain with tracing enabled and returns the trace plus the
 /// chain metrics.
-fn run_traced(threads: Option<usize>, seed: u64) -> (Trace, ChainMetrics) {
-    let mut cluster = Cluster::new(config(threads, seed));
+fn run_traced(threads: Option<usize>, seed: u64, format: DataFormat) -> (Trace, ChainMetrics) {
+    let mut cluster = Cluster::new(config(threads, seed, format));
     cluster.enable_tracing();
-    let lines: Vec<String> = (0..800).map(|i| format!("{}|{}", i % 40, i)).collect();
-    cluster.load_table("t", lines);
+    load_input(&mut cluster);
     let outcome = run_chain(&mut cluster, &two_job_chain()).expect("chain");
     let trace = cluster.take_trace().expect("tracing was enabled");
     (trace, outcome.metrics)
@@ -203,23 +291,25 @@ fn trace_is_bit_identical_across_thread_counts() {
     // Span emission keys on simulated time and task index, never wall
     // clock or thread interleaving — so the exported JSON must match to
     // the byte under any thread count, even with every fault model firing.
-    for seed in [42u64, 7] {
-        let (serial, _) = run_traced(Some(1), seed);
-        let serial_json = serial.to_chrome_json();
-        for threads in [None, Some(4)] {
-            let (t, _) = run_traced(threads, seed);
-            assert_eq!(
-                t.to_chrome_json(),
-                serial_json,
-                "seed {seed}: trace differs under {threads:?}"
-            );
+    for format in FORMATS {
+        for seed in [42u64, 7] {
+            let (serial, _) = run_traced(Some(1), seed, format);
+            let serial_json = serial.to_chrome_json();
+            for threads in [None, Some(4)] {
+                let (t, _) = run_traced(threads, seed, format);
+                assert_eq!(
+                    t.to_chrome_json(),
+                    serial_json,
+                    "{format:?} seed {seed}: trace differs under {threads:?}"
+                );
+            }
         }
     }
 }
 
 #[test]
 fn trace_reconciles_with_chain_metrics() {
-    let (trace, metrics) = run_traced(Some(1), 42);
+    let (trace, metrics) = run_traced(Some(1), 42, DataFormat::Columnar);
     let json = trace.to_chrome_json();
     let stats = validate_chrome_trace(&json).expect("exported trace must validate");
     assert!(stats.span_cats.get("map").copied().unwrap_or(0) >= 1);
@@ -282,13 +372,15 @@ fn trace_reconciles_with_chain_metrics() {
 fn tracing_does_not_change_results_or_metrics() {
     // The observability layer observes: running with the trace recorder on
     // must leave output lines and metrics bit-identical to running off.
-    let (plain_lines, plain_metrics) = run(Some(4), 42);
-    let mut cluster = Cluster::new(config(Some(4), 42));
-    cluster.enable_tracing();
-    let lines: Vec<String> = (0..800).map(|i| format!("{}|{}", i % 40, i)).collect();
-    cluster.load_table("t", lines);
-    let outcome = run_chain(&mut cluster, &two_job_chain()).expect("chain");
-    let traced_lines = cluster.hdfs.get("out/final").unwrap().lines.clone();
-    assert_eq!(traced_lines, plain_lines);
-    assert_eq!(outcome.metrics.jobs, plain_metrics);
+    for format in FORMATS {
+        let (plain_lines, plain_frames, plain_metrics) = run(Some(4), 42, format);
+        let mut cluster = Cluster::new(config(Some(4), 42, format));
+        cluster.enable_tracing();
+        load_input(&mut cluster);
+        let outcome = run_chain(&mut cluster, &two_job_chain()).expect("chain");
+        let (traced_lines, traced_frames) = stored(&cluster, "out/final");
+        assert_eq!(traced_lines, plain_lines, "{format:?}");
+        assert_eq!(traced_frames, plain_frames, "{format:?}");
+        assert_eq!(outcome.metrics.jobs, plain_metrics, "{format:?}");
+    }
 }

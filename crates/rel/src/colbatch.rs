@@ -1,0 +1,934 @@
+//! Columnar record batches and the checksummed binary frame codec.
+//!
+//! A [`ColumnBatch`] holds a run of rows decomposed into typed column
+//! vectors — `Int`/`Float`/`Bool` as plain vectors with a null mask,
+//! strings dictionary-encoded (each distinct string stored once, rows
+//! carry `u32` dictionary indices), and a `Var` escape hatch for columns
+//! whose rows mix types. Batches are what the columnar data path
+//! (`DataFormat::Columnar`) moves between map tasks, shuffle segments and
+//! HDFS files instead of `|`-delimited text lines: operators read typed
+//! vectors directly and never re-parse text per record.
+//!
+//! The wire form is a *frame*: a length-prefixed binary encoding with an
+//! XXH64 checksum **per column chunk** plus one over the header, so any
+//! single corrupted bit is detected and localized to one column (the text
+//! path's block checksum can only condemn a whole block). The layout:
+//!
+//! ```text
+//! magic "YCB1" | ncols u16 | nrows u32
+//! per column: tag u8 | chunk_len u32 | chunk_sum u64 (XXH64)
+//! header_sum u64 (XXH64 over every preceding header byte)
+//! column chunks, back to back (no padding)
+//! ```
+//!
+//! All integers are little-endian. [`decode_frame`] verifies the header
+//! checksum, every chunk checksum, exact frame length, UTF-8 of dictionary
+//! entries, and rejects non-finite floats — the same contract the text
+//! codec's `decode_field` enforces, so corrupted bytes can never smuggle a
+//! NaN into the computation.
+
+use std::collections::HashMap;
+
+use crate::error::RelError;
+use crate::row::Row;
+use crate::value::Value;
+
+/// Frame magic: "YSmart Columnar Batch v1".
+pub const FRAME_MAGIC: [u8; 4] = *b"YCB1";
+
+/// Default rows per frame when chunking a large row run into frames — a
+/// compromise between per-frame header/dictionary overhead and split
+/// granularity (frames are the unit map-task splits cannot subdivide).
+/// Wider frames amortise the per-frame column allocations in encode and
+/// decode; 1024 measured faster than 256 with no loss of split balance at
+/// the benchmarked scales.
+pub const DEFAULT_FRAME_ROWS: usize = 1024;
+
+// XXH64 primes (Yann Collet's xxHash, public domain). `ysmart_mapred`'s
+// block checksums delegate to this same implementation.
+const XXP1: u64 = 0x9E37_79B1_85EB_CA87;
+const XXP2: u64 = 0xC2B2_AE3D_27D4_EB4F;
+const XXP3: u64 = 0x1656_67B1_9E37_79F9;
+const XXP4: u64 = 0x85EB_CA77_C2B2_AE63;
+const XXP5: u64 = 0x27D4_EB2F_1656_67C5;
+
+#[inline]
+fn xx_round(acc: u64, input: u64) -> u64 {
+    acc.wrapping_add(input.wrapping_mul(XXP2))
+        .rotate_left(31)
+        .wrapping_mul(XXP1)
+}
+
+#[inline]
+fn xx_merge(acc: u64, val: u64) -> u64 {
+    (acc ^ xx_round(0, val))
+        .wrapping_mul(XXP1)
+        .wrapping_add(XXP4)
+}
+
+#[inline]
+fn read_u64_raw(b: &[u8]) -> u64 {
+    u64::from_le_bytes(b[..8].try_into().expect("8 bytes"))
+}
+
+/// XXH64 of a byte slice with an explicit seed — full-avalanche, so any
+/// single flipped bit changes the result.
+#[must_use]
+pub fn xxh64(data: &[u8], seed: u64) -> u64 {
+    let len = data.len() as u64;
+    let mut rest = data;
+    let mut h = if rest.len() >= 32 {
+        let mut v1 = seed.wrapping_add(XXP1).wrapping_add(XXP2);
+        let mut v2 = seed.wrapping_add(XXP2);
+        let mut v3 = seed;
+        let mut v4 = seed.wrapping_sub(XXP1);
+        while rest.len() >= 32 {
+            v1 = xx_round(v1, read_u64_raw(&rest[0..]));
+            v2 = xx_round(v2, read_u64_raw(&rest[8..]));
+            v3 = xx_round(v3, read_u64_raw(&rest[16..]));
+            v4 = xx_round(v4, read_u64_raw(&rest[24..]));
+            rest = &rest[32..];
+        }
+        let mut h = v1
+            .rotate_left(1)
+            .wrapping_add(v2.rotate_left(7))
+            .wrapping_add(v3.rotate_left(12))
+            .wrapping_add(v4.rotate_left(18));
+        h = xx_merge(h, v1);
+        h = xx_merge(h, v2);
+        h = xx_merge(h, v3);
+        xx_merge(h, v4)
+    } else {
+        seed.wrapping_add(XXP5)
+    };
+    h = h.wrapping_add(len);
+    while rest.len() >= 8 {
+        h = (h ^ xx_round(0, read_u64_raw(rest)))
+            .rotate_left(27)
+            .wrapping_mul(XXP1)
+            .wrapping_add(XXP4);
+        rest = &rest[8..];
+    }
+    if rest.len() >= 4 {
+        let k = u64::from(u32::from_le_bytes(rest[..4].try_into().expect("4 bytes")));
+        h = (h ^ k.wrapping_mul(XXP1))
+            .rotate_left(23)
+            .wrapping_mul(XXP2)
+            .wrapping_add(XXP3);
+        rest = &rest[4..];
+    }
+    for &b in rest {
+        h = (h ^ u64::from(b).wrapping_mul(XXP5))
+            .rotate_left(11)
+            .wrapping_mul(XXP1);
+    }
+    h ^= h >> 33;
+    h = h.wrapping_mul(XXP2);
+    h ^= h >> 29;
+    h = h.wrapping_mul(XXP3);
+    h ^ (h >> 32)
+}
+
+/// FNV-1a [`std::hash::Hasher`] for the codec's internal hash maps —
+/// dictionary lookups hash short strings the engine produced itself, where
+/// `std`'s DoS-resistant SipHash costs more than the rest of the insert.
+pub struct FnvHasher(u64);
+
+impl std::hash::Hasher for FnvHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        let mut h = self.0;
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        self.0 = h;
+    }
+}
+
+/// Builds [`FnvHasher`]s for `HashMap::default()` / `HashSet::default()`.
+#[derive(Default, Clone)]
+pub struct FnvBuildHasher;
+
+impl std::hash::BuildHasher for FnvBuildHasher {
+    type Hasher = FnvHasher;
+
+    fn build_hasher(&self) -> FnvHasher {
+        FnvHasher(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+/// One typed column vector of a batch. Every variant's vectors are
+/// `nrows` long; null slots hold a zero/default payload so the encoding
+/// is canonical (two batches with equal rows encode to equal bytes).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Column {
+    /// 64-bit integers.
+    Int {
+        /// Values (zero in null slots).
+        data: Vec<i64>,
+        /// Null mask, `true` = NULL.
+        nulls: Vec<bool>,
+    },
+    /// 64-bit floats (always finite).
+    Float {
+        /// Values (zero in null slots).
+        data: Vec<f64>,
+        /// Null mask.
+        nulls: Vec<bool>,
+    },
+    /// Booleans.
+    Bool {
+        /// Values (`false` in null slots).
+        data: Vec<bool>,
+        /// Null mask.
+        nulls: Vec<bool>,
+    },
+    /// Dictionary-encoded strings: each distinct string appears once in
+    /// `dict` (first-seen order, so construction is deterministic) and
+    /// rows store indices into it.
+    Str {
+        /// Distinct strings in first-appearance order.
+        dict: Vec<String>,
+        /// Per-row dictionary index (zero in null slots).
+        idx: Vec<u32>,
+        /// Null mask.
+        nulls: Vec<bool>,
+    },
+    /// Escape hatch for columns whose rows mix types: values stored as-is.
+    Var(Vec<Value>),
+}
+
+impl Column {
+    /// The value at `row`, owned.
+    #[must_use]
+    pub fn value(&self, row: usize) -> Value {
+        match self {
+            Column::Int { data, nulls } => {
+                if nulls[row] {
+                    Value::Null
+                } else {
+                    Value::Int(data[row])
+                }
+            }
+            Column::Float { data, nulls } => {
+                if nulls[row] {
+                    Value::Null
+                } else {
+                    Value::Float(data[row])
+                }
+            }
+            Column::Bool { data, nulls } => {
+                if nulls[row] {
+                    Value::Null
+                } else {
+                    Value::Bool(data[row])
+                }
+            }
+            Column::Str { dict, idx, nulls } => {
+                if nulls[row] {
+                    Value::Null
+                } else {
+                    Value::Str(dict[idx[row] as usize].clone())
+                }
+            }
+            Column::Var(vals) => vals[row].clone(),
+        }
+    }
+
+    fn wire_tag(&self) -> u8 {
+        match self {
+            Column::Int { .. } => 0,
+            Column::Float { .. } => 1,
+            Column::Bool { .. } => 2,
+            Column::Str { .. } => 3,
+            Column::Var(_) => 4,
+        }
+    }
+}
+
+/// A run of rows in columnar form. See the module docs for the wire
+/// format.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ColumnBatch {
+    cols: Vec<Column>,
+    rows: usize,
+}
+
+fn frame_err(what: impl Into<String>) -> RelError {
+    RelError::Frame(what.into())
+}
+
+impl ColumnBatch {
+    /// Builds a batch from uniform-width rows. Column types are inferred
+    /// per column: if every non-null value shares one type the column is
+    /// typed (strings dictionary-encoded); mixed columns fall back to
+    /// [`Column::Var`]. All-null columns become `Int`.
+    ///
+    /// # Errors
+    ///
+    /// [`RelError::FieldCount`] when rows differ in width, and
+    /// [`RelError::Frame`] on non-finite floats (the columnar counterpart
+    /// of the text codec rejecting `NaN`/`inf`).
+    pub fn from_rows(rows: &[Row]) -> Result<ColumnBatch, RelError> {
+        let Some(first) = rows.first() else {
+            return Ok(ColumnBatch::default());
+        };
+        let width = first.len();
+        for r in rows {
+            if r.len() != width {
+                return Err(RelError::FieldCount {
+                    expected: width,
+                    found: r.len(),
+                });
+            }
+            for v in r.values() {
+                if let Value::Float(f) = v {
+                    if !f.is_finite() {
+                        return Err(frame_err("non-finite float in batch"));
+                    }
+                }
+            }
+        }
+        let nrows = rows.len();
+        let mut cols = Vec::with_capacity(width);
+        for c in 0..width {
+            // One pass to decide the column type.
+            #[derive(PartialEq, Clone, Copy)]
+            enum Ty {
+                None,
+                Int,
+                Float,
+                Bool,
+                Str,
+                Mixed,
+            }
+            let mut ty = Ty::None;
+            for r in rows {
+                let vt = match &r.values()[c] {
+                    Value::Null => continue,
+                    Value::Int(_) => Ty::Int,
+                    Value::Float(_) => Ty::Float,
+                    Value::Bool(_) => Ty::Bool,
+                    Value::Str(_) => Ty::Str,
+                };
+                ty = match ty {
+                    Ty::None => vt,
+                    t if t == vt => t,
+                    _ => Ty::Mixed,
+                };
+                if ty == Ty::Mixed {
+                    break;
+                }
+            }
+            let col = match ty {
+                Ty::None | Ty::Int => {
+                    let mut data = vec![0i64; nrows];
+                    let mut nulls = vec![false; nrows];
+                    for (i, r) in rows.iter().enumerate() {
+                        match &r.values()[c] {
+                            Value::Int(v) => data[i] = *v,
+                            _ => nulls[i] = true,
+                        }
+                    }
+                    Column::Int { data, nulls }
+                }
+                Ty::Float => {
+                    let mut data = vec![0f64; nrows];
+                    let mut nulls = vec![false; nrows];
+                    for (i, r) in rows.iter().enumerate() {
+                        match &r.values()[c] {
+                            Value::Float(v) => data[i] = *v,
+                            _ => nulls[i] = true,
+                        }
+                    }
+                    Column::Float { data, nulls }
+                }
+                Ty::Bool => {
+                    let mut data = vec![false; nrows];
+                    let mut nulls = vec![false; nrows];
+                    for (i, r) in rows.iter().enumerate() {
+                        match &r.values()[c] {
+                            Value::Bool(v) => data[i] = *v,
+                            _ => nulls[i] = true,
+                        }
+                    }
+                    Column::Bool { data, nulls }
+                }
+                Ty::Str => {
+                    let mut dict: Vec<String> = Vec::new();
+                    let mut lookup: HashMap<&str, u32, FnvBuildHasher> = HashMap::default();
+                    let mut idx = vec![0u32; nrows];
+                    let mut nulls = vec![false; nrows];
+                    for (i, r) in rows.iter().enumerate() {
+                        match &r.values()[c] {
+                            Value::Str(s) => {
+                                idx[i] = *lookup.entry(s.as_str()).or_insert_with(|| {
+                                    dict.push(s.clone());
+                                    (dict.len() - 1) as u32
+                                });
+                            }
+                            _ => nulls[i] = true,
+                        }
+                    }
+                    Column::Str { dict, idx, nulls }
+                }
+                Ty::Mixed => Column::Var(rows.iter().map(|r| r.values()[c].clone()).collect()),
+            };
+            cols.push(col);
+        }
+        Ok(ColumnBatch { cols, rows: nrows })
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn num_rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn num_cols(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// The typed columns.
+    #[must_use]
+    pub fn columns(&self) -> &[Column] {
+        &self.cols
+    }
+
+    /// Total dictionary entries across string columns — the compression
+    /// the format gets from repeated strings, surfaced in job metrics.
+    #[must_use]
+    pub fn dict_entries(&self) -> u64 {
+        self.cols
+            .iter()
+            .map(|c| match c {
+                Column::Str { dict, .. } => dict.len() as u64,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Materializes one row.
+    #[must_use]
+    pub fn row(&self, r: usize) -> Row {
+        Row::new(self.cols.iter().map(|c| c.value(r)).collect())
+    }
+
+    /// Materializes every row (the boundary back to row-at-a-time code).
+    #[must_use]
+    pub fn to_rows(&self) -> Vec<Row> {
+        (0..self.rows).map(|r| self.row(r)).collect()
+    }
+
+    /// Rows for which `mask` is `true`, as a new batch (column-at-a-time
+    /// selection; used by tag filters and vectorized predicates).
+    ///
+    /// # Panics
+    ///
+    /// When `mask.len() != num_rows()`.
+    #[must_use]
+    pub fn filter(&self, mask: &[bool]) -> ColumnBatch {
+        assert_eq!(mask.len(), self.rows, "mask length");
+        let keep: Vec<usize> = (0..self.rows).filter(|&i| mask[i]).collect();
+        let cols = self
+            .cols
+            .iter()
+            .map(|c| match c {
+                Column::Int { data, nulls } => Column::Int {
+                    data: keep.iter().map(|&i| data[i]).collect(),
+                    nulls: keep.iter().map(|&i| nulls[i]).collect(),
+                },
+                Column::Float { data, nulls } => Column::Float {
+                    data: keep.iter().map(|&i| data[i]).collect(),
+                    nulls: keep.iter().map(|&i| nulls[i]).collect(),
+                },
+                Column::Bool { data, nulls } => Column::Bool {
+                    data: keep.iter().map(|&i| data[i]).collect(),
+                    nulls: keep.iter().map(|&i| nulls[i]).collect(),
+                },
+                Column::Str { dict, idx, nulls } => Column::Str {
+                    dict: dict.clone(),
+                    idx: keep.iter().map(|&i| idx[i]).collect(),
+                    nulls: keep.iter().map(|&i| nulls[i]).collect(),
+                },
+                Column::Var(vals) => Column::Var(keep.iter().map(|&i| vals[i].clone()).collect()),
+            })
+            .collect();
+        ColumnBatch {
+            cols,
+            rows: keep.len(),
+        }
+    }
+
+    /// A batch of the columns `[from..]` — used to strip a leading tag
+    /// column off tagged intermediate files.
+    #[must_use]
+    pub fn slice_cols(&self, from: usize) -> ColumnBatch {
+        ColumnBatch {
+            cols: self.cols.iter().skip(from).cloned().collect(),
+            rows: self.rows,
+        }
+    }
+
+    /// Encodes the batch as one frame (see module docs for the layout).
+    ///
+    /// # Panics
+    ///
+    /// When the batch exceeds the wire limits (65535 columns or
+    /// `u32::MAX` rows) — far beyond anything the engine constructs.
+    #[must_use]
+    pub fn encode_frame(&self) -> Vec<u8> {
+        assert!(self.cols.len() <= usize::from(u16::MAX), "too many columns");
+        assert!(self.rows <= u32::MAX as usize, "too many rows");
+        let chunks: Vec<Vec<u8>> = self.cols.iter().map(encode_chunk).collect();
+        let header_len = 4 + 2 + 4 + chunks.len() * (1 + 4 + 8) + 8;
+        let total = header_len + chunks.iter().map(Vec::len).sum::<usize>();
+        let mut out = Vec::with_capacity(total);
+        out.extend_from_slice(&FRAME_MAGIC);
+        out.extend_from_slice(&(self.cols.len() as u16).to_le_bytes());
+        out.extend_from_slice(&(self.rows as u32).to_le_bytes());
+        for (col, chunk) in self.cols.iter().zip(&chunks) {
+            out.push(col.wire_tag());
+            out.extend_from_slice(&(chunk.len() as u32).to_le_bytes());
+            out.extend_from_slice(&xxh64(chunk, 0).to_le_bytes());
+        }
+        let header_sum = xxh64(&out, 0);
+        out.extend_from_slice(&header_sum.to_le_bytes());
+        for chunk in &chunks {
+            out.extend_from_slice(chunk);
+        }
+        out
+    }
+
+    /// Decodes and *verifies* one frame: header checksum, per-column chunk
+    /// checksums, exact length, dictionary UTF-8 and index bounds, finite
+    /// floats. Any single corrupted bit fails one of these checks.
+    ///
+    /// # Errors
+    ///
+    /// [`RelError::Frame`] naming the first failed check.
+    pub fn decode_frame(bytes: &[u8]) -> Result<ColumnBatch, RelError> {
+        let mut rd = Reader::new(bytes);
+        let magic = rd.take(4)?;
+        if magic != FRAME_MAGIC {
+            return Err(frame_err("bad frame magic"));
+        }
+        let ncols = rd.read_u16()? as usize;
+        let nrows = rd.read_u32()? as usize;
+        let mut headers = Vec::with_capacity(ncols);
+        for _ in 0..ncols {
+            let tag = rd.read_u8()?;
+            let len = rd.read_u32()? as usize;
+            let sum = rd.read_u64()?;
+            headers.push((tag, len, sum));
+        }
+        let header_end = rd.pos;
+        let stored_header_sum = rd.read_u64()?;
+        if xxh64(&bytes[..header_end], 0) != stored_header_sum {
+            return Err(frame_err("frame header checksum mismatch"));
+        }
+        let mut cols = Vec::with_capacity(ncols);
+        for (c, (tag, len, sum)) in headers.into_iter().enumerate() {
+            let chunk = rd.take(len)?;
+            if xxh64(chunk, 0) != sum {
+                return Err(frame_err(format!("column {c} chunk checksum mismatch")));
+            }
+            cols.push(decode_chunk(tag, chunk, nrows, c)?);
+        }
+        if rd.pos != bytes.len() {
+            return Err(frame_err("trailing bytes after frame"));
+        }
+        Ok(ColumnBatch { cols, rows: nrows })
+    }
+}
+
+/// Encodes rows as a sequence of frames of at most `rows_per_frame` rows
+/// each (an empty input yields no frames).
+///
+/// # Errors
+///
+/// As [`ColumnBatch::from_rows`].
+pub fn encode_frames(rows: &[Row], rows_per_frame: usize) -> Result<Vec<Vec<u8>>, RelError> {
+    let per = rows_per_frame.max(1);
+    rows.chunks(per)
+        .map(|chunk| Ok(ColumnBatch::from_rows(chunk)?.encode_frame()))
+        .collect()
+}
+
+/// Decodes a sequence of frames back into one row run.
+///
+/// # Errors
+///
+/// As [`ColumnBatch::decode_frame`].
+pub fn decode_frames(frames: &[Vec<u8>]) -> Result<Vec<Row>, RelError> {
+    let mut rows = Vec::new();
+    for f in frames {
+        rows.extend(ColumnBatch::decode_frame(f)?.to_rows());
+    }
+    Ok(rows)
+}
+
+/// Bounds-checked little-endian reader over a frame.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Reader { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], RelError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or_else(|| frame_err("truncated frame"))?;
+        let s = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn read_u8(&mut self) -> Result<u8, RelError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn read_u16(&mut self) -> Result<u16, RelError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2")))
+    }
+
+    fn read_u32(&mut self) -> Result<u32, RelError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    fn read_u64(&mut self) -> Result<u64, RelError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+}
+
+fn encode_chunk(col: &Column) -> Vec<u8> {
+    let mut out = Vec::new();
+    let push_nulls = |out: &mut Vec<u8>, nulls: &[bool]| {
+        out.extend(nulls.iter().map(|&n| u8::from(n)));
+    };
+    match col {
+        Column::Int { data, nulls } => {
+            push_nulls(&mut out, nulls);
+            for (v, &n) in data.iter().zip(nulls) {
+                out.extend_from_slice(&(if n { 0 } else { *v }).to_le_bytes());
+            }
+        }
+        Column::Float { data, nulls } => {
+            push_nulls(&mut out, nulls);
+            for (v, &n) in data.iter().zip(nulls) {
+                out.extend_from_slice(&(if n { 0.0 } else { *v }).to_bits().to_le_bytes());
+            }
+        }
+        Column::Bool { data, nulls } => {
+            push_nulls(&mut out, nulls);
+            out.extend(data.iter().zip(nulls).map(|(&v, &n)| u8::from(v && !n)));
+        }
+        Column::Str { dict, idx, nulls } => {
+            push_nulls(&mut out, nulls);
+            out.extend_from_slice(&(dict.len() as u32).to_le_bytes());
+            for s in dict {
+                out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+                out.extend_from_slice(s.as_bytes());
+            }
+            for (v, &n) in idx.iter().zip(nulls) {
+                out.extend_from_slice(&(if n { 0 } else { *v }).to_le_bytes());
+            }
+        }
+        Column::Var(vals) => {
+            for v in vals {
+                match v {
+                    Value::Null => out.push(0),
+                    Value::Bool(b) => {
+                        out.push(1);
+                        out.push(u8::from(*b));
+                    }
+                    Value::Int(i) => {
+                        out.push(2);
+                        out.extend_from_slice(&i.to_le_bytes());
+                    }
+                    Value::Float(f) => {
+                        out.push(3);
+                        out.extend_from_slice(&f.to_bits().to_le_bytes());
+                    }
+                    Value::Str(s) => {
+                        out.push(4);
+                        out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+                        out.extend_from_slice(s.as_bytes());
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+fn decode_chunk(tag: u8, chunk: &[u8], nrows: usize, col: usize) -> Result<Column, RelError> {
+    let mut rd = Reader::new(chunk);
+    let read_nulls = |rd: &mut Reader| -> Result<Vec<bool>, RelError> {
+        rd.take(nrows)?
+            .iter()
+            .map(|&b| match b {
+                0 => Ok(false),
+                1 => Ok(true),
+                _ => Err(frame_err(format!("column {col}: bad null byte"))),
+            })
+            .collect()
+    };
+    let parsed = match tag {
+        0 => {
+            let nulls = read_nulls(&mut rd)?;
+            let mut data = Vec::with_capacity(nrows);
+            for _ in 0..nrows {
+                data.push(rd.read_u64()? as i64);
+            }
+            Column::Int { data, nulls }
+        }
+        1 => {
+            let nulls = read_nulls(&mut rd)?;
+            let mut data = Vec::with_capacity(nrows);
+            for &null in &nulls {
+                let f = f64::from_bits(rd.read_u64()?);
+                if !null && !f.is_finite() {
+                    return Err(frame_err(format!("column {col}: non-finite float")));
+                }
+                data.push(f);
+            }
+            Column::Float { data, nulls }
+        }
+        2 => {
+            let nulls = read_nulls(&mut rd)?;
+            let mut data = Vec::with_capacity(nrows);
+            for _ in 0..nrows {
+                data.push(match rd.read_u8()? {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(frame_err(format!("column {col}: bad bool byte"))),
+                });
+            }
+            Column::Bool { data, nulls }
+        }
+        3 => {
+            let nulls = read_nulls(&mut rd)?;
+            let dict_len = rd.read_u32()? as usize;
+            let mut dict = Vec::with_capacity(dict_len.min(chunk.len()));
+            for _ in 0..dict_len {
+                let len = rd.read_u32()? as usize;
+                let s = std::str::from_utf8(rd.take(len)?)
+                    .map_err(|_| frame_err(format!("column {col}: dictionary not UTF-8")))?;
+                dict.push(s.to_string());
+            }
+            let mut idx = Vec::with_capacity(nrows);
+            for &null in &nulls {
+                let v = rd.read_u32()?;
+                if !null && v as usize >= dict.len() {
+                    return Err(frame_err(format!("column {col}: dictionary index {v}")));
+                }
+                idx.push(v);
+            }
+            Column::Str { dict, idx, nulls }
+        }
+        4 => {
+            let mut vals = Vec::with_capacity(nrows);
+            for _ in 0..nrows {
+                vals.push(match rd.read_u8()? {
+                    0 => Value::Null,
+                    1 => match rd.read_u8()? {
+                        0 => Value::Bool(false),
+                        1 => Value::Bool(true),
+                        _ => return Err(frame_err(format!("column {col}: bad bool byte"))),
+                    },
+                    2 => Value::Int(rd.read_u64()? as i64),
+                    3 => {
+                        let f = f64::from_bits(rd.read_u64()?);
+                        if !f.is_finite() {
+                            return Err(frame_err(format!("column {col}: non-finite float")));
+                        }
+                        Value::Float(f)
+                    }
+                    4 => {
+                        let len = rd.read_u32()? as usize;
+                        let s = std::str::from_utf8(rd.take(len)?)
+                            .map_err(|_| frame_err(format!("column {col}: string not UTF-8")))?;
+                        Value::Str(s.to_string())
+                    }
+                    _ => return Err(frame_err(format!("column {col}: bad value tag"))),
+                });
+            }
+            Column::Var(vals)
+        }
+        other => return Err(frame_err(format!("column {col}: unknown tag {other}"))),
+    };
+    if rd.pos != chunk.len() {
+        return Err(frame_err(format!("column {col}: trailing chunk bytes")));
+    }
+    Ok(parsed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row;
+
+    fn sample_rows() -> Vec<Row> {
+        vec![
+            row![1i64, "apple", 1.5f64, true],
+            Row::new(vec![
+                Value::Null,
+                Value::Str("banana".into()),
+                Value::Null,
+                Value::Bool(false),
+            ]),
+            row![3i64, "apple", -2.25f64, true],
+        ]
+    }
+
+    #[test]
+    fn round_trip_typed_columns() {
+        let rows = sample_rows();
+        let batch = ColumnBatch::from_rows(&rows).unwrap();
+        assert_eq!(batch.num_rows(), 3);
+        assert_eq!(batch.num_cols(), 4);
+        assert_eq!(batch.dict_entries(), 2, "apple stored once");
+        let frame = batch.encode_frame();
+        let back = ColumnBatch::decode_frame(&frame).unwrap();
+        assert_eq!(back.to_rows(), rows);
+    }
+
+    #[test]
+    fn mixed_column_falls_back_to_var() {
+        let rows = vec![row![1i64], row!["x"], Row::new(vec![Value::Null])];
+        let batch = ColumnBatch::from_rows(&rows).unwrap();
+        assert!(matches!(batch.columns()[0], Column::Var(_)));
+        let back = ColumnBatch::decode_frame(&batch.encode_frame()).unwrap();
+        assert_eq!(back.to_rows(), rows);
+    }
+
+    #[test]
+    fn empty_and_all_null_batches() {
+        let empty = ColumnBatch::from_rows(&[]).unwrap();
+        assert_eq!(empty.num_rows(), 0);
+        let back = ColumnBatch::decode_frame(&empty.encode_frame()).unwrap();
+        assert_eq!(back.to_rows(), Vec::<Row>::new());
+
+        let nulls = vec![Row::nulls(2), Row::nulls(2)];
+        let batch = ColumnBatch::from_rows(&nulls).unwrap();
+        let back = ColumnBatch::decode_frame(&batch.encode_frame()).unwrap();
+        assert_eq!(back.to_rows(), nulls);
+    }
+
+    #[test]
+    fn width_mismatch_rejected() {
+        let rows = vec![row![1i64], row![1i64, 2i64]];
+        assert!(matches!(
+            ColumnBatch::from_rows(&rows),
+            Err(RelError::FieldCount {
+                expected: 1,
+                found: 2
+            })
+        ));
+    }
+
+    #[test]
+    fn non_finite_floats_rejected_on_encode_and_decode() {
+        let rows = vec![row![f64::NAN]];
+        assert!(ColumnBatch::from_rows(&rows).is_err());
+
+        // Hand-build a frame whose float chunk carries NaN bits with a
+        // *correct* checksum: the type check itself must reject it.
+        let chunk: Vec<u8> = {
+            let mut c = vec![0u8]; // one non-null row
+            c.extend_from_slice(&f64::NAN.to_bits().to_le_bytes());
+            c
+        };
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&FRAME_MAGIC);
+        frame.extend_from_slice(&1u16.to_le_bytes());
+        frame.extend_from_slice(&1u32.to_le_bytes());
+        frame.push(1); // Float tag
+        frame.extend_from_slice(&(chunk.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&xxh64(&chunk, 0).to_le_bytes());
+        let header_sum = xxh64(&frame, 0);
+        frame.extend_from_slice(&header_sum.to_le_bytes());
+        frame.extend_from_slice(&chunk);
+        let err = ColumnBatch::decode_frame(&frame).unwrap_err();
+        assert!(err.to_string().contains("non-finite"));
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_detected() {
+        let rows = sample_rows();
+        let frame = ColumnBatch::from_rows(&rows).unwrap().encode_frame();
+        for byte in 0..frame.len() {
+            for bit in 0..8 {
+                let mut bad = frame.clone();
+                bad[byte] ^= 1 << bit;
+                assert!(
+                    ColumnBatch::decode_frame(&bad).is_err(),
+                    "flip of byte {byte} bit {bit} went undetected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_and_trailing_bytes_rejected() {
+        let frame = ColumnBatch::from_rows(&sample_rows())
+            .unwrap()
+            .encode_frame();
+        assert!(ColumnBatch::decode_frame(&frame[..frame.len() - 1]).is_err());
+        let mut extended = frame.clone();
+        extended.push(0);
+        assert!(ColumnBatch::decode_frame(&extended).is_err());
+    }
+
+    #[test]
+    fn filter_and_slice_cols() {
+        let rows = sample_rows();
+        let batch = ColumnBatch::from_rows(&rows).unwrap();
+        let filtered = batch.filter(&[true, false, true]);
+        assert_eq!(filtered.to_rows(), vec![rows[0].clone(), rows[2].clone()]);
+        let sliced = batch.slice_cols(1);
+        assert_eq!(sliced.num_cols(), 3);
+        assert_eq!(sliced.row(0), rows[0].project(&[1, 2, 3]));
+    }
+
+    #[test]
+    fn frames_round_trip_with_chunking() {
+        let rows: Vec<Row> = (0..10).map(|i| row![i as i64, "s"]).collect();
+        let frames = encode_frames(&rows, 4).unwrap();
+        assert_eq!(frames.len(), 3, "10 rows in frames of 4");
+        assert_eq!(decode_frames(&frames).unwrap(), rows);
+        assert!(encode_frames(&[], 4).unwrap().is_empty());
+    }
+
+    #[test]
+    fn encoding_is_canonical() {
+        // Equal rows encode to equal bytes regardless of construction
+        // order — shuffle-segment checksums depend on this.
+        let rows = sample_rows();
+        let a = ColumnBatch::from_rows(&rows).unwrap().encode_frame();
+        let b = ColumnBatch::from_rows(&rows.clone())
+            .unwrap()
+            .encode_frame();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn xxh64_known_vectors() {
+        assert_eq!(xxh64(b"", 0), 0xEF46_DB37_51D8_E999);
+        assert_eq!(xxh64(b"a", 0), 0xD24E_C4F1_A98C_6E5B);
+        assert_eq!(xxh64(b"abc", 0), 0x44BC_2CF5_AD77_0999);
+    }
+}

@@ -41,6 +41,9 @@ pub enum RelError {
     },
     /// Division by zero during expression evaluation.
     DivideByZero,
+    /// A columnar frame failed decoding or verification (bad magic,
+    /// checksum mismatch, truncation, invalid payload).
+    Frame(String),
 }
 
 impl fmt::Display for RelError {
@@ -62,6 +65,7 @@ impl fmt::Display for RelError {
                 write!(f, "expected {expected} fields, found {found}")
             }
             RelError::DivideByZero => write!(f, "division by zero"),
+            RelError::Frame(what) => write!(f, "invalid columnar frame: {what}"),
         }
     }
 }

@@ -13,6 +13,8 @@
 //!   incremental accumulators;
 //! * [`codec`] — the pipe-delimited text codec used for "raw data files" in
 //!   the simulated HDFS, mirroring TPC-H `.tbl` files;
+//! * [`colbatch`] — typed columnar batches with a checksummed binary frame
+//!   codec, the wire format of the columnar data path;
 //! * [`sort`] — sort-key comparators.
 //!
 //! The crate is dependency-free and purely computational; everything here is
@@ -20,6 +22,7 @@
 
 pub mod agg;
 pub mod codec;
+pub mod colbatch;
 pub mod error;
 pub mod expr;
 pub mod row;
@@ -28,6 +31,7 @@ pub mod sort;
 pub mod value;
 
 pub use agg::{AggFunc, AggState};
+pub use colbatch::{Column, ColumnBatch};
 pub use error::RelError;
 pub use expr::{BinOp, Expr, UnOp};
 pub use row::Row;
