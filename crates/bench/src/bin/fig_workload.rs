@@ -265,6 +265,7 @@ fn main() {
             // Trace the first level only; the merged trace of hundreds of
             // chains exists to be validated, not stored.
             trace: li == 0,
+            drain_at_s: None,
         };
         let outcome = run_workload(&mut engine.cluster, &sched, requests);
         assert_eq!(

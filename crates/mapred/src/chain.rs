@@ -15,8 +15,9 @@ use rand::{Rng, SeedableRng};
 use crate::engine::{run_job_attempt, Cluster};
 use crate::error::MapRedError;
 use crate::hash::hash_row;
+use crate::hdfs::DataFile;
 use crate::job::JobSpec;
-use crate::metrics::ChainMetrics;
+use crate::metrics::{ChainMetrics, JobMetrics};
 use crate::trace::Trace;
 
 /// A sequence of jobs executed in order; each job may read the outputs of
@@ -156,6 +157,27 @@ pub fn chain_seed(chain: &JobChain) -> u64 {
         .map_or(0, |j| hash_row(&ysmart_rel::row![j.name.as_str()]))
 }
 
+/// A journaled job completion handed back to a [`ChainSession`] on crash
+/// recovery: when the session reaches job `job_index` on attempt `attempt`,
+/// it *fast-forwards* — restores `file` to the job's output path and applies
+/// the recorded bit-exact metrics instead of re-executing. Failed attempts
+/// before `attempt` were never journaled (only commits are checkpoints), so
+/// they re-execute live with their original seeded randomness, reproducing
+/// identical burned time and backoffs — the measured wasted work of a crash.
+#[derive(Debug, Clone)]
+pub struct ReplayedJob {
+    /// Index of the job within its chain.
+    pub job_index: usize,
+    /// The attempt that committed (0 = first try).
+    pub attempt: usize,
+    /// HDFS path the job wrote (must match the chain's job output).
+    pub output_path: String,
+    /// The materialized output, restored verbatim.
+    pub file: DataFile,
+    /// The committed attempt's metrics, applied bit-identically.
+    pub metrics: JobMetrics,
+}
+
 /// What one [`ChainSession::step`] did.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ChainStep {
@@ -186,7 +208,11 @@ pub enum ChainStep {
 /// [`ChainMetrics`], the scheduling-gap RNG, and (optionally) a private
 /// trace lane that is swapped into the cluster only for the duration of a
 /// step — so interleaved chains never write into each other's timelines.
-#[derive(Debug)]
+///
+/// The session is `Clone`: a clone is a *snapshot* (checkpoint, metrics,
+/// gap-RNG state, trace lane), and stepping the clone on a cloned cluster
+/// is bit-identical to stepping the original — suspend-at-any-step resume.
+#[derive(Debug, Clone)]
 pub struct ChainSession {
     seed: u64,
     /// Next job to run — the chain's recovery checkpoint.
@@ -205,6 +231,10 @@ pub struct ChainSession {
     /// off — the scheduler's per-tenant retry-budget gate.
     deny_retries: bool,
     error: Option<MapRedError>,
+    /// Journaled completions to fast-forward through on crash recovery.
+    replay: Vec<ReplayedJob>,
+    /// Jobs fast-forwarded from the journal instead of executed.
+    replayed: usize,
 }
 
 impl ChainSession {
@@ -225,6 +255,8 @@ impl ChainSession {
             trace: None,
             deny_retries: false,
             error: None,
+            replay: Vec::new(),
+            replayed: 0,
         }
     }
 
@@ -261,6 +293,23 @@ impl ChainSession {
     /// retryable failure becomes terminal instead of backing off.
     pub fn deny_retries(&mut self, deny: bool) {
         self.deny_retries = deny;
+    }
+
+    /// Hands the session journaled completions to fast-forward through —
+    /// crash recovery. Steps whose `(job_index, attempt)` match a replayed
+    /// job skip execution and apply the recorded output + metrics; all other
+    /// steps (failed attempts included) re-execute live. Scheduling-gap
+    /// draws happen on every step either way, so the gap RNG stays on the
+    /// original stream and post-recovery randomness is bit-identical.
+    pub fn set_replay(&mut self, jobs: Vec<ReplayedJob>) {
+        self.replay = jobs;
+    }
+
+    /// Jobs fast-forwarded from the journal instead of executed — the saved
+    /// work of crash recovery (its complement is the wasted work).
+    #[must_use]
+    pub fn replayed_jobs(&self) -> usize {
+        self.replayed
     }
 
     /// Marks the session failed with `error` without running anything —
@@ -360,7 +409,35 @@ impl ChainSession {
             }
             tr.set_cursor(self.elapsed + delay);
         }
-        match run_job_attempt(cluster, job, self.attempt) {
+        // Crash recovery fast path: a journaled commit for exactly this
+        // (job, attempt) replaces execution — restore the materialized
+        // output and the recorded metrics. The path check guards against a
+        // journal from a different workload; on mismatch the job simply
+        // runs live (correct, just not saved work).
+        let replayed = self
+            .replay
+            .iter()
+            .position(|r| {
+                r.job_index == self.i && r.attempt == self.attempt && r.output_path == job.output
+            })
+            .map(|at| self.replay.remove(at));
+        let attempt_result = match replayed {
+            Some(rj) => {
+                cluster.hdfs.put_data(&job.output, rj.file);
+                self.replayed += 1;
+                if let Some(tr) = cluster.trace_mut() {
+                    tr.chain_span(
+                        "replay",
+                        format!("replayed {} from journal", job.name),
+                        self.elapsed + delay,
+                        rj.metrics.total_s() - rj.metrics.startup_delay_s,
+                    );
+                }
+                Ok(rj.metrics)
+            }
+            None => run_job_attempt(cluster, job, self.attempt),
+        };
+        match attempt_result {
             Ok(mut m) => {
                 m.startup_delay_s = delay;
                 self.elapsed += m.total_s();

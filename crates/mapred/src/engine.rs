@@ -82,7 +82,7 @@ const FETCH_RETRY_BACKOFF_S: f64 = 1.0;
 const CHECKSUM_CPU_S_PER_GB: f64 = 0.5;
 
 /// The simulated cluster: a global file system plus the cost model.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Cluster {
     /// The global file system.
     pub hdfs: Hdfs,

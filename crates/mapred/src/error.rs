@@ -104,6 +104,23 @@ pub enum MapRedError {
         /// Retries the tenant was allowed across all of its chains.
         budget: usize,
     },
+    /// The scheduler is draining for a graceful shutdown: admission is
+    /// closed, in-flight chains run to completion, and new or still-queued
+    /// queries are shed with this typed error (distinct from
+    /// [`MapRedError::QueueFull`] — the queue may be empty; the *service*
+    /// is going away). Resubmit after the restart; nothing ran.
+    Draining,
+    /// The workload journal holds a record that is neither valid nor a torn
+    /// tail: a checksum mismatch or undecodable payload *followed by more
+    /// data*. A torn tail (an interrupted final append) is silently
+    /// truncated and recovered instead; this error means at-rest journal
+    /// corruption that recovery refuses to guess across.
+    JournalCorrupt {
+        /// Byte offset of the bad record.
+        offset: usize,
+        /// What was wrong with it.
+        reason: String,
+    },
 }
 
 impl fmt::Display for MapRedError {
@@ -158,6 +175,12 @@ impl fmt::Display for MapRedError {
                 f,
                 "tenant {tenant}: retry budget of {budget} exhausted, chain failed fast"
             ),
+            MapRedError::Draining => {
+                write!(f, "service draining: admission closed, query shed")
+            }
+            MapRedError::JournalCorrupt { offset, reason } => {
+                write!(f, "workload journal corrupt at byte {offset}: {reason}")
+            }
         }
     }
 }
@@ -207,6 +230,11 @@ mod tests {
             MapRedError::RetryBudgetExhausted {
                 tenant: "t2".into(),
                 budget: 8,
+            },
+            MapRedError::Draining,
+            MapRedError::JournalCorrupt {
+                offset: 96,
+                reason: "checksum mismatch".into(),
             },
         ] {
             assert!(!e.to_string().is_empty());

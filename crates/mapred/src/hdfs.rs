@@ -93,6 +93,12 @@ impl Hdfs {
         );
     }
 
+    /// Stores a pre-built [`DataFile`] — crash recovery restoring a
+    /// journaled job output, in whichever format the job wrote it.
+    pub fn put_data(&mut self, path: &str, file: DataFile) {
+        self.files.insert(path.to_string(), file);
+    }
+
     /// Reads a file.
     ///
     /// # Errors

@@ -47,7 +47,15 @@
 //!   pool with bounded admission queues, per-query deadlines with clean
 //!   cancellation, weighted fair-share slot allocation and per-tenant retry
 //!   budgets — the production contention setting of §VII-F, as a
-//!   deterministic discrete-event simulation.
+//!   deterministic discrete-event simulation;
+//! * the workload is crash-safe: a checksummed append-only [`journal`]
+//!   records admissions, per-job commits (with materialized outputs) and
+//!   terminal dispositions, so a restarted process replays the workload
+//!   deterministically ([`scheduler::run_workload_recovered`]),
+//!   fast-forwarding journaled jobs and re-executing only work past the
+//!   last checkpoint — results and metrics bit-identical to an
+//!   uninterrupted run. A drain mode sheds new and queued work with typed
+//!   [`MapRedError::Draining`] for graceful shutdown.
 
 pub mod chain;
 pub mod config;
@@ -56,13 +64,15 @@ pub mod error;
 pub mod hash;
 pub mod hdfs;
 pub mod job;
+pub mod journal;
 pub mod metrics;
 pub mod norm;
 pub mod scheduler;
 pub mod trace;
 
 pub use chain::{
-    chain_seed, retryable, run_chain, ChainFailure, ChainOutcome, ChainSession, ChainStep, JobChain,
+    chain_seed, retryable, run_chain, ChainFailure, ChainOutcome, ChainSession, ChainStep,
+    JobChain, ReplayedJob,
 };
 pub use config::{
     BlacklistPolicy, ClusterConfig, Compression, ContentionModel, CorruptionModel, DataFormat,
@@ -75,10 +85,11 @@ pub use job::{
     Combiner, JobInput, JobSpec, MapOutput, Mapper, MapperFactory, ReduceEmit, ReduceOutput,
     Reducer, ReducerFactory,
 };
+pub use journal::{recover, DispositionKind, Journal, JournalRecord, Recovered, JOURNAL_MAGIC};
 pub use metrics::{ChainMetrics, JobMetrics};
 pub use scheduler::{
-    run_workload, Disposition, QueryReport, QueryRequest, SchedulerConfig, TenantSpec,
-    WorkloadReport,
+    run_workload, run_workload_journaled, run_workload_recovered, Disposition, QueryReport,
+    QueryRequest, RecoveryStats, SchedulerConfig, TenantSpec, WorkloadReport,
 };
 pub use trace::{validate_chrome_trace, ArgValue, Trace, TraceEvent, TraceStats};
 

@@ -31,13 +31,31 @@
 //! stable index tie-breaks, and a given (cluster seed, request list) always
 //! produces the identical report — across `exec_threads` settings too,
 //! because each job attempt is itself thread-invariant.
+//!
+//! Two lifecycle features ride on that determinism:
+//!
+//! * **Drain.** [`SchedulerConfig::drain_at_s`] closes admission at a
+//!   workload instant for graceful shutdown: arrivals at or after it are
+//!   shed with typed [`MapRedError::Draining`], every queued-but-unstarted
+//!   query is shed at exactly the drain instant, and in-flight chains run
+//!   to completion.
+//! * **Crash recovery.** [`run_workload_journaled`] appends every job
+//!   commit and terminal disposition to a [`Journal`];
+//!   [`run_workload_recovered`] re-runs the *same* request list with the
+//!   journal's records, fast-forwarding journaled commits (restoring their
+//!   materialized outputs) and re-executing only work past the last
+//!   checkpoint. Because the whole simulation is deterministic, the
+//!   recovered run's reports, metrics and results are bit-identical to an
+//!   uninterrupted run — the journal changes what is *executed*, never
+//!   what is *computed*.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeSet, VecDeque};
 
-use crate::chain::{retryable, ChainSession, ChainStep, JobChain};
+use crate::chain::{retryable, ChainSession, ChainStep, JobChain, ReplayedJob};
 use crate::config::ContentionModel;
 use crate::engine::Cluster;
 use crate::error::MapRedError;
+use crate::journal::{DispositionKind, Journal, JournalRecord};
 use crate::metrics::ChainMetrics;
 use crate::trace::Trace;
 
@@ -92,6 +110,13 @@ pub struct SchedulerConfig {
     /// queue/admit/shed/cancel events plus every chain's own lanes,
     /// shifted to workload-absolute time.
     pub trace: bool,
+    /// Graceful-drain instant on the workload clock: at and after this
+    /// time admission is closed — new arrivals and every
+    /// queued-but-unstarted query are shed with typed
+    /// [`MapRedError::Draining`] (the queue may be far from full; the
+    /// *service* is going away), while in-flight chains run to completion.
+    /// `None` = never drain.
+    pub drain_at_s: Option<f64>,
 }
 
 /// One query submitted to the scheduler.
@@ -235,6 +260,78 @@ pub fn run_workload(
     config: &SchedulerConfig,
     requests: Vec<QueryRequest>,
 ) -> WorkloadReport {
+    run_workload_inner(cluster, config, requests, None, &[]).0
+}
+
+/// [`run_workload`] with a crash-safety [`Journal`]: every job commit
+/// (with its materialized output) and every terminal disposition is
+/// appended as it happens in simulated time, so the journal's byte stream
+/// at any instant is a recovery point for [`run_workload_recovered`].
+///
+/// The journal is only appended to, never flushed — callers own the flush
+/// cadence (the service flushes after every scheduler interaction;
+/// in-memory journals need none).
+///
+/// # Panics
+///
+/// As [`run_workload`].
+#[must_use]
+pub fn run_workload_journaled(
+    cluster: &mut Cluster,
+    config: &SchedulerConfig,
+    requests: Vec<QueryRequest>,
+    journal: &mut Journal,
+) -> WorkloadReport {
+    run_workload_inner(cluster, config, requests, Some(journal), &[]).0
+}
+
+/// What crash recovery saved and redid.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Jobs fast-forwarded from journaled checkpoints — output restored,
+    /// recorded metrics applied, nothing executed.
+    pub jobs_replayed: usize,
+    /// Jobs committed by live execution — work past the last journaled
+    /// checkpoint (for a first run with no journal, all of them).
+    pub jobs_executed: usize,
+    /// Requests whose terminal disposition was already journaled before
+    /// the crash. Their reports are re-derived identically by the replay;
+    /// the service uses this to suppress duplicate responses.
+    pub already_done: usize,
+}
+
+/// Re-runs a workload from a recovered journal: pass the *same* request
+/// list as the interrupted run (chains hold closures, so the caller — e.g.
+/// the service re-translating journaled SQL — reconstructs them) plus the
+/// records [`crate::journal::recover`] salvaged. Journaled job commits
+/// fast-forward instead of executing; everything else (scheduling gaps,
+/// failed attempts, backoffs, admission decisions) re-executes with its
+/// original seeded randomness, so the returned report is bit-identical to
+/// the uninterrupted run's. Pass a fresh `journal` to make the recovered
+/// run itself crash-safe again (the replay re-journals fast-forwarded
+/// commits into the new epoch).
+///
+/// # Panics
+///
+/// As [`run_workload`].
+#[must_use]
+pub fn run_workload_recovered(
+    cluster: &mut Cluster,
+    config: &SchedulerConfig,
+    requests: Vec<QueryRequest>,
+    recovered: &[JournalRecord],
+    journal: Option<&mut Journal>,
+) -> (WorkloadReport, RecoveryStats) {
+    run_workload_inner(cluster, config, requests, journal, recovered)
+}
+
+fn run_workload_inner(
+    cluster: &mut Cluster,
+    config: &SchedulerConfig,
+    requests: Vec<QueryRequest>,
+    journal: Option<&mut Journal>,
+    recovered: &[JournalRecord],
+) -> (WorkloadReport, RecoveryStats) {
     assert!(config.max_running > 0, "scheduler needs at least one slot");
     assert!(
         config.tenants.iter().all(|t| t.weight > 0),
@@ -246,6 +343,37 @@ pub fn run_workload(
             "duplicate tenant name {:?}",
             t.name
         );
+    }
+
+    // Route the recovered journal's records: per-request fast-forward
+    // plans from job commits, plus the set of already-terminal requests.
+    let mut replay: Vec<Vec<ReplayedJob>> = requests.iter().map(|_| Vec::new()).collect();
+    let mut done_ids: BTreeSet<u64> = BTreeSet::new();
+    for rec in recovered {
+        match rec {
+            JournalRecord::JobDone {
+                id,
+                job_index,
+                attempt,
+                output_path,
+                file,
+                metrics,
+            } => {
+                if let Some(plan) = replay.get_mut(*id as usize) {
+                    plan.push(ReplayedJob {
+                        job_index: *job_index as usize,
+                        attempt: *attempt as usize,
+                        output_path: output_path.clone(),
+                        file: file.clone(),
+                        metrics: metrics.as_ref().clone(),
+                    });
+                }
+            }
+            JournalRecord::Done { id, .. } => {
+                done_ids.insert(*id);
+            }
+            JournalRecord::Admitted { .. } => {}
+        }
     }
 
     let mut sched = Scheduler {
@@ -261,6 +389,13 @@ pub fn run_workload(
         running: Vec::new(),
         reports: Vec::new(),
         requests,
+        journal,
+        replay,
+        drained: false,
+        stats: RecoveryStats {
+            already_done: done_ids.len(),
+            ..RecoveryStats::default()
+        },
     };
 
     // Arrivals sorted by (submit time, request index); the index tie-break
@@ -287,6 +422,21 @@ pub fn run_workload(
             let t = sched.requests[idx].submit_s;
             (idx, t)
         });
+        // The drain instant beats completions and arrivals on time ties:
+        // a slot freed exactly at the drain admits nothing, and a query
+        // arriving exactly at the drain is shed. (It only needs to fire
+        // while other events remain — draining an idle scheduler is a
+        // no-op.)
+        if let Some(td) = config.drain_at_s.filter(|_| !sched.drained) {
+            let pending = completion.is_some() || arrival.is_some();
+            if pending
+                && completion.is_none_or(|(_, tc)| td <= tc)
+                && arrival.is_none_or(|(_, ta)| td <= ta)
+            {
+                sched.drain_queues(td);
+                continue;
+            }
+        }
         match (completion, arrival) {
             (None, None) => break,
             // Completions beat arrivals on time ties: a slot freed at t is
@@ -308,13 +458,17 @@ pub fn run_workload(
     let Scheduler {
         mut reports,
         master,
+        stats,
         ..
     } = sched;
     reports.sort_by_key(|r| r.index);
-    WorkloadReport {
-        reports,
-        trace: master,
-    }
+    (
+        WorkloadReport {
+            reports,
+            trace: master,
+        },
+        stats,
+    )
 }
 
 struct Scheduler<'a> {
@@ -326,11 +480,83 @@ struct Scheduler<'a> {
     running: Vec<Running>,
     reports: Vec<QueryReport>,
     requests: Vec<QueryRequest>,
+    /// Crash-safety WAL, when the caller wants one.
+    journal: Option<&'a mut Journal>,
+    /// Per-request fast-forward plans from a recovered journal.
+    replay: Vec<Vec<ReplayedJob>>,
+    /// Whether the drain instant has fired.
+    drained: bool,
+    stats: RecoveryStats,
 }
 
 impl Scheduler<'_> {
     fn tenant_index(&self, name: &str) -> Option<usize> {
         self.config.tenants.iter().position(|t| t.name == name)
+    }
+
+    fn journal_done(&mut self, idx: usize, kind: DispositionKind, done_s: f64) {
+        if let Some(j) = self.journal.as_deref_mut() {
+            j.append(&JournalRecord::Done {
+                id: idx as u64,
+                kind,
+                done_s,
+            });
+        }
+    }
+
+    /// Journals the job the in-flight step of `running[slot]` committed —
+    /// called when the step's event is *applied* at its simulated time, so
+    /// the journal's record order is the simulated commit order (a
+    /// deadline-crossing step is discarded, never journaled).
+    fn journal_commit(&mut self, cluster: &Cluster, slot: usize) {
+        if self.journal.is_none() {
+            return;
+        }
+        let run = &self.running[slot];
+        let done = run.session.jobs_done();
+        let job = &self.requests[run.idx].chain.jobs[done - 1];
+        let metrics = run.session.metrics().jobs[done - 1].clone();
+        // The output must exist — the committed job just wrote it. An
+        // empty-file default would only arise from a job spec writing
+        // nowhere, in which case replaying an empty file is still exact.
+        let file = cluster.hdfs.get(&job.output).cloned().unwrap_or_default();
+        let rec = JournalRecord::JobDone {
+            id: run.idx as u64,
+            job_index: (done - 1) as u32,
+            attempt: metrics.attempt as u32,
+            output_path: job.output.clone(),
+            file,
+            metrics: Box::new(metrics),
+        };
+        self.journal
+            .as_deref_mut()
+            .expect("checked above")
+            .append(&rec);
+    }
+
+    /// Folds a finished session's replay/execution split into the stats.
+    fn account(&mut self, session: &ChainSession) {
+        let replayed = session.replayed_jobs();
+        self.stats.jobs_replayed += replayed;
+        self.stats.jobs_executed += session.metrics().jobs.len() - replayed;
+    }
+
+    /// The drain instant: close admission and shed every queued-but-
+    /// unstarted query with typed [`MapRedError::Draining`], all at
+    /// exactly `now`. Tenant order then FIFO order — deterministic.
+    fn drain_queues(&mut self, now: f64) {
+        self.drained = true;
+        if let Some(tr) = self.master.as_mut() {
+            tr.chain_instant("drain", "admission closed (drain)".to_string(), now);
+        }
+        let queued: Vec<usize> = self
+            .queues
+            .iter_mut()
+            .flat_map(|q| q.drain(..).map(|w| w.idx))
+            .collect();
+        for idx in queued {
+            self.shed(idx, now, MapRedError::Draining);
+        }
     }
 
     /// Absolute deadline of request `idx` on the workload clock.
@@ -353,10 +579,17 @@ impl Scheduler<'_> {
             done_s: now,
             disposition: Disposition::Shed(error),
         });
+        self.journal_done(idx, DispositionKind::Shed, now);
     }
 
     /// Handles one arrival: admission checks, enqueue, admission pass.
     fn arrive(&mut self, cluster: &mut Cluster, idx: usize, now: f64) {
+        // Admission is closed while draining — before any other check: the
+        // whole service is going away, not just this tenant's queue.
+        if self.drained || self.config.drain_at_s.is_some_and(|td| now >= td) {
+            self.shed(idx, now, MapRedError::Draining);
+            return;
+        }
         let tenant_name = self.requests[idx].tenant.clone();
         let Some(t) = self.tenant_index(&tenant_name) else {
             self.shed(
@@ -458,6 +691,7 @@ impl Scheduler<'_> {
                 trace: None,
             }),
         });
+        self.journal_done(idx, DispositionKind::DeadlineCancelled, deadline_s);
     }
 
     fn admit(&mut self, cluster: &mut Cluster, w: Waiting, now: f64) {
@@ -482,6 +716,7 @@ impl Scheduler<'_> {
         } else {
             ChainSession::new(r.seed)
         };
+        session.set_replay(std::mem::take(&mut self.replay[idx]));
         if self.budget_left[tenant] == 0 {
             session.deny_retries(true);
         }
@@ -571,6 +806,11 @@ impl Scheduler<'_> {
     fn complete_step(&mut self, cluster: &mut Cluster, slot: usize) {
         let now = self.running[slot].event_s;
         let pending = self.running[slot].pending.take();
+        // A step that committed a job is journaled as its event is applied
+        // — the journal's record order is the simulated commit order.
+        if matches!(pending, Some(ChainStep::Advanced | ChainStep::Finished)) {
+            self.journal_commit(cluster, slot);
+        }
         match pending {
             Some(ChainStep::Advanced | ChainStep::Backoff { .. }) => {
                 let mut run = self.running.swap_remove(slot);
@@ -596,6 +836,8 @@ impl Scheduler<'_> {
     }
 
     fn finish(&mut self, mut run: Running, now: f64) {
+        self.account(&run.session);
+        self.journal_done(run.idx, DispositionKind::Completed, now);
         let r = &self.requests[run.idx];
         if let (Some(master), Some(mut lane)) = (self.master.as_mut(), run.session.take_trace()) {
             lane.shift_s(run.admitted_s);
@@ -625,6 +867,8 @@ impl Scheduler<'_> {
     }
 
     fn fail(&mut self, cluster: &mut Cluster, mut run: Running, now: f64) {
+        self.account(&run.session);
+        self.journal_done(run.idx, DispositionKind::Failed, now);
         let tenant = run.tenant;
         let budget = self.config.tenants[tenant].retry_budget;
         let deny = self.budget_left[tenant] == 0 && budget > 0;
@@ -658,7 +902,9 @@ impl Scheduler<'_> {
     /// deadline-truncated share of the in-flight step charged as burned
     /// failed-attempt time.
     fn cancel_running(&mut self, cluster: &mut Cluster, mut run: Running) {
+        self.account(&run.session);
         let deadline_s = run.deadline_s.expect("cancelled chain has a deadline");
+        self.journal_done(run.idx, DispositionKind::DeadlineCancelled, deadline_s);
         let mut metrics = run.snapshot.clone();
         metrics.failed_attempt_s += deadline_s - run.step_start_s;
         let lane = self.harvest_lane(&mut run);

@@ -94,6 +94,7 @@ fn two_tenants(max_running: usize) -> SchedulerConfig {
             TenantSpec::new("beta", 4, 16),
         ],
         trace: false,
+        drain_at_s: None,
     }
 }
 
@@ -304,6 +305,7 @@ fn full_queues_shed_with_typed_errors_and_nothing_hangs() {
         max_running: 1,
         tenants: vec![TenantSpec::new("alpha", 1, 8)],
         trace: false,
+        drain_at_s: None,
     };
     let requests = vec![
         request("alpha", "r0", 2, 1, 0.0),
@@ -370,6 +372,7 @@ fn retry_budget_exhaustion_fails_fast_with_partial_metrics() {
             max_running: 1,
             tenants: vec![TenantSpec::new("alpha", 4, budget)],
             trace: false,
+            drain_at_s: None,
         };
         run_workload(
             &mut cluster,
@@ -423,6 +426,7 @@ fn weighted_fair_share_favours_the_heavier_tenant() {
             TenantSpec::new("light", 4, 8),
         ],
         trace: false,
+        drain_at_s: None,
     };
     let requests = vec![
         request("heavy", "h", 2, 1, 0.0),
@@ -452,6 +456,7 @@ fn scheduler_trace_records_queue_admit_shed_and_cancel_lanes() {
         max_running: 1,
         tenants: vec![TenantSpec::new("alpha", 1, 8)],
         trace: true,
+        drain_at_s: None,
     };
     let mut cancelled = request("alpha", "doomed", 3, 2, 1.0);
     cancelled.deadline_s = Some(5.0);
@@ -504,4 +509,129 @@ fn session_api_steps_match_run_chain() {
     let outcome = session.into_outcome();
     assert_eq!(outcome.metrics, expected.metrics);
     assert_eq!(outcome.final_output, expected.final_output);
+}
+
+#[test]
+fn drain_sheds_queued_queries_with_typed_draining() {
+    // One slot, three queries at t=0: q0 admits, q1/q2 queue. Draining
+    // mid-q0 must shed the queued queries with the typed `Draining` error
+    // (the queue is nowhere near full — `QueueFull` would be a lie) at
+    // exactly the drain instant, while the in-flight chain runs to
+    // completion untouched.
+    let mut solo_cluster = Cluster::new(ClusterConfig {
+        size_multiplier: 50_000.0,
+        ..ClusterConfig::default()
+    });
+    load(&mut solo_cluster);
+    let solo = run_chain(&mut solo_cluster, &chain("q0", 2)).expect("solo chain");
+    let drain_at = solo.metrics.total_s() * 0.5;
+
+    let mut cluster = Cluster::new(ClusterConfig {
+        size_multiplier: 50_000.0,
+        ..ClusterConfig::default()
+    });
+    load(&mut cluster);
+    let mut config = two_tenants(1);
+    config.drain_at_s = Some(drain_at);
+    let report = run_workload(
+        &mut cluster,
+        &config,
+        vec![
+            request("alpha", "q0", 2, 1, 0.0),
+            request("alpha", "q1", 1, 2, 0.0),
+            request("beta", "q2", 1, 3, 0.0),
+        ],
+    );
+    let [a, b, c] = &report.reports[..] else {
+        panic!("three reports expected");
+    };
+
+    // In-flight work drains to completion, bit-identical to a solo run.
+    let Disposition::Completed(out) = &a.disposition else {
+        panic!("in-flight chain must complete, got {:?}", a.disposition);
+    };
+    assert_eq!(out.metrics, solo.metrics);
+
+    // Queued-but-unstarted queries get the deterministic drain disposition.
+    for (r, name) in [(b, "q1"), (c, "q2")] {
+        assert!(
+            matches!(&r.disposition, Disposition::Shed(MapRedError::Draining)),
+            "{name}: expected Draining shed, got {:?}",
+            r.disposition
+        );
+        assert!(r.admitted_s.is_none(), "{name} must never have run");
+        assert!(
+            (r.done_s - drain_at).abs() < 1e-9,
+            "{name} must be shed at the drain instant, got {}",
+            r.done_s
+        );
+    }
+}
+
+#[test]
+fn arrivals_at_or_after_the_drain_instant_are_shed() {
+    // Admission closes at the drain instant: a query arriving later is
+    // shed with `Draining` immediately at its own submit time — before
+    // any queue-capacity or tenant check.
+    let mut cluster = Cluster::new(ClusterConfig::default());
+    load(&mut cluster);
+    let mut config = two_tenants(2);
+    config.drain_at_s = Some(5.0);
+    let report = run_workload(
+        &mut cluster,
+        &config,
+        vec![
+            request("alpha", "early", 1, 1, 0.0),
+            request("beta", "late", 1, 2, 9.0),
+        ],
+    );
+    let [early, late] = &report.reports[..] else {
+        panic!("two reports expected");
+    };
+    assert!(
+        matches!(early.disposition, Disposition::Completed(_)),
+        "pre-drain arrival must run, got {:?}",
+        early.disposition
+    );
+    assert!(
+        matches!(late.disposition, Disposition::Shed(MapRedError::Draining)),
+        "post-drain arrival must be shed, got {:?}",
+        late.disposition
+    );
+    assert!((late.done_s - 9.0).abs() < 1e-9, "shed at its submit time");
+}
+
+#[test]
+fn draining_is_distinct_from_queue_full() {
+    // The two shed reasons must stay distinguishable: a full queue without
+    // drain sheds `QueueFull`; drain sheds `Draining`.
+    let mut cluster = Cluster::new(ClusterConfig {
+        size_multiplier: 50_000.0,
+        ..ClusterConfig::default()
+    });
+    load(&mut cluster);
+    let mut config = two_tenants(1);
+    config.tenants[0].queue_capacity = 1;
+    let requests: Vec<QueryRequest> = (0..4)
+        .map(|i| request("alpha", &format!("q{i}"), 2, i as u64, 0.0))
+        .collect();
+    let report = run_workload(&mut cluster, &config, requests);
+    let full: Vec<bool> = report
+        .reports
+        .iter()
+        .map(|r| {
+            matches!(
+                &r.disposition,
+                Disposition::Shed(MapRedError::QueueFull { .. })
+            )
+        })
+        .collect();
+    assert_eq!(full, [false, false, true, true], "overflow sheds QueueFull");
+    assert!(
+        !report
+            .reports
+            .iter()
+            .any(|r| matches!(&r.disposition, Disposition::Shed(MapRedError::Draining))),
+        "no drain was requested"
+    );
 }

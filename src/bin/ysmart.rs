@@ -4,6 +4,7 @@
 //! ```text
 //! ysmart --catalog schema.sql --data DIR [options] "SELECT ..."
 //! ysmart --demo [options] ["SELECT ..."]
+//! ysmart serve (--demo | --catalog FILE --data DIR) [options]
 //!
 //!   --catalog FILE     CREATE TABLE statements describing the base tables
 //!   --data DIR         directory with one pipe-delimited FILE <table>.tbl
@@ -15,8 +16,15 @@
 //!   --target-gb N      simulate this data volume (default: actual size)
 //!   --explain          print the job pipeline instead of executing
 //!   --plan             also print the logical plan and correlation report
+//!
+//! serve options:
+//!   --journal FILE     durable workload journal; a restarted service
+//!                      recovers any interrupted workload from it
+//!   --requests FILE    read protocol lines from FILE instead of stdin
+//!   --trace-dir DIR    export a Chrome trace per !run as the trace handle
 //! ```
 
+use std::io::{BufReader, Write};
 use std::process::ExitCode;
 
 use ysmart::core::{Strategy, YSmart};
@@ -24,6 +32,7 @@ use ysmart::datagen::{ClicksGen, ClicksSpec};
 use ysmart::mapred::ClusterConfig;
 use ysmart::plan::{analyze, Catalog};
 use ysmart::rel::codec::encode_line;
+use ysmart::serve::{serve_loop, ServeOptions, Service};
 
 struct Args {
     catalog: Option<String>,
@@ -34,6 +43,10 @@ struct Args {
     target_gb: Option<f64>,
     explain: bool,
     plan: bool,
+    serve: bool,
+    journal: Option<String>,
+    requests: Option<String>,
+    trace_dir: Option<String>,
     sql: Option<String>,
 }
 
@@ -47,11 +60,19 @@ fn parse_args() -> Result<Args, String> {
         target_gb: None,
         explain: false,
         plan: false,
+        serve: false,
+        journal: None,
+        requests: None,
+        trace_dir: None,
         sql: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
+            "serve" if !args.serve && args.sql.is_none() => args.serve = true,
+            "--journal" => args.journal = Some(it.next().ok_or("--journal needs a file")?),
+            "--requests" => args.requests = Some(it.next().ok_or("--requests needs a file")?),
+            "--trace-dir" => args.trace_dir = Some(it.next().ok_or("--trace-dir needs a dir")?),
             "--catalog" => args.catalog = Some(it.next().ok_or("--catalog needs a file")?),
             "--data" => args.data = Some(it.next().ok_or("--data needs a directory")?),
             "--demo" => args.demo = true,
@@ -101,7 +122,9 @@ fn usage() {
         "usage: ysmart (--demo | --catalog schema.sql --data DIR) \\\n\
          \u{20}        [--strategy hive|pig|ysmart-no-jfc|ysmart|hand-coded] \\\n\
          \u{20}        [--cluster local|ec2:<n>|facebook] [--target-gb N] \\\n\
-         \u{20}        [--explain] [--plan] \"SELECT ...\""
+         \u{20}        [--explain] [--plan] \"SELECT ...\"\n\
+         \u{20}  ysmart serve (--demo | --catalog schema.sql --data DIR) \\\n\
+         \u{20}        [--journal FILE] [--requests FILE] [--trace-dir DIR]"
     );
 }
 
@@ -155,13 +178,7 @@ fn run() -> Result<(), String> {
         (catalog, tables)
     };
 
-    let sql = match args.sql {
-        Some(s) => s,
-        None if args.demo => "SELECT cid, count(*) AS clicks FROM clicks GROUP BY cid".to_string(),
-        None => return Err("no SQL query given".into()),
-    };
-
-    let mut engine = YSmart::new(catalog, args.cluster);
+    let mut engine = YSmart::new(catalog, args.cluster.clone());
     for (name, lines) in tables {
         engine.load_table_lines(&name, lines);
     }
@@ -169,6 +186,16 @@ fn run() -> Result<(), String> {
         let real = engine.cluster.hdfs.total_bytes().max(1);
         engine.cluster.config.size_multiplier = gb * 1e9 / real as f64;
     }
+
+    if args.serve {
+        return run_serve(engine, &args);
+    }
+
+    let sql = match args.sql {
+        Some(s) => s,
+        None if args.demo => "SELECT cid, count(*) AS clicks FROM clicks GROUP BY cid".to_string(),
+        None => return Err("no SQL query given".into()),
+    };
 
     // ---- plan / correlations -------------------------------------------
     if args.plan {
@@ -220,4 +247,32 @@ fn run() -> Result<(), String> {
         outcome.rows.len()
     );
     Ok(())
+}
+
+/// `ysmart serve`: open (recovering any interrupted workload), deliver the
+/// recovery responses, then drive the line protocol from stdin or the
+/// request file until `!quit` or end of input.
+fn run_serve(engine: YSmart, args: &Args) -> Result<(), String> {
+    let mut options = ServeOptions::new(args.strategy);
+    options.journal_path = args.journal.clone().map(Into::into);
+    options.trace_dir = args.trace_dir.clone().map(Into::into);
+
+    let (mut service, recovery) =
+        Service::open(engine, options).map_err(|e| format!("serve: {e}"))?;
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    for resp in recovery {
+        out.write_all(resp.render().as_bytes())
+            .map_err(|e| e.to_string())?;
+    }
+    out.flush().map_err(|e| e.to_string())?;
+
+    let result = match &args.requests {
+        Some(path) => {
+            let file = std::fs::File::open(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            serve_loop(&mut service, BufReader::new(file), &mut out)
+        }
+        None => serve_loop(&mut service, std::io::stdin().lock(), &mut out),
+    };
+    result.map_err(|e| e.to_string())
 }

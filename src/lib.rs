@@ -14,6 +14,10 @@
 //! * [`datagen`] — seeded TPC-H-shaped and click-stream data generators;
 //! * [`queries`] — the paper's workload queries and the relational oracle.
 //!
+//! It also hosts [`serve`], the crash-safe query-service front-end behind
+//! `ysmart serve`: a line protocol over the engine with a durable workload
+//! journal, deterministic crash recovery and graceful drain.
+//!
 //! ## Quickstart
 //!
 //! See `examples/quickstart.rs`; in short:
@@ -23,6 +27,8 @@
 //! engine.load_table("lineitem", rows);
 //! let outcome = engine.execute_sql(sql, Strategy::YSmart)?;
 //! ```
+
+pub mod serve;
 
 pub use ysmart_core as core;
 pub use ysmart_datagen as datagen;
