@@ -193,15 +193,59 @@ impl YSmart {
     /// multi-tenant scheduler) rather than going through
     /// [`YSmart::execute_translation`].
     ///
+    /// Each job also gets its cross-query *reuse fingerprint* when one can
+    /// be soundly computed: the blueprint's structural fingerprint (operator
+    /// tree, schemas, expressions — names and paths excluded) chained with
+    /// the identity of every input, where an intermediate produced by an
+    /// earlier job of this same translation contributes its producer's
+    /// fingerprint and a loaded base table contributes the content checksum
+    /// of its current bytes in HDFS. Inputs that are neither — a `tmp/` path
+    /// from outside this translation, or a table not yet loaded — opt the
+    /// job (and transitively its consumers) out with `fingerprint: None`,
+    /// because binding a fingerprint to bytes the job will not actually read
+    /// would poison the reuse cache.
+    ///
     /// # Errors
     ///
     /// Blueprint-to-jobspec materialisation failures.
     pub fn chain_for(&self, translation: &Translation) -> Result<JobChain, CoreError> {
         let mut chain = JobChain::new();
+        let mut produced: std::collections::BTreeMap<&str, u64> = std::collections::BTreeMap::new();
         for bp in &translation.blueprints {
-            chain.push(bp.to_jobspec()?);
+            let mut spec = bp.to_jobspec()?;
+            if let Some(fp) = self.job_fingerprint(bp, &produced) {
+                produced.insert(bp.output.as_str(), fp);
+                spec.fingerprint = Some(fp);
+            }
+            chain.push(spec);
         }
         Ok(chain)
+    }
+
+    /// The full reuse fingerprint of one blueprint, or `None` when any
+    /// input's identity cannot be established (see [`YSmart::chain_for`]).
+    /// The data format is mixed in because it changes the output bytes a
+    /// cache hit would restore.
+    fn job_fingerprint(
+        &self,
+        bp: &ysmart_exec::JobBlueprint,
+        produced: &std::collections::BTreeMap<&str, u64>,
+    ) -> Option<u64> {
+        const MIX: u64 = 0x9E37_79B9_7F4A_7C15;
+        let format = format!("{:?}", self.cluster.config.data_format);
+        let mut fp =
+            bp.structural_fingerprint() ^ ysmart_mapred::hash::checksum_bytes(format.as_bytes());
+        for input in &bp.inputs {
+            let id = if let Some(&producer) = produced.get(input.path.as_str()) {
+                producer
+            } else if input.path.starts_with("data/") {
+                ysmart_mapred::file_checksum(self.cluster.hdfs.get(&input.path).ok()?)
+            } else {
+                return None;
+            };
+            fp = fp.wrapping_mul(MIX) ^ id;
+        }
+        Some(fp)
     }
 
     /// Decodes a translation's output rows from HDFS — the read-back half
@@ -552,6 +596,41 @@ mod tests {
         for (t, c) in text.queries.iter().zip(&col.queries) {
             assert_eq!(sorted(&t.0), sorted(&c.0));
         }
+    }
+
+    #[test]
+    fn chain_fingerprints_stable_across_tags_and_sensitive_to_data() {
+        let sql = "SELECT cid, count(*) FROM clicks GROUP BY cid";
+        let mut e = engine();
+        let t1 = e.translate_tagged(sql, Strategy::YSmart, "tag-a").unwrap();
+        let t2 = e.translate_tagged(sql, Strategy::YSmart, "tag-b").unwrap();
+        let fp = |t: &Translation, e: &YSmart| -> Vec<Option<u64>> {
+            e.chain_for(t)
+                .unwrap()
+                .jobs
+                .iter()
+                .map(|j| j.fingerprint)
+                .collect()
+        };
+        let f1 = fp(&t1, &e);
+        assert!(
+            f1.iter().all(Option::is_some),
+            "every job over a loaded base table fingerprints"
+        );
+        assert_eq!(
+            f1,
+            fp(&t2, &e),
+            "the submission tag must not change fingerprints"
+        );
+        // Different base-table contents → different fingerprints.
+        e.load_table("clicks", &[row![9i64, 9, 9, 9]]).unwrap();
+        assert_ne!(f1, fp(&t1, &e));
+        // A query over a table that is not loaded opts out, not panics.
+        let mut empty = YSmart::new(engine().catalog().clone(), ClusterConfig::default());
+        let t3 = empty
+            .translate_tagged(sql, Strategy::YSmart, "tag-c")
+            .unwrap();
+        assert!(fp(&t3, &empty).iter().all(Option::is_none));
     }
 
     #[test]

@@ -303,6 +303,33 @@ impl JobBlueprint {
         Ok(())
     }
 
+    /// Canonical fingerprint of the blueprint's *structure*: every field
+    /// that determines what the job computes — operator DAG, schemas, key
+    /// and value expressions, emit shape, combiner, padding, reduce-task
+    /// count — excluding the job name and the concrete input/output paths,
+    /// which vary per submission tag even when the computation is
+    /// identical. Two blueprints with equal structural fingerprints perform
+    /// the same computation over whatever data their inputs hold; combined
+    /// with the identity of those inputs (producer fingerprints for
+    /// intermediates, content checksums for base tables — see the chain
+    /// builder in `ysmart_core`) this yields the full cross-query reuse
+    /// fingerprint.
+    ///
+    /// The canonical encoding is the derived `Debug` rendering of a copy
+    /// with the excluded fields blanked: deterministic, covers every field
+    /// (new fields change the fingerprint by construction), hashed with the
+    /// same XXH64 used for block integrity.
+    #[must_use]
+    pub fn structural_fingerprint(&self) -> u64 {
+        let mut canon = self.clone();
+        canon.name.clear();
+        canon.output.clear();
+        for input in &mut canon.inputs {
+            input.path.clear();
+        }
+        ysmart_mapred::hash::checksum_bytes(format!("{canon:?}").as_bytes())
+    }
+
     /// Converts the blueprint into an executable job spec.
     ///
     /// # Errors
@@ -469,5 +496,35 @@ mod tests {
     fn partial_width_avg_is_two() {
         assert_eq!(PartialAgg::partial_width(AggFunc::Avg), 2);
         assert_eq!(PartialAgg::partial_width(AggFunc::Sum), 1);
+    }
+
+    #[test]
+    fn structural_fingerprint_ignores_names_and_paths() {
+        let a = minimal();
+        let mut b = minimal();
+        b.name = "renamed".into();
+        b.output = "tmp/other-tag-j1".into();
+        b.inputs[0].path = "tmp/other-tag-j0".into();
+        assert_eq!(a.structural_fingerprint(), b.structural_fingerprint());
+    }
+
+    #[test]
+    fn structural_fingerprint_sees_semantic_changes() {
+        let a = minimal();
+        let mut pred = minimal();
+        pred.inputs[0].branches[0].predicate = Some(Expr::col(1));
+        let mut tasks = minimal();
+        tasks.reduce_tasks = Some(4);
+        let mut agg = minimal();
+        agg.ops[0].kind = OpKind::Agg {
+            group_cols: vec![0],
+            aggs: vec![(AggFunc::Sum, Some(Expr::col(1)))],
+            having: None,
+            merge_partials: false,
+        };
+        let fp = a.structural_fingerprint();
+        assert_ne!(fp, pred.structural_fingerprint());
+        assert_ne!(fp, tasks.structural_fingerprint());
+        assert_ne!(fp, agg.structural_fingerprint());
     }
 }

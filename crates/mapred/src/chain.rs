@@ -176,6 +176,10 @@ pub struct ReplayedJob {
     pub file: DataFile,
     /// The committed attempt's metrics, applied bit-identically.
     pub metrics: JobMetrics,
+    /// `true` when the fast-forward comes from the cross-query reuse cache
+    /// ([`crate::reuse`]) rather than the crash-recovery journal — counted
+    /// and traced separately (`reuse` lane vs `replay` lane).
+    pub from_cache: bool,
 }
 
 /// What one [`ChainSession::step`] did.
@@ -235,6 +239,8 @@ pub struct ChainSession {
     replay: Vec<ReplayedJob>,
     /// Jobs fast-forwarded from the journal instead of executed.
     replayed: usize,
+    /// Jobs fast-forwarded from the cross-query reuse cache.
+    reused: usize,
 }
 
 impl ChainSession {
@@ -257,6 +263,7 @@ impl ChainSession {
             error: None,
             replay: Vec::new(),
             replayed: 0,
+            reused: 0,
         }
     }
 
@@ -310,6 +317,13 @@ impl ChainSession {
     #[must_use]
     pub fn replayed_jobs(&self) -> usize {
         self.replayed
+    }
+
+    /// Jobs fast-forwarded from the cross-query reuse cache instead of
+    /// executed — cache hits applied through the replay machinery.
+    #[must_use]
+    pub fn reused_jobs(&self) -> usize {
+        self.reused
     }
 
     /// Marks the session failed with `error` without running anything —
@@ -424,11 +438,20 @@ impl ChainSession {
         let attempt_result = match replayed {
             Some(rj) => {
                 cluster.hdfs.put_data(&job.output, rj.file);
-                self.replayed += 1;
+                // Cache hits and journal replays share the fast-forward
+                // mechanics but are accounted (and traced) separately:
+                // reuse is saved cross-query work, replay is recovery.
+                let (cat, what) = if rj.from_cache {
+                    self.reused += 1;
+                    ("reuse", "reused from cache")
+                } else {
+                    self.replayed += 1;
+                    ("replay", "replayed from journal")
+                };
                 if let Some(tr) = cluster.trace_mut() {
                     tr.chain_span(
-                        "replay",
-                        format!("replayed {} from journal", job.name),
+                        cat,
+                        format!("{} {what}", job.name),
                         self.elapsed + delay,
                         rj.metrics.total_s() - rj.metrics.startup_delay_s,
                     );

@@ -97,7 +97,7 @@ impl Cluster {
     #[must_use]
     pub fn new(config: ClusterConfig) -> Self {
         Cluster {
-            hdfs: Hdfs::new(),
+            hdfs: Hdfs::with_nodes(config.nodes.max(1)),
             config,
             trace: None,
         }

@@ -59,22 +59,85 @@ impl DataFile {
 }
 
 /// The global file system of the simulated cluster.
-#[derive(Debug, Clone, Default)]
+///
+/// Beyond the path → file map, the store keeps a *per-node disk model*:
+/// every file is assigned to one of `nodes` data nodes by a stable hash of
+/// its path, and each node's used-byte counter is updated on every put,
+/// replacement and delete. The counters are load-bearing for capacity-
+/// pressure decisions (the result-reuse cache evicts against them), so they
+/// must stay exactly reconciled with [`Hdfs::total_bytes`] across arbitrary
+/// put/delete/evict cycles — [`Hdfs::accounting_reconciled`] checks the
+/// invariant and the property suite exercises it.
+#[derive(Debug, Clone)]
 pub struct Hdfs {
     files: BTreeMap<String, DataFile>,
+    /// Data-node count of the per-node disk model (≥ 1).
+    nodes: usize,
+    /// Bytes stored per node; `node_used.iter().sum() == total_bytes()`.
+    node_used: Vec<u64>,
+}
+
+impl Default for Hdfs {
+    fn default() -> Self {
+        Hdfs {
+            files: BTreeMap::new(),
+            nodes: 1,
+            node_used: vec![0],
+        }
+    }
 }
 
 impl Hdfs {
-    /// An empty file system.
+    /// An empty file system with a single-node disk model.
     #[must_use]
     pub fn new() -> Self {
         Hdfs::default()
     }
 
+    /// An empty file system modelling `nodes` data nodes.
+    #[must_use]
+    pub fn with_nodes(nodes: usize) -> Self {
+        let nodes = nodes.max(1);
+        Hdfs {
+            files: BTreeMap::new(),
+            nodes,
+            node_used: vec![0; nodes],
+        }
+    }
+
+    /// Re-shapes the per-node disk model to `nodes` data nodes, re-assigning
+    /// every existing file and rebuilding the used-byte counters.
+    pub fn set_nodes(&mut self, nodes: usize) {
+        self.nodes = nodes.max(1);
+        self.node_used = vec![0; self.nodes];
+        for (path, file) in &self.files {
+            let n = node_index(path, self.nodes);
+            self.node_used[n] += file.bytes();
+        }
+    }
+
+    /// The data node `path` is assigned to.
+    #[must_use]
+    pub fn node_of(&self, path: &str) -> usize {
+        node_index(path, self.nodes)
+    }
+
+    /// Stores `file` at `path`, keeping the per-node accounting exact: a
+    /// replacement releases the old file's bytes before charging the new
+    /// ones. All puts funnel through here.
+    fn store(&mut self, path: &str, file: DataFile) {
+        let n = node_index(path, self.nodes);
+        let new_bytes = file.bytes();
+        if let Some(old) = self.files.insert(path.to_string(), file) {
+            self.node_used[n] -= old.bytes();
+        }
+        self.node_used[n] += new_bytes;
+    }
+
     /// Creates or replaces a text file from lines.
     pub fn put(&mut self, path: &str, lines: Vec<String>) {
-        self.files.insert(
-            path.to_string(),
+        self.store(
+            path,
             DataFile {
                 lines,
                 frames: Vec::new(),
@@ -84,8 +147,8 @@ impl Hdfs {
 
     /// Creates or replaces a columnar file from encoded frames.
     pub fn put_frames(&mut self, path: &str, frames: Vec<Vec<u8>>) {
-        self.files.insert(
-            path.to_string(),
+        self.store(
+            path,
             DataFile {
                 lines: Vec::new(),
                 frames,
@@ -96,7 +159,7 @@ impl Hdfs {
     /// Stores a pre-built [`DataFile`] — crash recovery restoring a
     /// journaled job output, in whichever format the job wrote it.
     pub fn put_data(&mut self, path: &str, file: DataFile) {
-        self.files.insert(path.to_string(), file);
+        self.store(path, file);
     }
 
     /// Reads a file.
@@ -116,9 +179,13 @@ impl Hdfs {
         self.files.contains_key(path)
     }
 
-    /// Removes a file (idempotent).
+    /// Removes a file (idempotent), releasing its bytes from the owning
+    /// node's disk-usage accounting.
     pub fn delete(&mut self, path: &str) {
-        self.files.remove(path);
+        if let Some(old) = self.files.remove(path) {
+            let n = node_index(path, self.nodes);
+            self.node_used[n] -= old.bytes();
+        }
     }
 
     /// All paths, in order.
@@ -131,6 +198,62 @@ impl Hdfs {
     pub fn total_bytes(&self) -> u64 {
         self.files.values().map(DataFile::bytes).sum()
     }
+
+    /// Per-node used bytes of the disk model, indexed by node.
+    #[must_use]
+    pub fn node_used_bytes(&self) -> &[u64] {
+        &self.node_used
+    }
+
+    /// The most-loaded node's used bytes — the capacity-pressure signal.
+    #[must_use]
+    pub fn max_node_used_bytes(&self) -> u64 {
+        self.node_used.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Whether the per-node accounting matches the file map exactly: the
+    /// counters sum to [`Hdfs::total_bytes`] and each node's counter equals
+    /// the recomputed sum of its files. Cheap enough for tests, meaningful
+    /// enough that eviction can trust the counters.
+    #[must_use]
+    pub fn accounting_reconciled(&self) -> bool {
+        let mut recomputed = vec![0u64; self.nodes];
+        for (path, file) in &self.files {
+            recomputed[node_index(path, self.nodes)] += file.bytes();
+        }
+        recomputed == self.node_used && self.node_used.iter().sum::<u64>() == self.total_bytes()
+    }
+}
+
+/// Stable node assignment: a path hashes to the same node on every run and
+/// platform (the checksum is XXH64 over the path bytes).
+fn node_index(path: &str, nodes: usize) -> usize {
+    (checksum_bytes(path.as_bytes()) % nodes.max(1) as u64) as usize
+}
+
+/// Canonical byte encoding of a whole file — the stream its content
+/// checksum covers: newline-terminated lines for text, length-prefixed
+/// frames for columnar (the prefix keeps frame boundaries part of the
+/// identity).
+#[must_use]
+pub fn file_bytes(f: &DataFile) -> Vec<u8> {
+    if f.is_columnar() {
+        let mut out = Vec::with_capacity(f.frames.iter().map(|fr| fr.len() + 8).sum());
+        for fr in &f.frames {
+            out.extend_from_slice(&(fr.len() as u64).to_le_bytes());
+            out.extend_from_slice(fr);
+        }
+        out
+    } else {
+        block_bytes(&f.lines)
+    }
+}
+
+/// XXH64 checksum of a whole file's canonical bytes — the integrity stamp
+/// the result-reuse cache stores at insert time and verifies on every hit.
+#[must_use]
+pub fn file_checksum(f: &DataFile) -> u64 {
+    checksum_bytes(&file_bytes(f))
 }
 
 /// Canonical on-disk encoding of a block's lines (newline-terminated), the
@@ -450,6 +573,61 @@ mod tests {
         let model = CorruptionModel::uniform(1.0, 7);
         let e = read_frame_verified(&frame(), "data/t", 4, 3, &model, 0).unwrap_err();
         assert!(matches!(e, MapRedError::CorruptBlock { block: 4, .. }));
+    }
+
+    #[test]
+    fn per_node_accounting_survives_put_replace_delete() {
+        let mut fs = Hdfs::with_nodes(4);
+        fs.put("a", vec!["one".into(), "two".into()]);
+        fs.put("b", vec!["xyz".into()]);
+        assert!(fs.accounting_reconciled());
+        // Replacement-put must release the old bytes before charging the
+        // new — the classic drift bug this accounting exists to prevent.
+        fs.put("a", vec!["much-longer-line".into()]);
+        assert!(fs.accounting_reconciled());
+        fs.delete("a");
+        fs.delete("a"); // idempotent delete must not double-release
+        assert!(fs.accounting_reconciled());
+        fs.delete("b");
+        assert_eq!(fs.total_bytes(), 0);
+        assert_eq!(fs.node_used_bytes().iter().sum::<u64>(), 0);
+    }
+
+    #[test]
+    fn set_nodes_rebuilds_counters_for_existing_files() {
+        let mut fs = Hdfs::new();
+        for i in 0..16 {
+            fs.put(&format!("f{i}"), vec![format!("row-{i}")]);
+        }
+        fs.set_nodes(5);
+        assert!(fs.accounting_reconciled());
+        assert_eq!(fs.node_used_bytes().len(), 5);
+        assert_eq!(fs.node_used_bytes().iter().sum::<u64>(), fs.total_bytes());
+    }
+
+    #[test]
+    fn node_assignment_is_stable() {
+        let fs = Hdfs::with_nodes(7);
+        assert_eq!(fs.node_of("reuse/abc"), fs.node_of("reuse/abc"));
+    }
+
+    #[test]
+    fn file_checksum_distinguishes_formats_and_content() {
+        let text = DataFile {
+            lines: vec!["a".into(), "b".into()],
+            frames: Vec::new(),
+        };
+        let text2 = DataFile {
+            lines: vec!["a".into(), "c".into()],
+            frames: Vec::new(),
+        };
+        assert_ne!(file_checksum(&text), file_checksum(&text2));
+        let col = DataFile {
+            lines: Vec::new(),
+            frames: vec![frame()],
+        };
+        assert_ne!(file_checksum(&text), file_checksum(&col));
+        assert_eq!(file_checksum(&col), file_checksum(&col.clone()));
     }
 
     #[test]

@@ -366,6 +366,12 @@ pub struct JobSpec {
     /// statistics: the engine caps the derived reduce-task count with it
     /// (more reducers than keys are pure startup overhead).
     pub key_cardinality_hint: Option<u64>,
+    /// Canonical fingerprint of the logical plan *and* the identity of its
+    /// inputs, when the producer of this spec (the translator) can compute
+    /// one. Equal fingerprints mean equal outputs, so the cross-query
+    /// result-reuse cache ([`crate::reuse`]) may substitute a cached output
+    /// for execution. `None` opts the job out of reuse entirely.
+    pub fingerprint: Option<u64>,
 }
 
 impl std::fmt::Debug for JobSpec {
@@ -376,6 +382,7 @@ impl std::fmt::Debug for JobSpec {
             .field("output", &self.output)
             .field("map_only", &self.reducer.is_none())
             .field("has_combiner", &self.combiner.is_some())
+            .field("fingerprint", &self.fingerprint)
             .finish()
     }
 }
@@ -392,6 +399,7 @@ impl JobSpec {
             output: format!("tmp/{name}"),
             reduce_tasks: None,
             key_cardinality_hint: None,
+            fingerprint: None,
         }
     }
 }
@@ -405,6 +413,7 @@ pub struct JobSpecBuilder {
     output: String,
     reduce_tasks: Option<usize>,
     key_cardinality_hint: Option<u64>,
+    fingerprint: Option<u64>,
 }
 
 impl JobSpecBuilder {
@@ -463,6 +472,14 @@ impl JobSpecBuilder {
         self
     }
 
+    /// Sets the reuse fingerprint — only when the caller can vouch that
+    /// equal fingerprints imply byte-identical outputs.
+    #[must_use]
+    pub fn fingerprint(mut self, fp: u64) -> Self {
+        self.fingerprint = Some(fp);
+        self
+    }
+
     /// Finishes the spec.
     #[must_use]
     pub fn build(self) -> JobSpec {
@@ -474,6 +491,7 @@ impl JobSpecBuilder {
             output: self.output,
             reduce_tasks: self.reduce_tasks,
             key_cardinality_hint: self.key_cardinality_hint,
+            fingerprint: self.fingerprint,
         }
     }
 }

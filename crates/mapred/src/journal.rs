@@ -213,13 +213,19 @@ impl<'a> Reader<'a> {
     }
 
     fn u32(&mut self) -> Parsed<u32> {
-        let b = self.take(4)?;
-        Ok(u32::from_le_bytes(b.try_into().expect("4 bytes")))
+        let b: [u8; 4] = self
+            .take(4)?
+            .try_into()
+            .map_err(|_| "u32 field truncated".to_string())?;
+        Ok(u32::from_le_bytes(b))
     }
 
     fn u64(&mut self) -> Parsed<u64> {
-        let b = self.take(8)?;
-        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+        let b: [u8; 8] = self
+            .take(8)?
+            .try_into()
+            .map_err(|_| "u64 field truncated".to_string())?;
+        Ok(u64::from_le_bytes(b))
     }
 
     fn usize(&mut self) -> Parsed<usize> {
@@ -529,8 +535,16 @@ pub fn recover(bytes: &[u8]) -> Result<Recovered, MapRedError> {
         if rem < 12 {
             return Ok(torn(records, pos));
         }
-        let stored = u64::from_le_bytes(bytes[pos..pos + 8].try_into().expect("8 checksum bytes"));
-        let len = u32::from_le_bytes(bytes[pos + 8..pos + 12].try_into().expect("4 len bytes"));
+        // `rem >= 12` guarantees these slices, but a torn tail is always
+        // the safe answer if the header cannot be read — never a panic.
+        let (Ok(stored_b), Ok(len_b)) = (
+            <[u8; 8]>::try_from(&bytes[pos..pos + 8]),
+            <[u8; 4]>::try_from(&bytes[pos + 8..pos + 12]),
+        ) else {
+            return Ok(torn(records, pos));
+        };
+        let stored = u64::from_le_bytes(stored_b);
+        let len = u32::from_le_bytes(len_b);
         let Some(payload_end) = (pos + 12).checked_add(len as usize) else {
             return Ok(torn(records, pos));
         };

@@ -67,6 +67,7 @@ pub mod job;
 pub mod journal;
 pub mod metrics;
 pub mod norm;
+pub mod reuse;
 pub mod scheduler;
 pub mod trace;
 
@@ -80,16 +81,20 @@ pub use config::{
 };
 pub use engine::{run_job, run_job_attempt, AttemptFailure, Cluster};
 pub use error::MapRedError;
-pub use hdfs::{read_block_verified, read_frame_verified, BlockRead, Hdfs};
+pub use hdfs::{
+    file_checksum, read_block_verified, read_frame_verified, BlockRead, DataFile, Hdfs,
+};
 pub use job::{
     Combiner, JobInput, JobSpec, MapOutput, Mapper, MapperFactory, ReduceEmit, ReduceOutput,
     Reducer, ReducerFactory,
 };
 pub use journal::{recover, DispositionKind, Journal, JournalRecord, Recovered, JOURNAL_MAGIC};
 pub use metrics::{ChainMetrics, JobMetrics};
+pub use reuse::{config_epoch, ReuseCache, ReuseConfig, ReuseStats};
 pub use scheduler::{
-    run_workload, run_workload_journaled, run_workload_recovered, Disposition, QueryReport,
-    QueryRequest, RecoveryStats, SchedulerConfig, TenantSpec, WorkloadReport,
+    run_workload, run_workload_journaled, run_workload_recovered, run_workload_reusing,
+    Disposition, QueryReport, QueryRequest, RecoveryStats, SchedulerConfig, TenantSpec,
+    WorkloadReport,
 };
 pub use trace::{validate_chrome_trace, ArgValue, Trace, TraceEvent, TraceStats};
 

@@ -57,6 +57,7 @@ use crate::engine::Cluster;
 use crate::error::MapRedError;
 use crate::journal::{DispositionKind, Journal, JournalRecord};
 use crate::metrics::ChainMetrics;
+use crate::reuse::{config_epoch, ReuseCache, ReuseStats};
 use crate::trace::Trace;
 
 /// One tenant sharing the cluster.
@@ -166,6 +167,9 @@ pub struct QueryReport {
     pub admitted_s: Option<f64>,
     /// When the disposition was decided (completion, deadline, shed).
     pub done_s: f64,
+    /// Jobs of this chain fast-forwarded from the cross-query reuse cache
+    /// instead of executed (0 whenever no cache was in force).
+    pub jobs_reused: usize,
     /// How it ended.
     pub disposition: Disposition,
 }
@@ -209,6 +213,11 @@ pub struct WorkloadReport {
     pub reports: Vec<QueryReport>,
     /// Merged workload trace ([`SchedulerConfig::trace`]).
     pub trace: Option<Trace>,
+    /// Reuse-cache counters as of the end of the workload, when a cache
+    /// was in force ([`run_workload_reusing`]). The counters are the
+    /// cache's *lifetime* totals — a service keeping one cache across many
+    /// `!run` batches reports cumulative values.
+    pub reuse: Option<ReuseStats>,
 }
 
 /// A chain occupying one of the `max_running` slots.
@@ -230,6 +239,9 @@ struct Running {
     /// Result of the eagerly-executed in-flight step, applied at
     /// `event_s`. `None` = cancelled at deadline mid-step.
     pending: Option<ChainStep>,
+    /// Reuse-cache fingerprints this chain holds pinned (its fast-forward
+    /// plan reads them); released when the chain reaches a disposition.
+    pinned: Vec<u64>,
 }
 
 /// A queued (admitted-to-queue, not yet running) request.
@@ -260,7 +272,7 @@ pub fn run_workload(
     config: &SchedulerConfig,
     requests: Vec<QueryRequest>,
 ) -> WorkloadReport {
-    run_workload_inner(cluster, config, requests, None, &[]).0
+    run_workload_inner(cluster, config, requests, None, &[], None).0
 }
 
 /// [`run_workload`] with a crash-safety [`Journal`]: every job commit
@@ -282,7 +294,7 @@ pub fn run_workload_journaled(
     requests: Vec<QueryRequest>,
     journal: &mut Journal,
 ) -> WorkloadReport {
-    run_workload_inner(cluster, config, requests, Some(journal), &[]).0
+    run_workload_inner(cluster, config, requests, Some(journal), &[], None).0
 }
 
 /// What crash recovery saved and redid.
@@ -322,7 +334,36 @@ pub fn run_workload_recovered(
     recovered: &[JournalRecord],
     journal: Option<&mut Journal>,
 ) -> (WorkloadReport, RecoveryStats) {
-    run_workload_inner(cluster, config, requests, journal, recovered)
+    run_workload_inner(cluster, config, requests, journal, recovered, None)
+}
+
+/// The full-featured entry point: journaling, crash recovery *and* a
+/// cross-query [`ReuseCache`]. The cache outlives the call — a service
+/// passes the same cache to every batch so later queries hit earlier
+/// batches' results. On admission, the longest prefix of a chain whose job
+/// fingerprints verify in the cache is fast-forwarded exactly like a
+/// journal replay (recorded metrics, restored outputs — bit-identical);
+/// every commit with a fingerprint is inserted back. Cache decisions
+/// happen in the deterministic event loop, so the report is bit-identical
+/// across `exec_threads` settings, and recovery rebuilds the cache in the
+/// same event order without any dedicated journal record.
+///
+/// Pass `&[]` as `recovered` (and `None` as `journal`) when neither crash
+/// safety nor recovery is wanted.
+///
+/// # Panics
+///
+/// As [`run_workload`].
+#[must_use]
+pub fn run_workload_reusing(
+    cluster: &mut Cluster,
+    config: &SchedulerConfig,
+    requests: Vec<QueryRequest>,
+    journal: Option<&mut Journal>,
+    recovered: &[JournalRecord],
+    cache: &mut ReuseCache,
+) -> (WorkloadReport, RecoveryStats) {
+    run_workload_inner(cluster, config, requests, journal, recovered, Some(cache))
 }
 
 fn run_workload_inner(
@@ -331,6 +372,7 @@ fn run_workload_inner(
     requests: Vec<QueryRequest>,
     journal: Option<&mut Journal>,
     recovered: &[JournalRecord],
+    reuse: Option<&mut ReuseCache>,
 ) -> (WorkloadReport, RecoveryStats) {
     assert!(config.max_running > 0, "scheduler needs at least one slot");
     assert!(
@@ -366,6 +408,7 @@ fn run_workload_inner(
                         output_path: output_path.clone(),
                         file: file.clone(),
                         metrics: metrics.as_ref().clone(),
+                        from_cache: false,
                     });
                 }
             }
@@ -391,12 +434,20 @@ fn run_workload_inner(
         requests,
         journal,
         replay,
+        reuse,
         drained: false,
         stats: RecoveryStats {
             already_done: done_ids.len(),
             ..RecoveryStats::default()
         },
     };
+
+    // A reuse cache is scoped to one cluster configuration: any config
+    // change (cost model, data format, corruption seed) invalidates every
+    // cached output and its recorded metrics.
+    if let Some(cache) = sched.reuse.as_deref_mut() {
+        cache.ensure_epoch(&mut cluster.hdfs, config_epoch(&cluster.config));
+    }
 
     // Arrivals sorted by (submit time, request index); the index tie-break
     // keeps equal-time arrivals in batch order.
@@ -459,6 +510,7 @@ fn run_workload_inner(
         mut reports,
         master,
         stats,
+        reuse,
         ..
     } = sched;
     reports.sort_by_key(|r| r.index);
@@ -466,6 +518,7 @@ fn run_workload_inner(
         WorkloadReport {
             reports,
             trace: master,
+            reuse: reuse.map(|c| *c.stats()),
         },
         stats,
     )
@@ -482,6 +535,8 @@ struct Scheduler<'a> {
     requests: Vec<QueryRequest>,
     /// Crash-safety WAL, when the caller wants one.
     journal: Option<&'a mut Journal>,
+    /// Cross-query result-reuse cache, when the caller keeps one.
+    reuse: Option<&'a mut ReuseCache>,
     /// Per-request fast-forward plans from a recovered journal.
     replay: Vec<Vec<ReplayedJob>>,
     /// Whether the drain instant has fired.
@@ -534,11 +589,47 @@ impl Scheduler<'_> {
             .append(&rec);
     }
 
-    /// Folds a finished session's replay/execution split into the stats.
+    /// Inserts the job the in-flight step of `running[slot]` just
+    /// committed into the reuse cache, when one is in force and the job
+    /// carries a fingerprint. Runs for executed, journal-replayed *and*
+    /// cache-reused commits alike — idempotent for already-cached
+    /// fingerprints, and exactly what makes crash recovery rebuild the
+    /// cache deterministically.
+    fn reuse_commit(&mut self, cluster: &mut Cluster, slot: usize, now: f64) {
+        let Some(cache) = self.reuse.as_deref_mut() else {
+            return;
+        };
+        let run = &self.running[slot];
+        let done = run.session.jobs_done();
+        let job = &self.requests[run.idx].chain.jobs[done - 1];
+        let Some(fp) = job.fingerprint else {
+            return;
+        };
+        // Normalize the committed attempt to 0: a consumer fast-forwarding
+        // this entry is on its own first attempt, and the journal record
+        // of that consumer's commit must replay against attempt 0 too.
+        let mut metrics = run.session.metrics().jobs[done - 1].clone();
+        metrics.attempt = 0;
+        let file = cluster.hdfs.get(&job.output).cloned().unwrap_or_default();
+        cache.insert(&mut cluster.hdfs, fp, file, metrics, now);
+    }
+
+    /// Releases the cache pins a chain's fast-forward plan held.
+    fn release_pins(&mut self, run: &Running) {
+        if let Some(cache) = self.reuse.as_deref_mut() {
+            for &fp in &run.pinned {
+                cache.unpin(fp);
+            }
+        }
+    }
+
+    /// Folds a finished session's replay/reuse/execution split into the
+    /// stats. Cache hits are neither journal replays nor executed work.
     fn account(&mut self, session: &ChainSession) {
         let replayed = session.replayed_jobs();
+        let reused = session.reused_jobs();
         self.stats.jobs_replayed += replayed;
-        self.stats.jobs_executed += session.metrics().jobs.len() - replayed;
+        self.stats.jobs_executed += session.metrics().jobs.len() - replayed - reused;
     }
 
     /// The drain instant: close admission and shed every queued-but-
@@ -577,6 +668,7 @@ impl Scheduler<'_> {
             submit_s: r.submit_s,
             admitted_s: None,
             done_s: now,
+            jobs_reused: 0,
             disposition: Disposition::Shed(error),
         });
         self.journal_done(idx, DispositionKind::Shed, now);
@@ -685,6 +777,7 @@ impl Scheduler<'_> {
             submit_s: r.submit_s,
             admitted_s: None,
             done_s: deadline_s,
+            jobs_reused: 0,
             disposition: Disposition::DeadlineCancelled(crate::chain::ChainFailure {
                 error: MapRedError::DeadlineExceeded { deadline_s },
                 metrics: ChainMetrics::default(),
@@ -716,7 +809,56 @@ impl Scheduler<'_> {
         } else {
             ChainSession::new(r.seed)
         };
-        session.set_replay(std::mem::take(&mut self.replay[idx]));
+        // The fast-forward plan: journaled commits first (crash recovery),
+        // then cross-query cache hits for the longest prefix of uncovered
+        // jobs whose fingerprints verify in the cache. Prefix-only, as in
+        // ReStore: a job past the first miss needs its predecessor's
+        // output, which only execution (or the journal) provides.
+        let mut plan = std::mem::take(&mut self.replay[idx]);
+        let mut pinned = Vec::new();
+        if let Some(cache) = self.reuse.as_deref_mut() {
+            let chain = &self.requests[idx].chain;
+            for (j, job) in chain.jobs.iter().enumerate() {
+                if plan.iter().any(|r| r.job_index == j) {
+                    continue; // a journaled commit already covers this job
+                }
+                let Some(fp) = job.fingerprint else { break };
+                let corruption = cluster.config.corruption;
+                let Some((file, mut metrics)) =
+                    cache.lookup(&mut cluster.hdfs, fp, corruption.as_ref(), now)
+                else {
+                    break;
+                };
+                // The cached metrics carry the *producer's* job name;
+                // rename to this chain's job so reports and journal
+                // records read consistently.
+                metrics.name.clone_from(&job.name);
+                cache.pin(fp);
+                pinned.push(fp);
+                plan.push(ReplayedJob {
+                    job_index: j,
+                    attempt: 0,
+                    output_path: job.output.clone(),
+                    file,
+                    metrics,
+                    from_cache: true,
+                });
+            }
+        }
+        if !pinned.is_empty() {
+            if let Some(tr) = self.master.as_mut() {
+                tr.chain_instant(
+                    "reuse",
+                    format!(
+                        "{} fast-forwards {} cached job(s)",
+                        self.requests[idx].label,
+                        pinned.len()
+                    ),
+                    now,
+                );
+            }
+        }
+        session.set_replay(plan);
         if self.budget_left[tenant] == 0 {
             session.deny_retries(true);
         }
@@ -731,6 +873,7 @@ impl Scheduler<'_> {
             step_start_s: now,
             event_s: now,
             pending: None,
+            pinned,
         };
         self.run_step(cluster, &mut run, now);
         self.running.push(run);
@@ -807,9 +950,13 @@ impl Scheduler<'_> {
         let now = self.running[slot].event_s;
         let pending = self.running[slot].pending.take();
         // A step that committed a job is journaled as its event is applied
-        // — the journal's record order is the simulated commit order.
+        // — the journal's record order is the simulated commit order. The
+        // reuse cache commits at the same instant (journal replays
+        // included), so a recovered run rebuilds the cache in the same
+        // event order with no dedicated journal record.
         if matches!(pending, Some(ChainStep::Advanced | ChainStep::Finished)) {
             self.journal_commit(cluster, slot);
+            self.reuse_commit(cluster, slot, now);
         }
         match pending {
             Some(ChainStep::Advanced | ChainStep::Backoff { .. }) => {
@@ -837,7 +984,9 @@ impl Scheduler<'_> {
 
     fn finish(&mut self, mut run: Running, now: f64) {
         self.account(&run.session);
+        self.release_pins(&run);
         self.journal_done(run.idx, DispositionKind::Completed, now);
+        let jobs_reused = run.session.reused_jobs();
         let r = &self.requests[run.idx];
         if let (Some(master), Some(mut lane)) = (self.master.as_mut(), run.session.take_trace()) {
             lane.shift_s(run.admitted_s);
@@ -850,6 +999,7 @@ impl Scheduler<'_> {
             submit_s: r.submit_s,
             admitted_s: Some(run.admitted_s),
             done_s: now,
+            jobs_reused,
             disposition: Disposition::Completed(run.session.into_outcome()),
         });
     }
@@ -868,7 +1018,9 @@ impl Scheduler<'_> {
 
     fn fail(&mut self, cluster: &mut Cluster, mut run: Running, now: f64) {
         self.account(&run.session);
+        self.release_pins(&run);
         self.journal_done(run.idx, DispositionKind::Failed, now);
+        let jobs_reused = run.session.reused_jobs();
         let tenant = run.tenant;
         let budget = self.config.tenants[tenant].retry_budget;
         let deny = self.budget_left[tenant] == 0 && budget > 0;
@@ -893,6 +1045,7 @@ impl Scheduler<'_> {
             submit_s: r.submit_s,
             admitted_s: Some(run.admitted_s),
             done_s: now,
+            jobs_reused,
             disposition: Disposition::Failed(failure),
         });
     }
@@ -903,6 +1056,7 @@ impl Scheduler<'_> {
     /// failed-attempt time.
     fn cancel_running(&mut self, cluster: &mut Cluster, mut run: Running) {
         self.account(&run.session);
+        self.release_pins(&run);
         let deadline_s = run.deadline_s.expect("cancelled chain has a deadline");
         self.journal_done(run.idx, DispositionKind::DeadlineCancelled, deadline_s);
         let mut metrics = run.snapshot.clone();
@@ -912,6 +1066,7 @@ impl Scheduler<'_> {
         if let Some(tr) = self.master.as_mut() {
             tr.chain_instant("cancelled", format!("{label} deadline mid-run"), deadline_s);
         }
+        let jobs_reused = run.session.reused_jobs();
         run.session
             .abandon(MapRedError::DeadlineExceeded { deadline_s });
         let mut failure = run.session.into_failure(cluster);
@@ -927,6 +1082,7 @@ impl Scheduler<'_> {
             submit_s: r.submit_s,
             admitted_s: Some(run.admitted_s),
             done_s: deadline_s,
+            jobs_reused,
             disposition: Disposition::DeadlineCancelled(failure),
         });
     }

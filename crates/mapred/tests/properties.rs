@@ -178,4 +178,35 @@ proptest! {
         };
         prop_assert!(run(true) <= run(false));
     }
+
+    /// The per-node disk accounting stays exactly reconciled with
+    /// `total_bytes()` across arbitrary put/replace/delete cycles — the
+    /// invariant cache eviction relies on. Puts reuse a small path space so
+    /// replacement (the historical drift bug) happens constantly.
+    #[test]
+    fn hdfs_node_accounting_reconciles(
+        nodes in 1usize..8,
+        ops in prop::collection::vec((0u8..3, 0u8..12, 0usize..40), 1..120),
+    ) {
+        let mut fs = ysmart_mapred::Hdfs::with_nodes(nodes);
+        for (op, slot, size) in ops {
+            let path = format!("p/{slot}");
+            match op {
+                0 => fs.put(&path, (0..size).map(|i| format!("line-{i}")).collect()),
+                1 => fs.delete(&path),
+                _ => fs.put_data(
+                    &path,
+                    ysmart_mapred::DataFile {
+                        lines: (0..size).map(|i| format!("r{i}")).collect(),
+                        frames: Vec::new(),
+                    },
+                ),
+            }
+            prop_assert!(fs.accounting_reconciled());
+            prop_assert_eq!(
+                fs.node_used_bytes().iter().sum::<u64>(),
+                fs.total_bytes()
+            );
+        }
+    }
 }

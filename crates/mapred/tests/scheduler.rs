@@ -160,7 +160,7 @@ fn run_faulty_workload(threads: Option<usize>) -> (Vec<String>, String) {
             r
         })
         .collect();
-    let WorkloadReport { reports, trace } = run_workload(&mut cluster, &config, requests);
+    let WorkloadReport { reports, trace, .. } = run_workload(&mut cluster, &config, requests);
     let mut summary = Vec::new();
     for r in &reports {
         let rows = match &r.disposition {
@@ -633,5 +633,57 @@ fn draining_is_distinct_from_queue_full() {
             .iter()
             .any(|r| matches!(&r.disposition, Disposition::Shed(MapRedError::Draining))),
         "no drain was requested"
+    );
+}
+
+#[test]
+fn drain_wins_over_queue_full_at_the_same_instant() {
+    // Pins the tiebreak when both shed reasons apply at once: a query that
+    // arrives exactly at `drain_at_s`, aimed at a queue that is already
+    // full at that same instant, must be shed `Draining` — the drain check
+    // runs before any capacity check, so the report never flips to
+    // `QueueFull` under reordering of same-instant events. Exercised for
+    // both tenants so weights play no part in the answer.
+    let mut cluster = Cluster::new(ClusterConfig {
+        size_multiplier: 50_000.0,
+        ..ClusterConfig::default()
+    });
+    load(&mut cluster);
+    let mut config = two_tenants(1);
+    config.tenants[0].queue_capacity = 1;
+    config.tenants[1].queue_capacity = 1;
+    config.drain_at_s = Some(5.0);
+    let report = run_workload(
+        &mut cluster,
+        &config,
+        vec![
+            // t=0: fills the slot (long chain, still running at t=5).
+            request("alpha", "running", 3, 1, 0.0),
+            // t=0: fill both tenants' queues to capacity.
+            request("alpha", "queued-a", 1, 2, 0.0),
+            request("beta", "queued-b", 1, 3, 0.0),
+            // t=5 — the drain instant — into full queues.
+            request("alpha", "at-drain-a", 1, 4, 5.0),
+            request("beta", "at-drain-b", 1, 5, 5.0),
+        ],
+    );
+    for r in &report.reports[3..] {
+        assert!(
+            matches!(&r.disposition, Disposition::Shed(MapRedError::Draining)),
+            "{}: arrival at the drain instant must shed Draining even with \
+             a full queue, got {:?}",
+            r.label,
+            r.disposition
+        );
+        assert!((r.done_s - 5.0).abs() < 1e-9, "shed at the drain instant");
+    }
+    // The queued work admitted before the drain is itself shed Draining at
+    // the drain instant (not QueueFull), and nothing reports QueueFull.
+    assert!(
+        !report.reports.iter().any(|r| matches!(
+            &r.disposition,
+            Disposition::Shed(MapRedError::QueueFull { .. })
+        )),
+        "no QueueFull may surface once draining"
     );
 }

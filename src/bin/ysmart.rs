@@ -22,6 +22,8 @@
 //!                      recovers any interrupted workload from it
 //!   --requests FILE    read protocol lines from FILE instead of stdin
 //!   --trace-dir DIR    export a Chrome trace per !run as the trace handle
+//!   --reuse-mb N       keep up to N MB of committed job outputs cached and
+//!                      fast-forward repeated queries from them
 //! ```
 
 use std::io::{BufReader, Write};
@@ -47,6 +49,7 @@ struct Args {
     journal: Option<String>,
     requests: Option<String>,
     trace_dir: Option<String>,
+    reuse_mb: Option<f64>,
     sql: Option<String>,
 }
 
@@ -64,6 +67,7 @@ fn parse_args() -> Result<Args, String> {
         journal: None,
         requests: None,
         trace_dir: None,
+        reuse_mb: None,
         sql: None,
     };
     let mut it = std::env::args().skip(1);
@@ -73,6 +77,14 @@ fn parse_args() -> Result<Args, String> {
             "--journal" => args.journal = Some(it.next().ok_or("--journal needs a file")?),
             "--requests" => args.requests = Some(it.next().ok_or("--requests needs a file")?),
             "--trace-dir" => args.trace_dir = Some(it.next().ok_or("--trace-dir needs a dir")?),
+            "--reuse-mb" => {
+                args.reuse_mb = Some(
+                    it.next()
+                        .ok_or("--reuse-mb needs a number")?
+                        .parse()
+                        .map_err(|_| "bad --reuse-mb value".to_string())?,
+                );
+            }
             "--catalog" => args.catalog = Some(it.next().ok_or("--catalog needs a file")?),
             "--data" => args.data = Some(it.next().ok_or("--data needs a directory")?),
             "--demo" => args.demo = true,
@@ -124,7 +136,8 @@ fn usage() {
          \u{20}        [--cluster local|ec2:<n>|facebook] [--target-gb N] \\\n\
          \u{20}        [--explain] [--plan] \"SELECT ...\"\n\
          \u{20}  ysmart serve (--demo | --catalog schema.sql --data DIR) \\\n\
-         \u{20}        [--journal FILE] [--requests FILE] [--trace-dir DIR]"
+         \u{20}        [--journal FILE] [--requests FILE] [--trace-dir DIR] \\\n\
+         \u{20}        [--reuse-mb N]"
     );
 }
 
@@ -256,6 +269,9 @@ fn run_serve(engine: YSmart, args: &Args) -> Result<(), String> {
     let mut options = ServeOptions::new(args.strategy);
     options.journal_path = args.journal.clone().map(Into::into);
     options.trace_dir = args.trace_dir.clone().map(Into::into);
+    options.reuse = args
+        .reuse_mb
+        .map(|mb| ysmart::mapred::ReuseConfig::with_capacity((mb * 1e6) as u64));
 
     let (mut service, recovery) =
         Service::open(engine, options).map_err(|e| format!("serve: {e}"))?;

@@ -50,9 +50,10 @@ use std::path::PathBuf;
 
 use ysmart_core::{Strategy, Translation, YSmart};
 use ysmart_mapred::journal::{Journal, JournalRecord};
+use ysmart_mapred::reuse::{ReuseCache, ReuseConfig};
 use ysmart_mapred::scheduler::{
-    run_workload_journaled, run_workload_recovered, Disposition, QueryReport, QueryRequest,
-    RecoveryStats, SchedulerConfig, TenantSpec,
+    run_workload_reusing, Disposition, QueryReport, QueryRequest, RecoveryStats, SchedulerConfig,
+    TenantSpec,
 };
 use ysmart_mapred::MapRedError;
 use ysmart_rel::codec::encode_line;
@@ -72,6 +73,12 @@ pub struct ServeOptions {
     /// tracing on; each `!run` writes `run-<n>.trace.json` there and the
     /// response carries the path as the trace handle.
     pub trace_dir: Option<PathBuf>,
+    /// Cross-query result-reuse cache ([`ReuseCache`]). `Some` keeps one
+    /// cache alive across every `!run` batch — repeated queries
+    /// fast-forward from cached job outputs — and recovery rebuilds it by
+    /// replaying the journal, so it also survives crashes. `None` disables
+    /// reuse entirely.
+    pub reuse: Option<ReuseConfig>,
 }
 
 impl ServeOptions {
@@ -83,6 +90,7 @@ impl ServeOptions {
             scheduler: default_scheduler(),
             journal_path: None,
             trace_dir: None,
+            reuse: None,
         }
     }
 }
@@ -245,6 +253,9 @@ pub struct Service {
     suppressed: usize,
     recovery: RecoveryStats,
     state: ServiceState,
+    /// Result-reuse cache, persistent across `!run` batches. Disabled
+    /// (capacity 0, never inserts) unless [`ServeOptions::reuse`] is set.
+    cache: ReuseCache,
 }
 
 /// Per-request scheduling seed, derived from the service-wide id so a
@@ -278,6 +289,7 @@ impl Service {
             None => Journal::in_memory(),
         };
         let recovered = journal.recover_and_reset().map_err(ServeError::Journal)?;
+        let cache = options.reuse.map(ReuseCache::new).unwrap_or_default();
         let mut svc = Service {
             engine,
             options,
@@ -290,6 +302,7 @@ impl Service {
             suppressed: 0,
             recovery: RecoveryStats::default(),
             state: ServiceState::Ready,
+            cache,
         };
         let mut responses = Vec::new();
         if recovered.truncated_bytes > 0 {
@@ -323,23 +336,19 @@ impl Service {
         // records never interleave with admissions).
         let mut batches: Vec<(Vec<JournalRecord>, Vec<JournalRecord>)> = Vec::new();
         for rec in records {
-            match rec {
-                JournalRecord::Admitted { .. } => {
-                    if batches
-                        .last()
-                        .is_none_or(|(_, runrecs)| !runrecs.is_empty())
-                    {
-                        batches.push((Vec::new(), Vec::new()));
-                    }
-                    batches.last_mut().expect("just pushed").0.push(rec);
+            match (rec, batches.last_mut()) {
+                (rec @ JournalRecord::Admitted { .. }, Some((admitted, runrecs)))
+                    if runrecs.is_empty() =>
+                {
+                    admitted.push(rec);
                 }
-                other => {
-                    if let Some((_, runrecs)) = batches.last_mut() {
-                        runrecs.push(other);
-                    }
-                    // Run records before any admission can only come from a
-                    // foreign (scheduler-only) journal; nothing to resume.
+                (rec @ JournalRecord::Admitted { .. }, _) => {
+                    batches.push((vec![rec], Vec::new()));
                 }
+                (other, Some((_, runrecs))) => runrecs.push(other),
+                // Run records before any admission can only come from a
+                // foreign (scheduler-only) journal; nothing to resume.
+                (_, None) => {}
             }
         }
         let total = batches.len();
@@ -365,7 +374,9 @@ impl Service {
                     payload,
                 } = rec
                 else {
-                    unreachable!("admitted group holds only Admitted records");
+                    // The segmentation above puts only Admitted records in
+                    // this group; skip rather than assume.
+                    continue;
                 };
                 self.next_id = self.next_id.max(id + 1);
                 let tag = format!("svc-q{id}");
@@ -410,12 +421,13 @@ impl Service {
             }
             let requests = self.build_requests(&batch, out);
             let config = self.run_config();
-            let (report, stats) = run_workload_recovered(
+            let (report, stats) = run_workload_reusing(
                 &mut self.engine.cluster,
                 &config,
                 requests,
-                &runrecs,
                 Some(&mut self.journal),
+                &runrecs,
+                &mut self.cache,
             );
             self.recovery.jobs_replayed += stats.jobs_replayed;
             self.recovery.jobs_executed += stats.jobs_executed;
@@ -586,27 +598,46 @@ impl Service {
                 error: MapRedError::Draining.to_string(),
             };
         }
+        let reject = |error: String| Response::Rejected {
+            id: None,
+            label: "admission".into(),
+            error,
+        };
         let (tenant, sql) = match line.strip_prefix('@') {
             Some(rest) => match rest.split_once(char::is_whitespace) {
-                Some((t, q)) => (t.to_string(), q.trim()),
-                None => {
-                    return Response::Rejected {
-                        id: None,
-                        label: "admission".into(),
-                        error: format!("malformed @tenant prefix in {line:?}"),
-                    }
+                Some((t, q)) if !t.is_empty() && !q.trim().is_empty() => (t.to_string(), q.trim()),
+                _ => {
+                    return reject(format!(
+                        "malformed @tenant prefix in {line:?}: expected \"@tenant SELECT ...\""
+                    ))
                 }
             },
-            None => (
+            None => match self.options.scheduler.tenants.first() {
+                Some(t) => (t.name.clone(), line),
+                None => return reject("no tenants configured".into()),
+            },
+        };
+        // An unknown tenant would be journaled, then shed by the scheduler
+        // on every replay; reject it before it consumes an id or a journal
+        // record.
+        if !self
+            .options
+            .scheduler
+            .tenants
+            .iter()
+            .any(|t| t.name == tenant)
+        {
+            return reject(format!(
+                "unknown tenant {tenant:?}; configured: {}",
                 self.options
                     .scheduler
                     .tenants
-                    .first()
-                    .map(|t| t.name.clone())
-                    .unwrap_or_default(),
-                line,
-            ),
-        };
+                    .iter()
+                    .map(|t| t.name.as_str())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ));
+        }
         let id = self.next_id;
         let tag = format!("svc-q{id}");
         let translation = match self
@@ -665,11 +696,13 @@ impl Service {
         let mut out = Vec::new();
         let requests = self.build_requests(&batch, &mut out);
         let config = self.run_config();
-        let report = run_workload_journaled(
+        let (report, _stats) = run_workload_reusing(
             &mut self.engine.cluster,
             &config,
             requests,
-            &mut self.journal,
+            Some(&mut self.journal),
+            &[],
+            &mut self.cache,
         );
         self.runs += 1;
         if let Err(e) = self.journal.flush() {
@@ -717,6 +750,22 @@ impl Service {
                     .unwrap_or_else(|| ", in-memory".into()),
             ),
         ];
+        if self.options.reuse.is_some() {
+            let s = self.cache.stats();
+            lines.push(format!(
+                "reuse cache: {} entr{} ({} of {} byte(s)), {} hit(s) / {} miss(es), \
+                 {} eviction(s), {} integrity failure(s), {:.1}s reused",
+                self.cache.len(),
+                if self.cache.len() == 1 { "y" } else { "ies" },
+                s.bytes_cached,
+                self.cache.capacity_bytes(),
+                s.hits,
+                s.misses,
+                s.evictions,
+                s.integrity_failures,
+                s.reused_work_s,
+            ));
+        }
         if self.recovered_runs > 0 {
             lines.push(format!(
                 "recovery: {} job(s) fast-forwarded, {} executed, {} already done",
@@ -750,6 +799,13 @@ impl Service {
     #[must_use]
     pub fn recovery_stats(&self) -> &RecoveryStats {
         &self.recovery
+    }
+
+    /// Lifetime counters of the result-reuse cache (all zero when reuse is
+    /// disabled).
+    #[must_use]
+    pub fn reuse_stats(&self) -> &ysmart_mapred::ReuseStats {
+        self.cache.stats()
     }
 
     /// The underlying engine (e.g. to load tables before serving).

@@ -304,3 +304,155 @@ fn drain_rejects_new_queries_but_completes_admitted_work() {
         "the admitted query still completes during drain: {responses:?}"
     );
 }
+
+/// Adversarial protocol input: malformed tenant prefixes, unknown tenants,
+/// unknown commands and garbage SQL must all produce typed rejections —
+/// never a panic, never a journal record, never a pending query.
+#[test]
+fn malformed_requests_are_rejected_without_panics_or_journal_writes() {
+    let (mut service, _) =
+        Service::open(demo_engine(), ServeOptions::new(Strategy::YSmart)).expect("open");
+    let journal_len = service.journal_bytes().len();
+
+    let rejected = [
+        "@",                              // bare sigil
+        "@tenant",                        // prefix without a query
+        "@default ",                      // prefix with only whitespace after
+        "@ SELECT cid FROM clicks",       // empty tenant name
+        "@nosuch SELECT cid FROM clicks", // tenant not configured
+        "SELECT nope FROM nowhere",       // SQL that does not translate
+        "DROP TABLE clicks; --",          // unsupported statement
+        "\u{1b}[2J\u{7}",                 // control-character garbage
+    ];
+    for line in rejected {
+        let responses = service.handle_line(line);
+        let [Response::Rejected { id, error, .. }] = &responses[..] else {
+            panic!("{line:?}: expected one typed rejection, got {responses:?}");
+        };
+        assert!(id.is_none(), "{line:?}: rejection must not consume an id");
+        assert!(!error.is_empty(), "{line:?}: error must say why");
+    }
+    let responses = service.handle_line("!frobnicate");
+    assert!(
+        matches!(&responses[..], [Response::Info(msg)] if msg.contains("unknown command")),
+        "unknown commands get a help line, got {responses:?}"
+    );
+
+    assert_eq!(service.pending_count(), 0, "nothing malformed was admitted");
+    assert_eq!(
+        service.journal_bytes().len(),
+        journal_len,
+        "rejected lines must never reach the journal"
+    );
+    assert!(service.is_ready(), "the service shrugs it all off");
+
+    // A well-formed query still works after the abuse, under both the
+    // implicit default tenant and the explicit @default form.
+    for line in [SCRIPT[0], &format!("@default {}", SCRIPT[1])] {
+        let ack = service.handle_line(line);
+        assert!(
+            matches!(&ack[..], [Response::Info(msg)] if msg.starts_with("accepted")),
+            "{line:?}: expected acceptance, got {ack:?}"
+        );
+    }
+    assert_eq!(results_of(&service.handle_line("!run")).len(), 2);
+}
+
+/// With result reuse configured, a repeated query in a later `!run` batch
+/// fast-forwards from the cache and answers with the same rows the first
+/// execution produced.
+#[test]
+fn reuse_cache_persists_across_run_batches() {
+    let mut opts = ServeOptions::new(Strategy::YSmart);
+    opts.reuse = Some(ysmart::mapred::ReuseConfig::with_capacity(1 << 20));
+    let (mut service, _) = Service::open(demo_engine(), opts).expect("open");
+
+    service.handle_line(SCRIPT[0]);
+    let first = results_of(&service.handle_line("!run"));
+    assert_eq!(first.len(), 1);
+    assert_eq!(service.reuse_stats().hits, 0, "a fresh cache has no hits");
+    assert!(service.reuse_stats().insertions > 0, "commits populate it");
+
+    service.handle_line(SCRIPT[0]);
+    let second = results_of(&service.handle_line("!run"));
+    assert_eq!(second.len(), 1);
+    assert!(service.reuse_stats().hits > 0, "the repeat must hit");
+
+    let (
+        Response::Result {
+            rows: a,
+            header: ha,
+            ..
+        },
+        Response::Result {
+            rows: b,
+            header: hb,
+            ..
+        },
+    ) = (&first[0], &second[0])
+    else {
+        panic!("both batches answer");
+    };
+    assert_eq!(
+        (a, ha),
+        (b, hb),
+        "cached answer must equal the executed one"
+    );
+    assert!(
+        service
+            .status_lines()
+            .iter()
+            .any(|l| l.contains("reuse cache")),
+        "!status reports the cache"
+    );
+}
+
+/// The reuse cache survives a crash: recovery replays the journaled runs
+/// through the same committing path, so a restarted service's cache serves
+/// hits for queries the dead process executed.
+#[test]
+fn reuse_cache_is_rebuilt_by_crash_recovery() {
+    let journal = temp_path("reuse-recovery.wal");
+    let _ = std::fs::remove_file(&journal);
+    let reuse_options = |journal: PathBuf| {
+        let mut o = options(journal);
+        o.reuse = Some(ysmart::mapred::ReuseConfig::with_capacity(1 << 20));
+        o
+    };
+
+    let first = {
+        let (mut service, _) =
+            Service::open(demo_engine(), reuse_options(journal.clone())).expect("open");
+        service.handle_line(SCRIPT[0]);
+        let first = results_of(&service.handle_line("!run"));
+        assert_eq!(first.len(), 1);
+        first
+        // Dropped without !quit: the journal file is the crash image.
+    };
+
+    let (mut service, recovery) =
+        Service::open(demo_engine(), reuse_options(journal.clone())).expect("reopen");
+    assert!(
+        results_of(&recovery).is_empty(),
+        "the answered query is suppressed, not re-answered"
+    );
+    assert!(
+        service.reuse_stats().insertions > 0,
+        "replaying the journal repopulates the cache"
+    );
+
+    service.handle_line(SCRIPT[0]);
+    let again = results_of(&service.handle_line("!run"));
+    assert_eq!(again.len(), 1);
+    assert!(
+        service.reuse_stats().hits > 0,
+        "a post-recovery repeat hits the rebuilt cache"
+    );
+    let (Some(Response::Result { rows: a, .. }), Some(Response::Result { rows: b, .. })) =
+        (first.first(), again.first())
+    else {
+        panic!("both sessions answer");
+    };
+    assert_eq!(a, b, "pre-crash and post-recovery answers agree");
+    let _ = std::fs::remove_file(&journal);
+}
